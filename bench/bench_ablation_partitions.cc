@@ -1,0 +1,60 @@
+// Ablation (Sec. 8.1, called out in DESIGN.md): partition-count selection
+// for InnerScalar-sized intermediates. With few inner computations, the
+// bags representing InnerScalars are tiny; running their operations at the
+// engine's cluster-wide default parallelism (3 x cores = 1200 partitions)
+// drowns them in per-task scheduling overhead. Matryoshka sizes these
+// operators from the InnerScalar cardinality it knows in advance. This
+// bench runs K-means with partition tuning on vs. off across the inner-
+// computation sweep.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/optimizer.h"
+#include "datagen/datagen.h"
+#include "engine/bag.h"
+#include "workloads/kmeans.h"
+
+namespace matryoshka::bench {
+namespace {
+
+constexpr uint64_t kSeed = 17;
+
+void BM_Ablation_PartitionTuning(benchmark::State& state) {
+  const int64_t groups = state.range(0);
+  const bool tuned = state.range(1) == 1;
+  constexpr int64_t kTotalPoints = 1 << 18;
+  workloads::KMeansParams params;
+  params.k = 4;
+  params.max_iterations = 10;
+  params.epsilon = -1.0;
+  core::OptimizerOptions opts;
+  opts.tune_partitions = tuned;
+
+  engine::ClusterConfig cfg = PaperCluster();
+  ScaleToTarget(&cfg, 8.0, kTotalPoints,
+                sizeof(std::pair<int64_t, datagen::Point>));
+  auto data = datagen::GenerateGroupedPoints(kTotalPoints, groups, 3, kSeed);
+  engine::Cluster cluster(cfg);
+  for (auto _ : state) {
+    cluster.Reset();
+    auto bag = engine::Parallelize(&cluster, data);
+    Report(state, workloads::KMeansMatryoshka(&cluster, bag, params, opts));
+  }
+  state.SetLabel(tuned ? "tuned-partitions" : "default-parallelism");
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int64_t groups : {4, 16, 64, 256}) {
+    b->Args({groups, 1});
+    b->Args({groups, 0});
+  }
+  b->UseManualTime()->Unit(benchmark::kSecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Ablation_PartitionTuning)->Apply(Args);
+
+}  // namespace
+}  // namespace matryoshka::bench
+
+BENCHMARK_MAIN();

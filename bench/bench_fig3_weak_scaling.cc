@@ -1,0 +1,142 @@
+// Figure 3 (Sec. 9.2): weak scaling of the iterative tasks — K-means,
+// PageRank, and Average Distances — varying the number of inner
+// computations while shrinking each inner computation's input inversely, so
+// the total input stays constant. Expected shapes:
+//  - Matryoshka stays nearly constant across the sweep,
+//  - outer-parallel is slow at few inner computations (parallelism capped)
+//    and approaches Matryoshka only at many,
+//  - inner-parallel is good at few inner computations and degrades with
+//    their count (job-launch overhead x iterations),
+//  - Average Distances (three levels of parallelism) shows the largest
+//    gaps: outer-parallel parallelizes only level 1, inner-parallel only
+//    level 3.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "datagen/datagen.h"
+#include "engine/bag.h"
+#include "workloads/avg_distances.h"
+#include "workloads/kmeans.h"
+#include "workloads/pagerank.h"
+
+namespace matryoshka::bench {
+namespace {
+
+using workloads::Variant;
+
+constexpr uint64_t kSeed = 93;
+
+Variant VariantOf(int64_t i) {
+  switch (i) {
+    case 0:
+      return Variant::kMatryoshka;
+    case 1:
+      return Variant::kOuterParallel;
+    default:
+      return Variant::kInnerParallel;
+  }
+}
+
+// --- K-means: total points constant, groups = x-axis ---
+
+void BM_Fig3_KMeans(benchmark::State& state) {
+  const int64_t groups = state.range(0);
+  const Variant variant = VariantOf(state.range(1));
+  constexpr int64_t kTotalPoints = 1 << 18;
+  workloads::KMeansParams params;
+  params.k = 4;
+  params.max_iterations = 10;
+  params.epsilon = -1.0;  // fixed work: always max_iterations
+
+  engine::ClusterConfig cfg = PaperCluster();
+  ScaleToTarget(&cfg, /*target_gb=*/8.0, kTotalPoints,
+                sizeof(std::pair<int64_t, datagen::Point>));
+  auto data = datagen::GenerateGroupedPoints(kTotalPoints, groups, 3, kSeed);
+  engine::Cluster cluster(cfg);
+  for (auto _ : state) {
+    cluster.Reset();
+    auto bag = engine::Parallelize(&cluster, data);
+    Report(state, workloads::RunKMeans(&cluster, bag, params, variant));
+  }
+  state.SetLabel(workloads::VariantName(variant));
+}
+
+// --- PageRank: total edges constant; per-group graphs shrink with count ---
+
+void BM_Fig3_PageRank(benchmark::State& state) {
+  const int64_t groups = state.range(0);
+  const Variant variant = VariantOf(state.range(1));
+  constexpr int64_t kTotalEdges = 1 << 18;
+  workloads::PageRankParams params;
+  params.iterations = 10;
+
+  engine::ClusterConfig cfg = PaperCluster();
+  ScaleToTarget(&cfg, /*target_gb=*/20.0, kTotalEdges,
+                sizeof(std::pair<int64_t, datagen::Edge>));
+  const int64_t verts_per_group =
+      std::max<int64_t>(16, (1 << 16) / groups);
+  auto data = datagen::GenerateGroupedEdges(kTotalEdges, groups,
+                                            verts_per_group, 0.0, kSeed);
+  engine::Cluster cluster(cfg);
+  for (auto _ : state) {
+    cluster.Reset();
+    auto bag = engine::Parallelize(&cluster, data);
+    Report(state, workloads::RunPageRank(&cluster, bag, params, variant));
+  }
+  state.SetLabel(workloads::VariantName(variant));
+}
+
+// --- Average Distances: components = x-axis; component size shrinks ---
+
+void BM_Fig3_AvgDistances(benchmark::State& state) {
+  const int64_t comps = state.range(0);
+  const Variant variant = VariantOf(state.range(1));
+  // All-pairs BFS is quadratic in component size: keep totals moderate,
+  // and keep components dense (small diameter) so BFS depth — and with it
+  // the lifted loop's iteration count — stays realistic.
+  const int64_t verts_per_comp = std::max<int64_t>(12, 1024 / comps);
+
+  engine::ClusterConfig cfg = PaperCluster();
+  auto data = datagen::GenerateComponents(comps, verts_per_comp,
+                                          verts_per_comp, kSeed);
+  ScaleToTarget(&cfg, /*target_gb=*/1.0,
+                static_cast<int64_t>(data.size()), sizeof(datagen::Edge));
+  engine::Cluster cluster(cfg);
+  for (auto _ : state) {
+    cluster.Reset();
+    auto bag = engine::Parallelize(&cluster, data);
+    Report(state, workloads::RunAvgDistances(&cluster, bag, {}, variant));
+  }
+  state.SetLabel(workloads::VariantName(variant));
+}
+
+void SweepArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t groups : {4, 16, 64, 256, 1024}) {
+    for (int64_t variant = 0; variant < 3; ++variant) {
+      b->Args({groups, variant});
+    }
+  }
+  b->UseManualTime()->Unit(benchmark::kSecond)->Iterations(1);
+}
+
+void SweepArgsSmall(benchmark::internal::Benchmark* b) {
+  // Average Distances sweeps fewer points: the inner-parallel baseline
+  // launches jobs per (component x vertex x BFS step) and becomes
+  // unreasonably slow (in real time) beyond this.
+  for (int64_t comps : {4, 16, 64}) {
+    for (int64_t variant = 0; variant < 3; ++variant) {
+      b->Args({comps, variant});
+    }
+  }
+  b->UseManualTime()->Unit(benchmark::kSecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig3_KMeans)->Apply(SweepArgs);
+BENCHMARK(BM_Fig3_PageRank)->Apply(SweepArgs);
+BENCHMARK(BM_Fig3_AvgDistances)->Apply(SweepArgsSmall);
+
+}  // namespace
+}  // namespace matryoshka::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// Figure 4 (Sec. 9.3): scale-out — run time vs. number of machines, with
+// the number of inner computations fixed at 64 for every task. Expected
+// shapes: Matryoshka scales nearly linearly with machines; the workarounds
+// stay flat in many cases (outer-parallel cannot use cores beyond its 64
+// groups, inner-parallel's job overhead does not shrink and its scheduling
+// overheads grow with more partitions). The paper starts each line where
+// total memory suffices; runs below that report oom=1.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "datagen/datagen.h"
+#include "engine/bag.h"
+#include "workloads/avg_distances.h"
+#include "workloads/bounce_rate.h"
+#include "workloads/kmeans.h"
+#include "workloads/pagerank.h"
+
+namespace matryoshka::bench {
+namespace {
+
+using workloads::Variant;
+
+constexpr uint64_t kSeed = 41;
+constexpr int64_t kInnerComputations = 64;
+
+Variant VariantOf(int64_t i) {
+  switch (i) {
+    case 0:
+      return Variant::kMatryoshka;
+    case 1:
+      return Variant::kOuterParallel;
+    default:
+      return Variant::kInnerParallel;
+  }
+}
+
+engine::ClusterConfig WithMachines(engine::ClusterConfig cfg, int machines) {
+  cfg.num_machines = machines;
+  cfg.default_parallelism = 3 * machines * cfg.cores_per_machine;
+  return cfg;
+}
+
+void BM_Fig4_KMeans(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  const Variant variant = VariantOf(state.range(1));
+  constexpr int64_t kTotalPoints = 1 << 18;
+  workloads::KMeansParams params;
+  params.k = 4;
+  params.max_iterations = 10;
+  params.epsilon = -1.0;
+  engine::ClusterConfig cfg = WithMachines(PaperCluster(), machines);
+  ScaleToTarget(&cfg, 8.0, kTotalPoints,
+                sizeof(std::pair<int64_t, datagen::Point>));
+  auto data = datagen::GenerateGroupedPoints(kTotalPoints,
+                                             kInnerComputations, 3, kSeed);
+  engine::Cluster cluster(cfg);
+  for (auto _ : state) {
+    cluster.Reset();
+    auto bag = engine::Parallelize(&cluster, data);
+    Report(state, workloads::RunKMeans(&cluster, bag, params, variant));
+  }
+  state.SetLabel(workloads::VariantName(variant));
+}
+
+void BM_Fig4_PageRank(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  const Variant variant = VariantOf(state.range(1));
+  constexpr int64_t kTotalEdges = 1 << 18;
+  workloads::PageRankParams params;
+  params.iterations = 10;
+  engine::ClusterConfig cfg = WithMachines(PaperCluster(), machines);
+  ScaleToTarget(&cfg, 20.0, kTotalEdges,
+                sizeof(std::pair<int64_t, datagen::Edge>));
+  auto data = datagen::GenerateGroupedEdges(
+      kTotalEdges, kInnerComputations, (1 << 16) / kInnerComputations, 0.0,
+      kSeed);
+  engine::Cluster cluster(cfg);
+  for (auto _ : state) {
+    cluster.Reset();
+    auto bag = engine::Parallelize(&cluster, data);
+    Report(state, workloads::RunPageRank(&cluster, bag, params, variant));
+  }
+  state.SetLabel(workloads::VariantName(variant));
+}
+
+void BM_Fig4_BounceRate(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  const Variant variant = VariantOf(state.range(1));
+  constexpr int64_t kTotalVisits = 1 << 18;
+  engine::ClusterConfig cfg = WithMachines(PaperCluster(), machines);
+  ScaleToTarget(&cfg, 48.0, kTotalVisits, sizeof(datagen::Visit));
+  auto data = datagen::GenerateVisits(kTotalVisits, kInnerComputations, 0.0,
+                                      0.5, kSeed);
+  engine::Cluster cluster(cfg);
+  for (auto _ : state) {
+    cluster.Reset();
+    auto bag = engine::Parallelize(&cluster, data);
+    Report(state, workloads::RunBounceRate(&cluster, bag, variant));
+  }
+  state.SetLabel(workloads::VariantName(variant));
+}
+
+void BM_Fig4_AvgDistances(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  const Variant variant = VariantOf(state.range(1));
+  engine::ClusterConfig cfg = WithMachines(PaperCluster(), machines);
+  auto data =
+      datagen::GenerateComponents(kInnerComputations, 16, 16, kSeed);
+  ScaleToTarget(&cfg, 1.0, static_cast<int64_t>(data.size()),
+                sizeof(datagen::Edge));
+  engine::Cluster cluster(cfg);
+  for (auto _ : state) {
+    cluster.Reset();
+    auto bag = engine::Parallelize(&cluster, data);
+    Report(state, workloads::RunAvgDistances(&cluster, bag, {}, variant));
+  }
+  state.SetLabel(workloads::VariantName(variant));
+}
+
+void SweepArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t machines : {5, 10, 15, 20, 25}) {
+    for (int64_t variant = 0; variant < 3; ++variant) {
+      b->Args({machines, variant});
+    }
+  }
+  b->UseManualTime()->Unit(benchmark::kSecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig4_KMeans)->Apply(SweepArgs);
+BENCHMARK(BM_Fig4_PageRank)->Apply(SweepArgs);
+BENCHMARK(BM_Fig4_BounceRate)->Apply(SweepArgs);
+BENCHMARK(BM_Fig4_AvgDistances)->Apply(SweepArgs);
+
+}  // namespace
+}  // namespace matryoshka::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Figure 5 (Sec. 9.4): Bounce Rate, the task WITHOUT control flow, against
+// all baselines including DIQL. Two panels:
+//  (a) weak scaling over the number of days at a 48 GB-class input —
+//      DIQL and outer-parallel run out of memory in all cases (both fall
+//      back to materializing whole groups); inner-parallel pays per-day
+//      jobs and full-input filter scans; Matryoshka is nearly constant but
+//      memory-constrained (it processes the entire input at once and
+//      spills), making inner-parallel ~1.3x faster at 4-32 days;
+//  (b) scale-out at 256 days.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "datagen/datagen.h"
+#include "engine/bag.h"
+#include "workloads/bounce_rate.h"
+
+namespace matryoshka::bench {
+namespace {
+
+using workloads::Variant;
+
+constexpr uint64_t kSeed = 77;
+constexpr int64_t kTotalVisits = 1 << 18;
+constexpr double kTargetGb = 48.0;
+
+Variant VariantOf(int64_t i) {
+  switch (i) {
+    case 0:
+      return Variant::kMatryoshka;
+    case 1:
+      return Variant::kOuterParallel;
+    case 2:
+      return Variant::kInnerParallel;
+    default:
+      return Variant::kDiqlLike;
+  }
+}
+
+void BM_Fig5a_WeakScaling(benchmark::State& state) {
+  const int64_t days = state.range(0);
+  const Variant variant = VariantOf(state.range(1));
+  engine::ClusterConfig cfg = PaperCluster();
+  ScaleToTarget(&cfg, kTargetGb, kTotalVisits, sizeof(datagen::Visit));
+  auto data = datagen::GenerateVisits(kTotalVisits, days, 0.0, 0.5, kSeed);
+  engine::Cluster cluster(cfg);
+  for (auto _ : state) {
+    cluster.Reset();
+    auto bag = engine::Parallelize(&cluster, data);
+    Report(state, workloads::RunBounceRate(&cluster, bag, variant));
+  }
+  state.SetLabel(workloads::VariantName(variant));
+}
+
+void BM_Fig5b_ScaleOut(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  const Variant variant = VariantOf(state.range(1));
+  engine::ClusterConfig cfg = PaperCluster();
+  cfg.num_machines = machines;
+  cfg.default_parallelism = 3 * machines * cfg.cores_per_machine;
+  ScaleToTarget(&cfg, kTargetGb, kTotalVisits, sizeof(datagen::Visit));
+  auto data = datagen::GenerateVisits(kTotalVisits, 256, 0.0, 0.5, kSeed);
+  engine::Cluster cluster(cfg);
+  for (auto _ : state) {
+    cluster.Reset();
+    auto bag = engine::Parallelize(&cluster, data);
+    Report(state, workloads::RunBounceRate(&cluster, bag, variant));
+  }
+  state.SetLabel(workloads::VariantName(variant));
+}
+
+void WeakArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t days : {4, 8, 16, 32, 64}) {
+    for (int64_t variant = 0; variant < 4; ++variant) {
+      b->Args({days, variant});
+    }
+  }
+  b->UseManualTime()->Unit(benchmark::kSecond)->Iterations(1);
+}
+
+void ScaleOutArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t machines : {5, 10, 15, 20, 25}) {
+    for (int64_t variant = 0; variant < 4; ++variant) {
+      b->Args({machines, variant});
+    }
+  }
+  b->UseManualTime()->Unit(benchmark::kSecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig5a_WeakScaling)->Apply(WeakArgs);
+BENCHMARK(BM_Fig5b_ScaleOut)->Apply(ScaleOutArgs);
+
+}  // namespace
+}  // namespace matryoshka::bench
+
+BENCHMARK_MAIN();

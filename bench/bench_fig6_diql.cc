@@ -1,0 +1,53 @@
+// Figure 6 (Sec. 9.4): Matryoshka vs. the DIQL-like baseline on Bounce
+// Rate at a reduced (12 GB-class) input where DIQL's outer-parallel
+// fallback survives. Expected: Matryoshka faster in all cases (the paper
+// reports up to 6.6x), because DIQL materializes whole groups (capping
+// parallelism at the group count) and runs generated, unfused per-group
+// code with no runtime optimization.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "datagen/datagen.h"
+#include "engine/bag.h"
+#include "workloads/bounce_rate.h"
+
+namespace matryoshka::bench {
+namespace {
+
+using workloads::Variant;
+
+constexpr uint64_t kSeed = 55;
+constexpr int64_t kTotalVisits = 1 << 18;
+constexpr double kTargetGb = 12.0;
+
+void BM_Fig6_DiqlComparison(benchmark::State& state) {
+  const int64_t days = state.range(0);
+  const Variant variant =
+      state.range(1) == 0 ? Variant::kMatryoshka : Variant::kDiqlLike;
+  engine::ClusterConfig cfg = PaperCluster();
+  ScaleToTarget(&cfg, kTargetGb, kTotalVisits, sizeof(datagen::Visit));
+  auto data = datagen::GenerateVisits(kTotalVisits, days, 0.0, 0.5, kSeed);
+  engine::Cluster cluster(cfg);
+  for (auto _ : state) {
+    cluster.Reset();
+    auto bag = engine::Parallelize(&cluster, data);
+    Report(state, workloads::RunBounceRate(&cluster, bag, variant));
+  }
+  state.SetLabel(workloads::VariantName(variant));
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int64_t days : {16, 32, 64, 128}) {
+    b->Args({days, 0});
+    b->Args({days, 1});
+  }
+  b->UseManualTime()->Unit(benchmark::kSecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Fig6_DiqlComparison)->Apply(Args);
+
+}  // namespace
+}  // namespace matryoshka::bench
+
+BENCHMARK_MAIN();

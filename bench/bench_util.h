@@ -1,0 +1,82 @@
+#ifndef MATRYOSHKA_BENCH_BENCH_UTIL_H_
+#define MATRYOSHKA_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "engine/cluster.h"
+#include "workloads/workload.h"
+
+/// Shared setup for the per-figure benchmark binaries. Each binary
+/// regenerates one figure of the paper's evaluation (Sec. 9): it sweeps the
+/// figure's x-axis as google-benchmark args and reports the *simulated*
+/// cluster time as manual time, plus jobs / shuffle / OOM status as
+/// counters. Runs that the paper reports as failing (out of memory) are
+/// reported with counter oom=1 and time 0.
+namespace matryoshka::bench {
+
+/// The paper's evaluation cluster (Sec. 9.1): 25 machines, 2x8 cores, 22 GB
+/// for Spark per machine, 1 Gb network, parallelism 3x total cores.
+inline engine::ClusterConfig PaperCluster() {
+  engine::ClusterConfig cfg;
+  cfg.num_machines = 25;
+  cfg.cores_per_machine = 16;
+  cfg.memory_per_machine_bytes = 22.0 * (1ULL << 30);
+  cfg.network_bytes_per_s = 125e6;
+  cfg.job_launch_overhead_s = 0.1;
+  cfg.task_overhead_s = 0.004;
+  cfg.per_element_cost_s = 100e-9;
+  cfg.default_parallelism = 3 * 25 * 16;
+  return cfg;
+}
+
+/// The larger cluster of Sec. 9.7: 36 machines with 40 hardware threads and
+/// 100 GB memory per Spark worker.
+inline engine::ClusterConfig LargePaperCluster() {
+  engine::ClusterConfig cfg = PaperCluster();
+  cfg.num_machines = 36;
+  cfg.cores_per_machine = 40;
+  cfg.memory_per_machine_bytes = 100.0 * (1ULL << 30);
+  cfg.default_parallelism = 3 * 36 * 40;
+  return cfg;
+}
+
+/// Declares that the synthetic dataset of `synthetic_elements` elements
+/// (about `bytes_per_element` estimated bytes each) stands for
+/// `target_gb` GB of real data: sets data_scale so that each synthetic
+/// element models R real ones in both CPU and memory terms.
+inline void ScaleToTarget(engine::ClusterConfig* cfg, double target_gb,
+                          int64_t synthetic_elements,
+                          double bytes_per_element) {
+  const double real_elements =
+      target_gb * (1ULL << 30) / bytes_per_element;
+  cfg->data_scale = real_elements / static_cast<double>(synthetic_elements);
+}
+
+/// Fills the benchmark state from a finished run: simulated time as manual
+/// time, plus diagnostic counters. OOM runs get time 0 and oom=1 (mirroring
+/// the "X" marks of the paper's figures).
+template <typename K, typename R>
+void Report(benchmark::State& state,
+            const workloads::WorkloadResult<K, R>& result) {
+  if (result.ok()) {
+    state.SetIterationTime(result.metrics.simulated_time_s);
+    state.counters["oom"] = 0;
+  } else {
+    state.SetIterationTime(0.0);
+    state.counters["oom"] = result.status.IsOutOfMemory() ? 1 : -1;
+    state.SetLabel(result.status.ToString());
+  }
+  state.counters["jobs"] = static_cast<double>(result.metrics.jobs);
+  state.counters["stages"] = static_cast<double>(result.metrics.stages);
+  state.counters["shuffle_gb"] =
+      result.metrics.shuffle_bytes / (1ULL << 30);
+  state.counters["spills"] = static_cast<double>(result.metrics.spill_events);
+}
+
+}  // namespace matryoshka::bench
+
+#endif  // MATRYOSHKA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,67 @@
+// Hyperparameter optimization with K-means (Sec. 2.3): try many random
+// centroid initializations of the SAME data set in parallel, while every
+// individual training step is also parallelized — the nested-parallel
+// pattern current dataflow engines cannot express. The assignment step is
+// the half-lifted MapWithClosure of Sec. 8.3: the shared points live
+// outside the lifted UDF, the per-run means inside it, and the optimizer
+// picks which side to broadcast.
+//
+// Build & run:  ./build/examples/hyperparameter_kmeans
+
+#include <algorithm>
+#include <cstdio>
+
+#include "datagen/datagen.h"
+#include "engine/bag.h"
+#include "workloads/kmeans.h"
+
+namespace m = matryoshka;
+
+int main() {
+  m::engine::ClusterConfig config;  // the paper's 25-machine cluster
+  m::engine::Cluster cluster(config);
+
+  // One shared point set, 16 random initializations.
+  auto points = m::datagen::GeneratePoints(/*num_points=*/30000,
+                                           /*num_clusters=*/4, /*seed=*/7);
+  auto point_bag = m::engine::Parallelize(&cluster, points);
+
+  m::workloads::KMeansParams params;
+  params.k = 4;
+  params.max_iterations = 15;
+  params.epsilon = 1e-3;  // runs converge at different iterations
+
+  auto result = m::workloads::KMeansHyperparameterMatryoshka(
+      &cluster, point_bag, /*num_runs=*/16, params);
+  if (!result.ok()) {
+    std::printf("run failed: %s\n", result.status.ToString().c_str());
+    return 1;
+  }
+
+  // Pick the best model (lowest inertia) — the point of the exercise.
+  auto best = std::min_element(
+      result.per_group.begin(), result.per_group.end(),
+      [](const auto& a, const auto& b) {
+        return a.second.inertia < b.second.inertia;
+      });
+
+  std::printf("%-5s %-12s %-10s\n", "run", "inertia", "iterations");
+  for (const auto& [run, model] : result.per_group) {
+    std::printf("%-5ld %-12.1f %-10ld%s\n", static_cast<long>(run),
+                model.inertia, static_cast<long>(model.iterations),
+                run == best->first ? "  <- best" : "");
+  }
+  std::printf(
+      "\nbest run %ld: inertia %.1f after %ld iterations; centroids:\n",
+      static_cast<long>(best->first), best->second.inertia,
+      static_cast<long>(best->second.iterations));
+  for (const auto& c : best->second.means) {
+    std::printf("  (%.2f, %.2f)\n", c[0], c[1]);
+  }
+  std::printf(
+      "\ncluster: %ld jobs, %.2fs simulated — independent of the number of "
+      "initializations,\nbecause ALL runs advance inside one lifted loop "
+      "(one job per iteration, Sec. 6).\n",
+      static_cast<long>(result.metrics.jobs), result.time_s());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Skew robustness (Sec. 9.5): bounce rate over a visit log whose day keys
+// follow a Zipf distribution — a few huge days, a long tail of small ones.
+// The outer-parallel workaround materializes each day's visits in one task
+// and dies on the big days; inner-parallel launches jobs per day and drowns
+// in overhead for the tail; the flattened program never materializes a
+// group and barely notices the skew.
+//
+// Build & run:  ./build/examples/skewed_bounce_rate
+
+#include <cstdio>
+
+#include "datagen/datagen.h"
+#include "engine/bag.h"
+#include "workloads/bounce_rate.h"
+
+namespace m = matryoshka;
+
+int main() {
+  // The paper's cluster (25 machines x 16 cores, 22 GB each), with the
+  // synthetic log standing in for ~48 GB of real data.
+  m::engine::ClusterConfig config;  // defaults model the paper's cluster
+  constexpr int64_t kVisits = 1 << 17;
+  const double real_elements =
+      48.0 * (1ULL << 30) / sizeof(m::datagen::Visit);
+  config.data_scale = real_elements / kVisits;
+
+  for (double zipf : {0.0, 1.0}) {
+    auto visits = m::datagen::GenerateVisits(kVisits, /*num_days=*/1024,
+                                             zipf, /*bounce_fraction=*/0.5,
+                                             /*seed=*/5);
+    std::printf("\n=== day keys: %s ===\n",
+                zipf == 0.0 ? "uniform" : "Zipf (skewed)");
+    for (auto variant : {m::workloads::Variant::kMatryoshka,
+                         m::workloads::Variant::kOuterParallel,
+                         m::workloads::Variant::kInnerParallel}) {
+      m::engine::Cluster cluster(config);
+      auto bag = m::engine::Parallelize(&cluster, visits);
+      auto result = m::workloads::RunBounceRate(&cluster, bag, variant);
+      if (result.ok()) {
+        std::printf("  %-15s %9.1fs simulated, %6ld jobs\n",
+                    m::workloads::VariantName(variant), result.time_s(),
+                    static_cast<long>(result.metrics.jobs));
+      } else {
+        std::printf("  %-15s FAILED: %s\n",
+                    m::workloads::VariantName(variant),
+                    result.status.ToString().c_str());
+      }
+    }
+  }
+  std::printf(
+      "\nNote how the flattened program's time barely moves between the\n"
+      "uniform and the skewed input, while the workarounds fail or slow "
+      "down.\n");
+  return 0;
+}

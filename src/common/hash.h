@@ -1,0 +1,52 @@
+#ifndef MATRYOSHKA_COMMON_HASH_H_
+#define MATRYOSHKA_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <tuple>
+#include <utility>
+
+namespace matryoshka {
+
+/// 64-bit mix (splitmix64 finalizer). Used to turn std::hash outputs into
+/// well-distributed partition assignments: libstdc++'s std::hash for integers
+/// is the identity, which would send consecutive keys to consecutive
+/// partitions and hide shuffle skew.
+inline uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline std::size_t HashCombine(std::size_t seed, std::size_t v) {
+  return seed ^ (Mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hash functor covering the key types the engine shuffles on: anything with
+/// a std::hash specialization, plus pairs and tuples of such types.
+struct Hasher {
+  template <typename T>
+  std::size_t operator()(const T& v) const {
+    return Mix64(std::hash<T>{}(v));
+  }
+
+  template <typename A, typename B>
+  std::size_t operator()(const std::pair<A, B>& p) const {
+    return HashCombine((*this)(p.first), (*this)(p.second));
+  }
+
+  template <typename... Ts>
+  std::size_t operator()(const std::tuple<Ts...>& t) const {
+    std::size_t seed = 0x12345678u;
+    std::apply(
+        [&](const Ts&... xs) { ((seed = HashCombine(seed, (*this)(xs))), ...); },
+        t);
+    return seed;
+  }
+};
+
+}  // namespace matryoshka
+
+#endif  // MATRYOSHKA_COMMON_HASH_H_

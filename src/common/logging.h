@@ -1,0 +1,77 @@
+#ifndef MATRYOSHKA_COMMON_LOGGING_H_
+#define MATRYOSHKA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace matryoshka {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level for emitted log lines. Defaults to kWarning so
+/// tests and benchmarks stay quiet; benchmarks that narrate progress raise it.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line collector; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process after emitting. Used by checks.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace matryoshka
+
+#define MATRYOSHKA_LOG(level)                                      \
+  ::matryoshka::internal::LogMessage(::matryoshka::LogLevel::level, \
+                                     __FILE__, __LINE__)
+
+/// Invariant check that is always on (release builds included); logs the
+/// failed condition plus any streamed context, then aborts. Use for internal
+/// invariants, not for validating user input (user input gets a Status).
+#define MATRYOSHKA_CHECK(cond)                                        \
+  if (cond) {                                                         \
+  } else /* NOLINT */                                                 \
+    ::matryoshka::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define MATRYOSHKA_DCHECK(cond) assert(cond)
+
+#endif  // MATRYOSHKA_COMMON_LOGGING_H_

@@ -1,0 +1,70 @@
+#ifndef MATRYOSHKA_COMMON_RANDOM_H_
+#define MATRYOSHKA_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace matryoshka {
+
+/// Fast, seedable, deterministic PRNG (splitmix64 core). All data generators
+/// in this repository derive their randomness from this type so experiment
+/// inputs are reproducible across runs and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next 64 uniformly random bits.
+  uint64_t Next64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next64() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Standard normal variate (Box-Muller; one value per call).
+  double NextGaussian();
+
+ private:
+  uint64_t state_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Zipf-distributed integer sampler over {0, 1, ..., n-1} with exponent `s`.
+///
+/// Rank 0 is the most frequent value. Uses an inverse-CDF table built at
+/// construction (O(n) memory, O(log n) per sample), which is exact and fast
+/// for the group counts used in the skew experiments (Sec. 9.5 of the paper
+/// uses 1024 groups).
+class ZipfSampler {
+ public:
+  /// `n` must be >= 1; `s` is the skew exponent (s=0 degenerates to uniform).
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i)
+};
+
+}  // namespace matryoshka
+
+#endif  // MATRYOSHKA_COMMON_RANDOM_H_

@@ -1,0 +1,81 @@
+#ifndef MATRYOSHKA_COMMON_SIZING_H_
+#define MATRYOSHKA_COMMON_SIZING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace matryoshka {
+
+/// Estimated in-memory footprint of a value, in bytes. This is the
+/// repository's stand-in for Spark's SizeEstimator (the paper uses it in
+/// Sec. 8.3 to pick the broadcast side of a half-lifted cross product): it is
+/// a recursive structural estimate, not an exact allocator measurement.
+///
+/// Extend by overloading EstimateSize for user element types; the generic
+/// overload covers trivially copyable types, std::string, std::pair,
+/// std::tuple, and std::vector.
+template <typename T>
+std::size_t EstimateSize(const T& v);
+
+namespace sizing_internal {
+
+template <typename T, typename = void>
+struct Sizer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "EstimateSize: add an overload/specialization for this type");
+  static std::size_t Of(const T&) { return sizeof(T); }
+};
+
+template <>
+struct Sizer<std::string> {
+  static std::size_t Of(const std::string& s) {
+    return sizeof(std::string) + s.capacity();
+  }
+};
+
+template <typename A, typename B>
+struct Sizer<std::pair<A, B>> {
+  static std::size_t Of(const std::pair<A, B>& p) {
+    return EstimateSize(p.first) + EstimateSize(p.second);
+  }
+};
+
+template <typename... Ts>
+struct Sizer<std::tuple<Ts...>> {
+  static std::size_t Of(const std::tuple<Ts...>& t) {
+    std::size_t total = 0;
+    std::apply([&](const Ts&... xs) { ((total += EstimateSize(xs)), ...); },
+               t);
+    return total;
+  }
+};
+
+template <typename T>
+struct Sizer<std::vector<T>> {
+  static std::size_t Of(const std::vector<T>& v) {
+    std::size_t total = sizeof(std::vector<T>);
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      total += v.capacity() * sizeof(T);
+    } else {
+      for (const auto& x : v) total += EstimateSize(x);
+      total += (v.capacity() - v.size()) * sizeof(T);
+    }
+    return total;
+  }
+};
+
+}  // namespace sizing_internal
+
+template <typename T>
+std::size_t EstimateSize(const T& v) {
+  return sizing_internal::Sizer<T>::Of(v);
+}
+
+}  // namespace matryoshka
+
+#endif  // MATRYOSHKA_COMMON_SIZING_H_

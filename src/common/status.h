@@ -1,0 +1,165 @@
+#ifndef MATRYOSHKA_COMMON_STATUS_H_
+#define MATRYOSHKA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace matryoshka {
+
+/// Machine-readable error categories used across the library. Mirrors the
+/// Arrow/RocksDB convention of a small closed set of codes plus a free-form
+/// message.
+enum class StatusCode {
+  kOk = 0,
+  kOutOfMemory,
+  kInvalidArgument,
+  kNotImplemented,
+  kUnsupported,
+  kInternal,
+  kCancelled,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "Out of memory", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail without a payload.
+///
+/// The success path stores no allocation: an OK Status is two words. Error
+/// statuses carry a code and a message. Statuses are cheap to copy.
+///
+/// This library does not throw exceptions across API boundaries; every
+/// fallible operation returns a Status or a Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code),
+        msg_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<const std::string>(std::move(msg))) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
+  bool IsNotImplemented() const {
+    return code_ == StatusCode::kNotImplemented;
+  }
+
+  StatusCode code() const { return code_; }
+  /// The error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return msg_ ? *msg_ : kEmpty;
+  }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message() == b.message();
+  }
+
+ private:
+  StatusCode code_;
+  std::shared_ptr<const std::string> msg_;
+};
+
+/// Holder of either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Access to the value of a non-OK result aborts in
+/// debug builds; callers must check ok() first (or use ValueOr).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success path), per the Arrow idiom.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. The status must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `alternative` if this holds an error.
+  T ValueOr(T alternative) const {
+    return ok() ? *value_ : std::move(alternative);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace matryoshka
+
+/// Propagates a non-OK status out of the current function.
+#define MATRYOSHKA_RETURN_NOT_OK(expr)                 \
+  do {                                                 \
+    ::matryoshka::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                         \
+  } while (false)
+
+/// Evaluates a Result-returning expression; on error returns the status,
+/// otherwise moves the value into `lhs`.
+#define MATRYOSHKA_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  auto MATRYOSHKA_CONCAT_(_res_, __LINE__) = (rexpr);  \
+  if (!MATRYOSHKA_CONCAT_(_res_, __LINE__).ok())       \
+    return MATRYOSHKA_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(MATRYOSHKA_CONCAT_(_res_, __LINE__)).value()
+
+#define MATRYOSHKA_CONCAT_IMPL_(a, b) a##b
+#define MATRYOSHKA_CONCAT_(a, b) MATRYOSHKA_CONCAT_IMPL_(a, b)
+
+#endif  // MATRYOSHKA_COMMON_STATUS_H_

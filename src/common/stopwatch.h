@@ -1,0 +1,29 @@
+#ifndef MATRYOSHKA_COMMON_STOPWATCH_H_
+#define MATRYOSHKA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace matryoshka {
+
+/// Wall-clock stopwatch for the benchmark harness (real elapsed time; the
+/// engine's *simulated* time lives in engine::Metrics).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace matryoshka
+
+#endif  // MATRYOSHKA_COMMON_STOPWATCH_H_

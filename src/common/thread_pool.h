@@ -1,0 +1,54 @@
+#ifndef MATRYOSHKA_COMMON_THREAD_POOL_H_
+#define MATRYOSHKA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace matryoshka {
+
+/// Fixed-size worker pool used by the engine to execute partition tasks in
+/// parallel when ClusterConfig::execute_parallel is set. Task submission is
+/// fire-and-forget; use ParallelFor for fork-join workloads.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void WaitIdle();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs body(i) for i in [0, n) using the pool (or inline when pool is null
+/// or n <= 1) and waits for completion. `body` must be safe to invoke
+/// concurrently for distinct indices.
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace matryoshka
+
+#endif  // MATRYOSHKA_COMMON_THREAD_POOL_H_

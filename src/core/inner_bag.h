@@ -1,0 +1,364 @@
+#ifndef MATRYOSHKA_CORE_INNER_BAG_H_
+#define MATRYOSHKA_CORE_INNER_BAG_H_
+
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/inner_scalar.h"
+#include "core/lifting_context.h"
+#include "core/tag.h"
+#include "engine/bag.h"
+#include "engine/join.h"
+#include "engine/ops.h"
+#include "engine/shuffle.h"
+
+namespace matryoshka::core {
+
+/// The lifted representation of a Bag variable inside a lifted UDF
+/// (Sec. 4.4). Where the original UDF held one bag of E per invocation, the
+/// InnerBag holds the union of all those bags as one flat Bag[(Tag, E)],
+/// every element tagged with its invocation.
+///
+/// Unlike InnerScalar, tags are NOT unique here (one tag per inner-bag
+/// element), and tags whose inner bag was empty have no element at all —
+/// which is why operations that must produce output for empty bags (count,
+/// folds) consult the context's tag bag.
+template <typename E>
+class InnerBag {
+ public:
+  using Repr = engine::Bag<std::pair<Tag, E>>;
+
+  InnerBag(LiftingContext ctx, Repr repr)
+      : ctx_(std::move(ctx)), repr_(std::move(repr)) {}
+
+  const LiftingContext& ctx() const { return ctx_; }
+  /// The flat bag representing all inner bags.
+  const Repr& repr() const { return repr_; }
+
+  /// Removes the tags (the implementation of the `flatten` operation that
+  /// lifted flatMaps use, Sec. 4.6).
+  engine::Bag<E> Flatten() const { return engine::Values(repr_); }
+
+ private:
+  LiftingContext ctx_;
+  Repr repr_;
+};
+
+// --- Stateless element-wise operations: apply the UDF to the payload and
+// --- forward the tag unchanged (Sec. 4.4).
+
+/// Lifted map over every inner bag. f: E -> U.
+template <typename E, typename F>
+auto LiftedMap(const InnerBag<E>& b, F f, double weight = 1.0)
+    -> InnerBag<std::decay_t<decltype(f(std::declval<const E&>()))>> {
+  using U = std::decay_t<decltype(f(std::declval<const E&>()))>;
+  // Tags are untouched, so any tag partitioning survives (mapValues).
+  auto out = engine::MapValues(b.repr(), f, weight);
+  (void)static_cast<U*>(nullptr);
+  return InnerBag<U>(b.ctx(), std::move(out));
+}
+
+/// Lifted filter over every inner bag.
+template <typename E, typename P>
+InnerBag<E> LiftedFilter(const InnerBag<E>& b, P pred, double weight = 1.0) {
+  auto out = engine::Filter(
+      b.repr(),
+      [pred](const std::pair<Tag, E>& p) { return pred(p.second); }, weight);
+  return InnerBag<E>(b.ctx(), std::move(out));
+}
+
+/// Lifted flatMap over every inner bag. f: E -> iterable of U.
+template <typename E, typename F>
+auto LiftedFlatMap(const InnerBag<E>& b, F f, double weight = 1.0)
+    -> InnerBag<
+        std::decay_t<decltype(*std::begin(f(std::declval<const E&>())))>> {
+  using U = std::decay_t<decltype(*std::begin(f(std::declval<const E&>())))>;
+  auto out = engine::FlatMapValues(b.repr(), f, weight);
+  (void)static_cast<U*>(nullptr);
+  return InnerBag<U>(b.ctx(), std::move(out));
+}
+
+/// Lifted union of two inner bags (per tag). The lifted version is simply
+/// the flat union (Sec. 4.4: "some other operations' lifted versions are
+/// identical to the original operations, such as distinct and union").
+template <typename E>
+InnerBag<E> LiftedUnion(const InnerBag<E>& a, const InnerBag<E>& b) {
+  return InnerBag<E>(a.ctx(), engine::Union(a.repr(), b.repr()));
+}
+
+/// Lifted distinct: per-inner-bag duplicate elimination == flat distinct on
+/// the (tag, element) pairs.
+template <typename E>
+InnerBag<E> LiftedDistinct(const InnerBag<E>& b, int64_t num_partitions = -1) {
+  return InnerBag<E>(b.ctx(), engine::Distinct(b.repr(), num_partitions));
+}
+
+/// Hash-partitions the InnerBag's representation by tag (the lowering
+/// phase's equivalent of Spark's partitionBy before an iterative
+/// computation): subsequent tag joins against this InnerBag skip their
+/// shuffle entirely. Worth one upfront shuffle when the bag is joined on
+/// its tag every iteration of a lifted loop — but ONLY when there are
+/// enough tags to keep every core busy; with fewer tags than cores,
+/// key-partitioning would collapse each inner bag onto one partition and
+/// serialize it (the very pathology flattening exists to avoid). Prefer
+/// MaybePartitionByTag, which applies the same optimizer rule as the join
+/// choice (Sec. 8.2).
+template <typename E>
+InnerBag<E> PartitionByTag(const InnerBag<E>& b, int64_t num_partitions = -1) {
+  return InnerBag<E>(b.ctx(),
+                     engine::PartitionByKey(b.repr(), num_partitions));
+}
+
+/// Lowering-phase decision: tag-partition `b` iff the optimizer would use
+/// repartition tag joins on this context (num_tags >= total cores);
+/// otherwise those joins broadcast their scalar side and pre-partitioning
+/// would only hurt.
+template <typename E>
+InnerBag<E> MaybePartitionByTag(const InnerBag<E>& b) {
+  const LiftingContext& ctx = b.ctx();
+  if (ctx.optimizer().ChooseJoin(ctx.num_tags()) ==
+      JoinStrategy::kRepartition) {
+    return PartitionByTag(b);
+  }
+  return b;
+}
+
+// --- Stateful operations: keep state per tag (Sec. 4.4).
+
+/// Lifted reduce: folds every inner bag into one scalar per tag, i.e. a
+/// reduce becomes a reduceByKey with the tag as key. Tags whose inner bag is
+/// empty produce no element (a reduce of an empty bag is undefined); use
+/// LiftedFold / LiftedCount when a value for empty bags is required.
+template <typename E, typename F>
+InnerScalar<E> LiftedReduce(const InnerBag<E>& b, F f, double weight = 1.0) {
+  // The result is tag-sized: its scale is the tag bag's scale (1 for
+  // top-level groups whose count is the experiment's own parameter).
+  auto out = engine::ReduceByKey(b.repr(), f, b.ctx().ScalarPartitions(),
+                                 weight, b.ctx().tags().scale());
+  return InnerScalar<E>(b.ctx(), std::move(out));
+}
+
+/// Lifted fold with a zero element: like LiftedReduce, but every tag in the
+/// context produces a value — tags with empty inner bags yield `zero`.
+/// Implemented by left-outer-joining the context's tag bag with the per-tag
+/// reduction (this is why the tag bag is stored once per lifted UDF,
+/// Sec. 4.4 last paragraph).
+template <typename E, typename Z, typename FMap, typename FCombine>
+InnerScalar<Z> LiftedFold(const InnerBag<E>& b, Z zero, FMap map_to_z,
+                          FCombine combine, double weight = 1.0) {
+  auto mapped = LiftedMap(b, map_to_z, weight);
+  auto reduced =
+      engine::ReduceByKey(mapped.repr(), combine, b.ctx().ScalarPartitions(),
+                          weight, b.ctx().tags().scale());
+  auto tags_kv = engine::Map(b.ctx().tags(), [](const Tag& t) {
+    return std::pair<Tag, char>(t, 0);
+  });
+  auto joined =
+      engine::LeftOuterJoin(tags_kv, reduced, b.ctx().ScalarPartitions());
+  auto out = engine::Map(
+      joined,
+      [zero](const std::pair<Tag, std::pair<char, std::optional<Z>>>& p) {
+        return std::pair<Tag, Z>(p.first, p.second.second.value_or(zero));
+      });
+  return InnerScalar<Z>(b.ctx(), std::move(out));
+}
+
+/// Lifted count: the number of elements of every inner bag, 0 included for
+/// empty bags.
+template <typename E>
+InnerScalar<int64_t> LiftedCount(const InnerBag<E>& b) {
+  return LiftedFold(
+      b, int64_t{0}, [](const E&) { return int64_t{1}; },
+      [](int64_t a, int64_t c) { return a + c; }, 0.25);
+}
+
+/// Lifted reduceByKey over inner bags of (K, V) pairs: the per-key state
+/// becomes per-(tag, key) state via a composite key (Sec. 4.4):
+///   b'.map{(t,(k,v)) => ((t,k),v)}.reduceByKey(f).map{((t,k),v) => (t,(k,v))}
+/// `result_scale` < 0 keeps the input's scale (right when the key space
+/// scales with the data, e.g. per-vertex rank sums); pass the tag scale
+/// when the per-tag key space is fixed (e.g. k centroid slots per run).
+template <typename K, typename V, typename F>
+InnerBag<std::pair<K, V>> LiftedReduceByKey(const InnerBag<std::pair<K, V>>& b,
+                                            F f, double weight = 1.0,
+                                            double result_scale = -1.0) {
+  using TK = std::pair<Tag, K>;
+  auto rekeyed = engine::Map(
+      b.repr(), [](const std::pair<Tag, std::pair<K, V>>& p) {
+        return std::pair<TK, V>(TK(p.first, p.second.first), p.second.second);
+      });
+  auto reduced = engine::ReduceByKey(rekeyed, f, -1, weight, result_scale);
+  auto out =
+      engine::Map(reduced, [](const std::pair<TK, V>& p) {
+        return std::pair<Tag, std::pair<K, V>>(
+            p.first.first, std::pair<K, V>(p.first.second, p.second));
+      });
+  return InnerBag<std::pair<K, V>>(b.ctx(), std::move(out));
+}
+
+/// Lifted inner equi-join between two inner bags of pairs, rekeying both
+/// sides to the composite (tag, key) so only elements of the same original
+/// UDF invocation match (Sec. 4.4 "we also lift joins with a similar
+/// rekeying").
+template <typename K, typename V, typename W>
+InnerBag<std::pair<K, std::pair<V, W>>> LiftedJoin(
+    const InnerBag<std::pair<K, V>>& a, const InnerBag<std::pair<K, W>>& b,
+    int64_t num_partitions = -1) {
+  using TK = std::pair<Tag, K>;
+  auto ra = engine::Map(
+      a.repr(), [](const std::pair<Tag, std::pair<K, V>>& p) {
+        return std::pair<TK, V>(TK(p.first, p.second.first), p.second.second);
+      });
+  auto rb = engine::Map(
+      b.repr(), [](const std::pair<Tag, std::pair<K, W>>& p) {
+        return std::pair<TK, W>(TK(p.first, p.second.first), p.second.second);
+      });
+  auto joined = engine::RepartitionJoin(ra, rb, num_partitions);
+  auto out = engine::Map(
+      joined, [](const std::pair<TK, std::pair<V, W>>& p) {
+        return std::pair<Tag, std::pair<K, std::pair<V, W>>>(
+            p.first.first,
+            std::pair<K, std::pair<V, W>>(p.first.second, p.second));
+      });
+  return InnerBag<std::pair<K, std::pair<V, W>>>(a.ctx(), std::move(out));
+}
+
+/// Lifted left outer equi-join (composite (tag, key) rekeying, like
+/// LiftedJoin): every left element appears with its matching right values,
+/// or with nullopt when its key has no match within its own tag. Used e.g.
+/// by lifted PageRank to keep vertices without in-links alive.
+template <typename K, typename V, typename W>
+InnerBag<std::pair<K, std::pair<V, std::optional<W>>>> LiftedLeftOuterJoin(
+    const InnerBag<std::pair<K, V>>& a, const InnerBag<std::pair<K, W>>& b,
+    int64_t num_partitions = -1) {
+  using TK = std::pair<Tag, K>;
+  auto ra = engine::Map(
+      a.repr(), [](const std::pair<Tag, std::pair<K, V>>& p) {
+        return std::pair<TK, V>(TK(p.first, p.second.first), p.second.second);
+      });
+  auto rb = engine::Map(
+      b.repr(), [](const std::pair<Tag, std::pair<K, W>>& p) {
+        return std::pair<TK, W>(TK(p.first, p.second.first), p.second.second);
+      });
+  auto joined = engine::LeftOuterJoin(ra, rb, num_partitions);
+  auto out = engine::Map(
+      joined,
+      [](const std::pair<TK, std::pair<V, std::optional<W>>>& p) {
+        return std::pair<Tag, std::pair<K, std::pair<V, std::optional<W>>>>(
+            p.first.first,
+            std::pair<K, std::pair<V, std::optional<W>>>(p.first.second,
+                                                         p.second));
+      });
+  return InnerBag<std::pair<K, std::pair<V, std::optional<W>>>>(
+      a.ctx(), std::move(out));
+}
+
+/// A join side that stays fixed across the iterations of a lifted loop
+/// (e.g. a graph's edge list joined with the evolving rank vector every
+/// round): its composite (tag, key) rekeying and hash partitioning are done
+/// ONCE, so the per-iteration joins only move the dynamic side. This is the
+/// "fusing the join shuffle's map side with preceding operations"
+/// optimization the paper's Sec. 8.2 attributes to knowing InnerScalar
+/// structure ahead of time.
+template <typename K, typename V>
+class StaticJoinSide {
+ public:
+  using TK = std::pair<Tag, K>;
+  StaticJoinSide(LiftingContext ctx, engine::Bag<std::pair<TK, V>> repr)
+      : ctx_(std::move(ctx)), repr_(std::move(repr)) {}
+
+  const LiftingContext& ctx() const { return ctx_; }
+  const engine::Bag<std::pair<TK, V>>& repr() const { return repr_; }
+
+ private:
+  LiftingContext ctx_;
+  engine::Bag<std::pair<TK, V>> repr_;
+};
+
+/// Rekeys an InnerBag of pairs onto the composite (tag, key) and hash
+/// partitions it, paying the shuffle once.
+template <typename K, typename V>
+StaticJoinSide<K, V> MakeStaticJoinSide(const InnerBag<std::pair<K, V>>& b,
+                                        int64_t num_partitions = -1) {
+  using TK = std::pair<Tag, K>;
+  auto rekeyed = engine::Map(
+      b.repr(), [](const std::pair<Tag, std::pair<K, V>>& p) {
+        return std::pair<TK, V>(TK(p.first, p.second.first), p.second.second);
+      });
+  return StaticJoinSide<K, V>(
+      b.ctx(), engine::PartitionByKey(rekeyed, num_partitions));
+}
+
+/// Lifted inner join where the LEFT side is static and pre-partitioned:
+/// only the dynamic right side is rekeyed and shuffled per call.
+template <typename K, typename V, typename W>
+InnerBag<std::pair<K, std::pair<V, W>>> LiftedJoinStatic(
+    const StaticJoinSide<K, V>& left, const InnerBag<std::pair<K, W>>& right) {
+  using TK = std::pair<Tag, K>;
+  auto rb = engine::Map(
+      right.repr(), [](const std::pair<Tag, std::pair<K, W>>& p) {
+        return std::pair<TK, W>(TK(p.first, p.second.first), p.second.second);
+      });
+  auto joined = engine::RepartitionJoin(left.repr(), rb,
+                                        left.repr().key_partitions());
+  auto out = engine::Map(
+      joined, [](const std::pair<TK, std::pair<V, W>>& p) {
+        return std::pair<Tag, std::pair<K, std::pair<V, W>>>(
+            p.first.first,
+            std::pair<K, std::pair<V, W>>(p.first.second, p.second));
+      });
+  return InnerBag<std::pair<K, std::pair<V, W>>>(right.ctx(), std::move(out));
+}
+
+/// Lifted left outer join with a static, pre-partitioned left side.
+template <typename K, typename V, typename W>
+InnerBag<std::pair<K, std::pair<V, std::optional<W>>>>
+LiftedLeftOuterJoinStatic(const StaticJoinSide<K, V>& left,
+                          const InnerBag<std::pair<K, W>>& right) {
+  using TK = std::pair<Tag, K>;
+  auto rb = engine::Map(
+      right.repr(), [](const std::pair<Tag, std::pair<K, W>>& p) {
+        return std::pair<TK, W>(TK(p.first, p.second.first), p.second.second);
+      });
+  auto joined = engine::LeftOuterJoin(left.repr(), rb,
+                                      left.repr().key_partitions());
+  auto out = engine::Map(
+      joined,
+      [](const std::pair<TK, std::pair<V, std::optional<W>>>& p) {
+        return std::pair<Tag, std::pair<K, std::pair<V, std::optional<W>>>>(
+            p.first.first,
+            std::pair<K, std::pair<V, std::optional<W>>>(p.first.second,
+                                                         p.second));
+      });
+  return InnerBag<std::pair<K, std::pair<V, std::optional<W>>>>(
+      right.ctx(), std::move(out));
+}
+
+/// Lifted groupByKey: collects, per tag, the values of each key. Composite
+/// (tag, key) grouping; the same per-group memory accounting as the flat
+/// GroupByKey applies.
+template <typename K, typename V>
+InnerBag<std::pair<K, std::vector<V>>> LiftedGroupByKey(
+    const InnerBag<std::pair<K, V>>& b, int64_t num_partitions = -1,
+    double group_expansion = 1.0) {
+  using TK = std::pair<Tag, K>;
+  auto rekeyed = engine::Map(
+      b.repr(), [](const std::pair<Tag, std::pair<K, V>>& p) {
+        return std::pair<TK, V>(TK(p.first, p.second.first), p.second.second);
+      });
+  auto grouped = engine::GroupByKey(rekeyed, num_partitions, group_expansion);
+  auto out = engine::Map(
+      grouped, [](const std::pair<TK, std::vector<V>>& p) {
+        return std::pair<Tag, std::pair<K, std::vector<V>>>(
+            p.first.first,
+            std::pair<K, std::vector<V>>(p.first.second, p.second));
+      });
+  return InnerBag<std::pair<K, std::vector<V>>>(b.ctx(), std::move(out));
+}
+
+}  // namespace matryoshka::core
+
+#endif  // MATRYOSHKA_CORE_INNER_BAG_H_

@@ -1,0 +1,89 @@
+#ifndef MATRYOSHKA_CORE_INNER_SCALAR_H_
+#define MATRYOSHKA_CORE_INNER_SCALAR_H_
+
+#include <type_traits>
+#include <utility>
+
+#include "core/lifting_context.h"
+#include "core/tag.h"
+#include "core/tag_join.h"
+#include "engine/bag.h"
+#include "engine/ops.h"
+
+namespace matryoshka::core {
+
+/// The lifted representation of a scalar variable inside a lifted UDF
+/// (Sec. 4.3). Where the original UDF held one value of type T per
+/// invocation, the InnerScalar holds the values of *all* invocations as a
+/// flat Bag[(Tag, T)], one element per tag.
+///
+/// Invariant: the tag is a unique key — each tag appears exactly once — and
+/// the set of tags equals the context's tag set. This uniqueness is what the
+/// optimizer exploits when sizing partitions and picking join algorithms.
+template <typename T>
+class InnerScalar {
+ public:
+  using Repr = engine::Bag<std::pair<Tag, T>>;
+
+  InnerScalar(LiftingContext ctx, Repr repr)
+      : ctx_(std::move(ctx)), repr_(std::move(repr)) {}
+
+  const LiftingContext& ctx() const { return ctx_; }
+  /// The flat bag representing this scalar: one (tag, value) pair per
+  /// original UDF invocation.
+  const Repr& repr() const { return repr_; }
+
+  /// Extracts the values, dropping tags.
+  engine::Bag<T> Flatten() const { return engine::Values(repr_); }
+
+ private:
+  LiftingContext ctx_;
+  Repr repr_;
+};
+
+/// Lifted version of `b = f(a)` where a and b are scalars (Sec. 4.3):
+/// applies f to the value of every tag. Resolved to
+/// s'.map((t,x) => (t,f(x))).
+template <typename T, typename F>
+auto UnaryScalarOp(const InnerScalar<T>& s, F f, double weight = 1.0)
+    -> InnerScalar<std::decay_t<decltype(f(std::declval<const T&>()))>> {
+  using U = std::decay_t<decltype(f(std::declval<const T&>()))>;
+  // Tags don't change: mapValues preserves any tag partitioning.
+  auto out = engine::MapValues(s.repr(), f, weight);
+  (void)static_cast<U*>(nullptr);
+  return InnerScalar<U>(s.ctx(), std::move(out));
+}
+
+/// Lifted version of `c = f(a, b)` where a, b, c are scalars (Sec. 4.3):
+/// brings together the two values belonging to the same original UDF
+/// invocation with an equi-join on the tag (physical join chosen by the
+/// optimizer), then applies f. Resolved to
+/// a'.join(b').map((t,(x,y)) => (t,f(x,y))).
+template <typename A, typename B, typename F>
+auto BinaryScalarOp(const InnerScalar<A>& a, const InnerScalar<B>& b, F f,
+                    double weight = 1.0)
+    -> InnerScalar<std::decay_t<
+        decltype(f(std::declval<const A&>(), std::declval<const B&>()))>> {
+  using C = std::decay_t<
+      decltype(f(std::declval<const A&>(), std::declval<const B&>()))>;
+  auto joined = TagJoin(a.ctx(), a.repr(), b.repr());
+  auto out = engine::MapValues(
+      joined,
+      [f](const std::pair<A, B>& p) { return f(p.first, p.second); }, weight);
+  (void)static_cast<C*>(nullptr);
+  return InnerScalar<C>(a.ctx(), std::move(out));
+}
+
+/// Lifts a plain driver-side constant into an InnerScalar holding that value
+/// for every tag (the lifted-UDF closure case of Sec. 5.2, scalar flavor).
+template <typename T>
+InnerScalar<T> LiftConstant(const LiftingContext& ctx, T value) {
+  auto out = engine::Map(ctx.tags(), [value](const Tag& t) {
+    return std::pair<Tag, T>(t, value);
+  });
+  return InnerScalar<T>(ctx, std::move(out));
+}
+
+}  // namespace matryoshka::core
+
+#endif  // MATRYOSHKA_CORE_INNER_SCALAR_H_

@@ -1,0 +1,65 @@
+#ifndef MATRYOSHKA_CORE_LIFTED_EXTRA_H_
+#define MATRYOSHKA_CORE_LIFTED_EXTRA_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "core/inner_bag.h"
+#include "core/inner_scalar.h"
+#include "engine/extra_ops.h"
+
+/// Lifted versions of the secondary engine operators (Sec. 4.4's recipe
+/// applied to the rest of the Bag API): stateless ones forward tags,
+/// set-like ones operate on the (tag, element) pairs so groups stay apart.
+namespace matryoshka::core {
+
+/// Lifted Bernoulli sample: samples every inner bag independently. The
+/// (tag, element) pair is what the sampler hashes, so the same element in
+/// two groups draws independently — exactly what per-group sampling means.
+template <typename E>
+InnerBag<E> LiftedSample(const InnerBag<E>& b, double fraction,
+                         uint64_t seed) {
+  return InnerBag<E>(b.ctx(), engine::Sample(b.repr(), fraction, seed));
+}
+
+/// Lifted multiset difference: per tag, the elements of `a`'s inner bag not
+/// occurring in `b`'s inner bag. Tags ride in the shuffled element, so the
+/// subtraction never leaks across groups.
+template <typename E>
+InnerBag<E> LiftedSubtract(const InnerBag<E>& a, const InnerBag<E>& b,
+                           int64_t num_partitions = -1) {
+  return InnerBag<E>(a.ctx(),
+                     engine::Subtract(a.repr(), b.repr(), num_partitions));
+}
+
+/// Lifted set intersection: per tag, the distinct elements on both sides.
+template <typename E>
+InnerBag<E> LiftedIntersection(const InnerBag<E>& a, const InnerBag<E>& b,
+                               int64_t num_partitions = -1) {
+  return InnerBag<E>(
+      a.ctx(), engine::Intersection(a.repr(), b.repr(), num_partitions));
+}
+
+/// Lifted generalized keyed aggregation: per (tag, key), folds values into
+/// an accumulator (composite-key rekeying like LiftedReduceByKey).
+template <typename K, typename V, typename A, typename Seq, typename Comb>
+InnerBag<std::pair<K, A>> LiftedAggregateByKey(
+    const InnerBag<std::pair<K, V>>& b, A zero, Seq seq, Comb comb,
+    double weight = 1.0, double result_scale = -1.0) {
+  using TK = std::pair<Tag, K>;
+  auto rekeyed = engine::Map(
+      b.repr(), [](const std::pair<Tag, std::pair<K, V>>& p) {
+        return std::pair<TK, V>(TK(p.first, p.second.first), p.second.second);
+      });
+  auto agg = engine::AggregateByKey(rekeyed, std::move(zero), seq, comb, -1,
+                                    weight, result_scale);
+  auto out = engine::Map(agg, [](const std::pair<TK, A>& p) {
+    return std::pair<Tag, std::pair<K, A>>(
+        p.first.first, std::pair<K, A>(p.first.second, p.second));
+  });
+  return InnerBag<std::pair<K, A>>(b.ctx(), std::move(out));
+}
+
+}  // namespace matryoshka::core
+
+#endif  // MATRYOSHKA_CORE_LIFTED_EXTRA_H_

@@ -1,0 +1,69 @@
+#ifndef MATRYOSHKA_CORE_LIFTING_CONTEXT_H_
+#define MATRYOSHKA_CORE_LIFTING_CONTEXT_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "core/optimizer.h"
+#include "core/tag.h"
+#include "engine/bag.h"
+#include "engine/cluster.h"
+
+namespace matryoshka::core {
+
+/// Per-lifted-UDF metadata (Sec. 8.1): the bag of tags identifying the
+/// original UDF invocations, their count (= the size of every InnerScalar
+/// inside this UDF), and the optimizer making physical choices for the
+/// lifted operations.
+///
+/// All InnerScalars inside one lifted UDF have exactly `num_tags` elements —
+/// tags are in one-to-one correspondence with the calls that would have been
+/// made to the original UDF — which is why this size is known *before* any
+/// lifted operation runs, enabling partition-count and join-strategy choices
+/// that a generic engine optimizer could not make (Sec. 8.2).
+///
+/// LiftingContext is a cheap value type (a shared bag handle plus a few
+/// scalars); primitives store copies. A lifted loop narrows the context each
+/// iteration as inner computations finish.
+class LiftingContext {
+ public:
+  LiftingContext(engine::Cluster* cluster, engine::Bag<Tag> tags,
+                 int64_t num_tags, OptimizerOptions options = {})
+      : cluster_(cluster),
+        tags_(std::move(tags)),
+        num_tags_(num_tags),
+        options_(options) {}
+
+  engine::Cluster* cluster() const { return cluster_; }
+  /// One element per original UDF invocation still alive in this context.
+  /// Needed by operations that must produce output for empty inner bags
+  /// (e.g. a lifted count must emit 0 for a group with no elements).
+  const engine::Bag<Tag>& tags() const { return tags_; }
+  int64_t num_tags() const { return num_tags_; }
+  const OptimizerOptions& options() const { return options_; }
+
+  Optimizer optimizer() const {
+    return Optimizer(&cluster_->config(), options_);
+  }
+
+  /// Partition count for InnerScalar-sized bags (Sec. 8.1).
+  int64_t ScalarPartitions() const {
+    return optimizer().ScalarPartitions(num_tags_);
+  }
+
+  /// A context over a subset of this context's tags (used by lifted control
+  /// flow, where finished loops / untaken branches drop out).
+  LiftingContext Narrowed(engine::Bag<Tag> tags, int64_t num_tags) const {
+    return LiftingContext(cluster_, std::move(tags), num_tags, options_);
+  }
+
+ private:
+  engine::Cluster* cluster_;
+  engine::Bag<Tag> tags_;
+  int64_t num_tags_;
+  OptimizerOptions options_;
+};
+
+}  // namespace matryoshka::core
+
+#endif  // MATRYOSHKA_CORE_LIFTING_CONTEXT_H_

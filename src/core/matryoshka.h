@@ -1,0 +1,30 @@
+#ifndef MATRYOSHKA_CORE_MATRYOSHKA_H_
+#define MATRYOSHKA_CORE_MATRYOSHKA_H_
+
+/// Umbrella header for the Matryoshka nested-parallelism library: the three
+/// nesting primitives (InnerScalar, InnerBag, NestedBag), lifted control
+/// flow, closure handling, and the lowering-phase optimizer, on top of the
+/// flat dataflow engine in engine/.
+///
+/// Quick orientation (paper section in parentheses):
+///  - GroupByKeyIntoNestedBag / LiftFlatBag enter the lifted world (4.5),
+///  - MapWithLiftedUdf runs a lifted UDF once over all groups (4.2),
+///  - UnaryScalarOp / BinaryScalarOp lift scalar computation (4.3),
+///  - LiftedMap / LiftedFilter / LiftedReduceByKey / LiftedCount / ... lift
+///    bag operations (4.4),
+///  - MapWithClosure / HalfLiftedMapWithClosure / HalfLiftedJoin handle
+///    closures (5),
+///  - LiftedWhile / LiftedIf lift control flow (6),
+///  - OptimizerOptions selects physical strategies at runtime (8).
+
+#include "core/closures.h"       // IWYU pragma: export
+#include "core/control_flow.h"   // IWYU pragma: export
+#include "core/inner_bag.h"      // IWYU pragma: export
+#include "core/inner_scalar.h"   // IWYU pragma: export
+#include "core/lifting_context.h"  // IWYU pragma: export
+#include "core/multi_level.h"    // IWYU pragma: export
+#include "core/nested_bag.h"     // IWYU pragma: export
+#include "core/optimizer.h"      // IWYU pragma: export
+#include "core/tag.h"            // IWYU pragma: export
+
+#endif  // MATRYOSHKA_CORE_MATRYOSHKA_H_

@@ -1,0 +1,101 @@
+#ifndef MATRYOSHKA_CORE_OPTIMIZER_H_
+#define MATRYOSHKA_CORE_OPTIMIZER_H_
+
+#include <cstdint>
+
+#include "engine/cluster.h"
+
+namespace matryoshka::core {
+
+/// Physical implementation of an equi-join between the flat bags that
+/// represent InnerBags / InnerScalars (Sec. 8.2).
+enum class JoinStrategy {
+  /// Decide at lowering time from InnerScalar sizes (the paper's optimizer).
+  kAuto,
+  /// Broadcast the (scalar) side, probe from the other side; no shuffle.
+  kBroadcast,
+  /// Hash-shuffle both sides on the tag.
+  kRepartition,
+};
+
+/// Physical implementation of a half-lifted MapWithClosure — a cross
+/// product between a plain bag (the primary input from outside the lifted
+/// UDF) and an InnerScalar (the closure from inside it) (Sec. 8.3).
+enum class CrossStrategy {
+  /// Decide at lowering time: broadcast the InnerScalar when it has a
+  /// single partition, otherwise broadcast whichever input is smaller per
+  /// the size estimator.
+  kAuto,
+  /// Always broadcast the bag representing the InnerScalar.
+  kBroadcastScalar,
+  /// Always broadcast the primary input bag.
+  kBroadcastPrimary,
+};
+
+/// Knobs controlling the lowering-phase optimizer. The defaults enable every
+/// optimization; benchmarks force individual strategies to reproduce the
+/// ablations of Fig. 8 and Sec. 9.6.
+struct OptimizerOptions {
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
+  CrossStrategy cross_strategy = CrossStrategy::kAuto;
+  /// Sec. 8.1: set the partition counts of InnerScalar-sized intermediates
+  /// from the known InnerScalar size instead of the engine default.
+  bool tune_partitions = true;
+};
+
+/// The lowering-phase optimizer (Sec. 8). Stateless: every decision is a
+/// pure function of the cluster shape, the options, and the runtime
+/// cardinalities tracked by the LiftingContext.
+class Optimizer {
+ public:
+  Optimizer(const engine::ClusterConfig* config, OptimizerOptions options)
+      : config_(config), options_(options) {}
+
+  const OptimizerOptions& options() const { return options_; }
+
+  /// Sec. 8.1: number of partitions for a bag whose size equals the
+  /// InnerScalar size (`num_tags` elements). Small InnerScalars get few
+  /// partitions so per-partition overhead does not dominate.
+  int64_t ScalarPartitions(int64_t num_tags) const {
+    if (!options_.tune_partitions) return config_->default_parallelism;
+    if (num_tags <= 0) return 1;
+    return num_tags < config_->default_parallelism
+               ? num_tags
+               : config_->default_parallelism;
+  }
+
+  /// Sec. 8.2: join between an InnerBag/InnerScalar and an InnerScalar of
+  /// `num_tags` elements. "We choose a repartition join when there are
+  /// enough elements in the InnerScalar to give work to all CPU cores.
+  /// Otherwise, we choose a broadcast join."
+  JoinStrategy ChooseJoin(int64_t num_tags) const {
+    if (options_.join_strategy != JoinStrategy::kAuto) {
+      return options_.join_strategy;
+    }
+    return num_tags >= config_->total_cores() ? JoinStrategy::kRepartition
+                                              : JoinStrategy::kBroadcast;
+  }
+
+  /// Sec. 8.3: which side of a half-lifted cross product to broadcast.
+  /// `scalar_partitions` is the partition count of the InnerScalar's bag;
+  /// byte sizes are real (scale-adjusted) estimates.
+  CrossStrategy ChooseCross(int64_t scalar_partitions, double scalar_bytes,
+                            double primary_bytes) const {
+    if (options_.cross_strategy != CrossStrategy::kAuto) {
+      return options_.cross_strategy;
+    }
+    // Single-partition InnerScalars are the common case (thanks to
+    // ScalarPartitions) and are quick to check — broadcast them.
+    if (scalar_partitions <= 1) return CrossStrategy::kBroadcastScalar;
+    return scalar_bytes <= primary_bytes ? CrossStrategy::kBroadcastScalar
+                                         : CrossStrategy::kBroadcastPrimary;
+  }
+
+ private:
+  const engine::ClusterConfig* config_;
+  OptimizerOptions options_;
+};
+
+}  // namespace matryoshka::core
+
+#endif  // MATRYOSHKA_CORE_OPTIMIZER_H_

@@ -1,0 +1,128 @@
+#ifndef MATRYOSHKA_CORE_TAG_H_
+#define MATRYOSHKA_CORE_TAG_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/sizing.h"
+
+namespace matryoshka::core {
+
+/// Identifier of one invocation of an original (unlifted) UDF.
+///
+/// Every element of the flat bag representing an InnerScalar or InnerBag
+/// carries a Tag saying which inner computation it belongs to (Sec. 4.3-4.4
+/// of the paper). For programs with more than two levels of parallelism the
+/// tag is *composite*: one component per surrounding lifted UDF (Sec. 7,
+/// "lifting tags for three or more levels are composed of one lifting tag
+/// for each outer level"). A depth-1 tag identifies an invocation at the
+/// second level, a depth-2 tag at the third level, and so on.
+///
+/// Tags are small PODs (trivially copyable, hashable, totally ordered) so
+/// they can be shuffled and used as composite join keys cheaply.
+class Tag {
+ public:
+  static constexpr uint32_t kMaxDepth = 4;
+
+  Tag() : depth_(0) {}
+
+  /// A depth-1 tag for top-level lifted UDF invocation `id`.
+  static Tag Root(uint64_t id) {
+    Tag t;
+    t.depth_ = 1;
+    t.ids_[0] = id;
+    return t;
+  }
+
+  /// Derives the tag of an invocation nested inside this one.
+  Tag Child(uint64_t id) const {
+    MATRYOSHKA_CHECK(depth_ < kMaxDepth) << "tag nesting deeper than "
+                                         << kMaxDepth << " levels";
+    Tag t = *this;
+    t.ids_[t.depth_++] = id;
+    return t;
+  }
+
+  /// The tag of the enclosing invocation (depth reduced by one).
+  Tag Parent() const {
+    MATRYOSHKA_CHECK(depth_ > 0);
+    Tag t = *this;
+    t.ids_[--t.depth_] = 0;
+    return t;
+  }
+
+  uint32_t depth() const { return depth_; }
+  uint64_t id_at(uint32_t level) const {
+    MATRYOSHKA_DCHECK(level < depth_);
+    return ids_[level];
+  }
+  /// The innermost id component.
+  uint64_t leaf_id() const {
+    MATRYOSHKA_CHECK(depth_ > 0);
+    return ids_[depth_ - 1];
+  }
+
+  friend bool operator==(const Tag& a, const Tag& b) {
+    if (a.depth_ != b.depth_) return false;
+    for (uint32_t i = 0; i < a.depth_; ++i) {
+      if (a.ids_[i] != b.ids_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const Tag& a, const Tag& b) { return !(a == b); }
+  friend bool operator<(const Tag& a, const Tag& b) {
+    if (a.depth_ != b.depth_) return a.depth_ < b.depth_;
+    for (uint32_t i = 0; i < a.depth_; ++i) {
+      if (a.ids_[i] != b.ids_[i]) return a.ids_[i] < b.ids_[i];
+    }
+    return false;
+  }
+
+  std::size_t HashValue() const {
+    std::size_t seed = depth_;
+    for (uint32_t i = 0; i < depth_; ++i) seed = HashCombine(seed, ids_[i]);
+    return seed;
+  }
+
+  std::string ToString() const {
+    std::string s = "[";
+    for (uint32_t i = 0; i < depth_; ++i) {
+      if (i > 0) s += ".";
+      s += std::to_string(ids_[i]);
+    }
+    s += "]";
+    return s;
+  }
+
+ private:
+  std::array<uint64_t, kMaxDepth> ids_{};
+  uint32_t depth_;
+};
+
+}  // namespace matryoshka::core
+
+namespace matryoshka::sizing_internal {
+// On the wire a tag is one 64-bit id per level (the in-memory struct is
+// padded to max depth, but shuffles/broadcasts move the serialized form).
+template <>
+struct Sizer<core::Tag> {
+  static std::size_t Of(const core::Tag& t) {
+    return sizeof(uint64_t) * std::max<uint32_t>(1, t.depth());
+  }
+};
+}  // namespace matryoshka::sizing_internal
+
+namespace std {
+template <>
+struct hash<matryoshka::core::Tag> {
+  std::size_t operator()(const matryoshka::core::Tag& t) const {
+    return t.HashValue();
+  }
+};
+}  // namespace std
+
+#endif  // MATRYOSHKA_CORE_TAG_H_

@@ -1,0 +1,37 @@
+#ifndef MATRYOSHKA_CORE_TAG_JOIN_H_
+#define MATRYOSHKA_CORE_TAG_JOIN_H_
+
+#include <utility>
+
+#include "core/lifting_context.h"
+#include "core/optimizer.h"
+#include "core/tag.h"
+#include "engine/join.h"
+
+namespace matryoshka::core {
+
+/// Equi-join on tags between the flat representations of two lifted values,
+/// with the physical implementation (broadcast vs. repartition, Sec. 8.2)
+/// chosen by the context's optimizer from the InnerScalar size — which is
+/// known *before* either input is computed, unlike what a generic engine
+/// optimizer sees. `right` is the InnerScalar-sized side (one element per
+/// tag); `left` may be InnerBag-sized.
+template <typename A, typename B>
+engine::Bag<std::pair<Tag, std::pair<A, B>>> TagJoin(
+    const LiftingContext& ctx, const engine::Bag<std::pair<Tag, A>>& left,
+    const engine::Bag<std::pair<Tag, B>>& right) {
+  if (ctx.optimizer().ChooseJoin(ctx.num_tags()) ==
+      JoinStrategy::kBroadcast) {
+    return engine::BroadcastJoin(left, right);
+  }
+  // A left side that is already tag-partitioned keeps its layout (pass -1 so
+  // the join adopts its partitioner); otherwise size the join for the
+  // InnerScalar cardinality (Sec. 8.1).
+  const int64_t parts =
+      left.key_partitions() > 0 ? -1 : ctx.ScalarPartitions();
+  return engine::RepartitionJoin(left, right, parts);
+}
+
+}  // namespace matryoshka::core
+
+#endif  // MATRYOSHKA_CORE_TAG_JOIN_H_

@@ -1,0 +1,166 @@
+#include "datagen/datagen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace matryoshka::datagen {
+
+std::vector<Visit> GenerateVisits(int64_t num_visits, int64_t num_days,
+                                  double zipf_s, double bounce_fraction,
+                                  uint64_t seed) {
+  MATRYOSHKA_CHECK(num_days >= 1);
+  Rng rng(seed);
+  ZipfSampler day_dist(static_cast<uint64_t>(num_days), zipf_s);
+  std::vector<Visit> visits;
+  visits.reserve(static_cast<std::size_t>(num_visits));
+  // Emit visitor "sessions": a fresh visitor on a day, visiting either one
+  // page (a bounce) or several. Visitor ids are made day-local by packing
+  // the day into the high bits.
+  int64_t next_visitor = 0;
+  while (static_cast<int64_t>(visits.size()) < num_visits) {
+    const int64_t day = static_cast<int64_t>(day_dist.Sample(rng));
+    const int64_t visitor = (day << 40) | (next_visitor++ & ((1LL << 40) - 1));
+    int64_t pages = 1;
+    if (rng.NextDouble() >= bounce_fraction) {
+      pages = 2 + static_cast<int64_t>(rng.Uniform(3));
+    }
+    for (int64_t p = 0;
+         p < pages && static_cast<int64_t>(visits.size()) < num_visits; ++p) {
+      visits.emplace_back(day, visitor);
+    }
+  }
+  return visits;
+}
+
+std::vector<std::pair<int64_t, Edge>> GenerateGroupedEdges(
+    int64_t num_edges, int64_t num_groups, int64_t vertices_per_group,
+    double zipf_s, uint64_t seed) {
+  MATRYOSHKA_CHECK(num_groups >= 1);
+  MATRYOSHKA_CHECK(vertices_per_group >= 2);
+  Rng rng(seed);
+  ZipfSampler group_dist(static_cast<uint64_t>(num_groups), zipf_s);
+  std::vector<std::pair<int64_t, Edge>> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges));
+  for (int64_t i = 0; i < num_edges; ++i) {
+    const int64_t g = static_cast<int64_t>(group_dist.Sample(rng));
+    const int64_t base = g * vertices_per_group;
+    Edge e;
+    e.src = base + static_cast<int64_t>(
+                       rng.Uniform(static_cast<uint64_t>(vertices_per_group)));
+    e.dst = base + static_cast<int64_t>(
+                       rng.Uniform(static_cast<uint64_t>(vertices_per_group)));
+    edges.emplace_back(g, e);
+  }
+  return edges;
+}
+
+std::vector<Edge> GenerateComponents(int64_t num_components,
+                                     int64_t vertices_per_component,
+                                     int64_t extra_edges_per_component,
+                                     uint64_t seed) {
+  MATRYOSHKA_CHECK(vertices_per_component >= 2);
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(
+      num_components * (vertices_per_component + extra_edges_per_component) *
+      2));
+  for (int64_t c = 0; c < num_components; ++c) {
+    const int64_t base = c * vertices_per_component;
+    // Connectivity backbone: a cycle.
+    for (int64_t v = 0; v < vertices_per_component; ++v) {
+      const int64_t a = base + v;
+      const int64_t b = base + (v + 1) % vertices_per_component;
+      edges.push_back(Edge{a, b});
+      edges.push_back(Edge{b, a});
+    }
+    for (int64_t i = 0; i < extra_edges_per_component; ++i) {
+      const int64_t a =
+          base + static_cast<int64_t>(
+                     rng.Uniform(static_cast<uint64_t>(vertices_per_component)));
+      const int64_t b =
+          base + static_cast<int64_t>(
+                     rng.Uniform(static_cast<uint64_t>(vertices_per_component)));
+      if (a == b) continue;
+      edges.push_back(Edge{a, b});
+      edges.push_back(Edge{b, a});
+    }
+  }
+  return edges;
+}
+
+namespace {
+
+Point SampleBlob(Rng& rng, const Point& center, double stddev) {
+  Point p;
+  for (std::size_t d = 0; d < p.size(); ++d) {
+    p[d] = center[d] + stddev * rng.NextGaussian();
+  }
+  return p;
+}
+
+Point RandomCenter(Rng& rng) {
+  Point c;
+  for (std::size_t d = 0; d < c.size(); ++d) {
+    c[d] = rng.NextDouble() * 100.0;
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<std::pair<int64_t, Point>> GenerateGroupedPoints(
+    int64_t num_points, int64_t num_groups, int64_t clusters_per_group,
+    uint64_t seed) {
+  MATRYOSHKA_CHECK(num_groups >= 1);
+  MATRYOSHKA_CHECK(clusters_per_group >= 1);
+  Rng rng(seed);
+  // Per-group blob centers.
+  std::vector<std::vector<Point>> centers(
+      static_cast<std::size_t>(num_groups));
+  for (auto& group_centers : centers) {
+    group_centers.reserve(static_cast<std::size_t>(clusters_per_group));
+    for (int64_t c = 0; c < clusters_per_group; ++c) {
+      group_centers.push_back(RandomCenter(rng));
+    }
+  }
+  std::vector<std::pair<int64_t, Point>> points;
+  points.reserve(static_cast<std::size_t>(num_points));
+  for (int64_t i = 0; i < num_points; ++i) {
+    const int64_t g =
+        static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(num_groups)));
+    const auto& group_centers = centers[static_cast<std::size_t>(g)];
+    const auto& center =
+        group_centers[rng.Uniform(group_centers.size())];
+    points.emplace_back(g, SampleBlob(rng, center, 2.5));
+  }
+  return points;
+}
+
+std::vector<Point> GeneratePoints(int64_t num_points, int64_t num_clusters,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> centers;
+  centers.reserve(static_cast<std::size_t>(num_clusters));
+  for (int64_t c = 0; c < num_clusters; ++c) {
+    centers.push_back(RandomCenter(rng));
+  }
+  std::vector<Point> points;
+  points.reserve(static_cast<std::size_t>(num_points));
+  for (int64_t i = 0; i < num_points; ++i) {
+    points.push_back(
+        SampleBlob(rng, centers[rng.Uniform(centers.size())], 2.5));
+  }
+  return points;
+}
+
+Means GenerateInitialMeans(int64_t k, uint64_t seed) {
+  Rng rng(seed);
+  Means means;
+  means.reserve(static_cast<std::size_t>(k));
+  for (int64_t i = 0; i < k; ++i) means.push_back(RandomCenter(rng));
+  return means;
+}
+
+}  // namespace matryoshka::datagen

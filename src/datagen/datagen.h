@@ -1,0 +1,92 @@
+#ifndef MATRYOSHKA_DATAGEN_DATAGEN_H_
+#define MATRYOSHKA_DATAGEN_DATAGEN_H_
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace matryoshka::datagen {
+
+/// A page-visit event: (day, visitor IP). The bounce-rate task groups these
+/// by day (Sec. 2.1).
+using Visit = std::pair<int64_t, int64_t>;
+
+/// A directed edge of a grouped graph.
+struct Edge {
+  int64_t src = 0;
+  int64_t dst = 0;
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst;
+  }
+  friend bool operator<(const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  }
+};
+
+/// A point for K-means. Fixed dimensionality keeps elements trivially
+/// copyable (cheap to shuffle and size-estimate).
+using Point = std::array<double, 2>;
+/// One K-means model: the current centroids.
+using Means = std::vector<Point>;
+
+/// Page-visit log generator for the bounce-rate task.
+///
+/// Produces `num_visits` events over `num_days` days. Day keys are drawn
+/// uniformly when `zipf_s == 0`, else Zipf(zipf_s) (the skew experiment of
+/// Sec. 9.5 draws grouping keys from a Zipf distribution). Visitors are
+/// day-local; roughly `bounce_fraction` of them visit exactly one page, the
+/// rest visit 2-4 pages, so every day has a meaningful bounce rate.
+std::vector<Visit> GenerateVisits(int64_t num_visits, int64_t num_days,
+                                  double zipf_s, double bounce_fraction,
+                                  uint64_t seed);
+
+/// Grouped random graphs for per-group PageRank (Sec. 9.1 groups the edges
+/// of the input graph and computes a separate PageRank per group).
+///
+/// Produces `num_edges` edges over `num_groups` groups; group keys uniform
+/// or Zipf(zipf_s). Each group g has its own vertex space of
+/// `vertices_per_group` ids (globally disjoint across groups); edges pick
+/// src/dst uniformly in the group's space. Note: with Zipf group keys, big
+/// groups get more *edges* over the same vertex count (denser graphs).
+std::vector<std::pair<int64_t, Edge>> GenerateGroupedEdges(
+    int64_t num_edges, int64_t num_groups, int64_t vertices_per_group,
+    double zipf_s, uint64_t seed);
+
+/// A flat undirected graph made of `num_components` disjoint random
+/// connected subgraphs (for connected components + average distances,
+/// Sec. 2.2). Each component is a cycle (guaranteeing connectivity) of
+/// `vertices_per_component` vertices plus `extra_edges_per_component`
+/// random chords. Both edge directions are emitted.
+std::vector<Edge> GenerateComponents(int64_t num_components,
+                                     int64_t vertices_per_component,
+                                     int64_t extra_edges_per_component,
+                                     uint64_t seed);
+
+/// Points for grouped K-means: `num_points` points spread over `num_groups`
+/// groups (keys uniform), each group sampling from its own mixture of
+/// `clusters_per_group` Gaussian blobs.
+std::vector<std::pair<int64_t, Point>> GenerateGroupedPoints(
+    int64_t num_points, int64_t num_groups, int64_t clusters_per_group,
+    uint64_t seed);
+
+/// Points for hyperparameter-mode K-means: one shared point set.
+std::vector<Point> GeneratePoints(int64_t num_points, int64_t num_clusters,
+                                  uint64_t seed);
+
+/// `k` random initial centroids in the data range, seeded per run so
+/// different hyperparameter configurations differ deterministically.
+Means GenerateInitialMeans(int64_t k, uint64_t seed);
+
+}  // namespace matryoshka::datagen
+
+namespace std {
+template <>
+struct hash<matryoshka::datagen::Edge> {
+  std::size_t operator()(const matryoshka::datagen::Edge& e) const {
+    return std::hash<int64_t>{}(e.src * 1000003 + e.dst);
+  }
+};
+}  // namespace std
+
+#endif  // MATRYOSHKA_DATAGEN_DATAGEN_H_

@@ -1,0 +1,147 @@
+#ifndef MATRYOSHKA_ENGINE_BAG_H_
+#define MATRYOSHKA_ENGINE_BAG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/sizing.h"
+#include "engine/cluster.h"
+
+namespace matryoshka::engine {
+
+/// An immutable, partitioned, unordered collection — the engine's dataset
+/// abstraction (the paper's Bag; an RDD in Spark terms).
+///
+/// A Bag is a cheap handle: copies share the underlying partitions. All
+/// operators live in ops.h as free functions; a Bag only carries data, its
+/// partitioning, its Cluster, and its `scale`.
+///
+/// `scale` is the cost-model magnification: how many "real" elements each
+/// synthetic element stands for. Freshly loaded data gets
+/// ClusterConfig::data_scale; element-wise operators propagate the scale;
+/// operators that collapse to a fixed key space (per-tag aggregates, the
+/// bags representing InnerScalars) produce scale-1 bags because their
+/// synthetic cardinality equals the real one. All time/network/memory
+/// charges multiply element counts and byte estimates by the bag's scale.
+template <typename T>
+class Bag {
+ public:
+  using Element = T;
+  using Partitions = std::vector<std::vector<T>>;
+
+  /// An empty bag with zero partitions (the result of operators that ran
+  /// after the cluster entered a failed state).
+  explicit Bag(Cluster* cluster)
+      : cluster_(cluster), parts_(std::make_shared<const Partitions>()) {}
+
+  Bag(Cluster* cluster, Partitions parts, double scale = 1.0,
+      int64_t key_partitions = 0)
+      : cluster_(cluster),
+        parts_(std::make_shared<const Partitions>(std::move(parts))),
+        scale_(scale),
+        key_partitions_(key_partitions) {}
+
+  Cluster* cluster() const { return cluster_; }
+  const Partitions& partitions() const { return *parts_; }
+  int64_t num_partitions() const {
+    return static_cast<int64_t>(parts_->size());
+  }
+
+  /// Real elements represented by one synthetic element (see class comment).
+  double scale() const { return scale_; }
+
+  /// Non-zero iff this bag of pairs is hash-partitioned on `.first` into
+  /// exactly this many partitions (the engine's Partitioner metadata, like
+  /// Spark's). Keyed wide operators whose partition count matches skip the
+  /// network shuffle; mapValues/filter-style operators preserve it, while
+  /// key-changing maps clear it.
+  int64_t key_partitions() const { return key_partitions_; }
+
+  /// Total number of synthetic elements. Pure metadata access — does NOT
+  /// model a count() action (see ops.h Count for the job-charging version).
+  int64_t Size() const {
+    int64_t n = 0;
+    for (const auto& p : *parts_) n += static_cast<int64_t>(p.size());
+    return n;
+  }
+
+  /// Real element count under the cost model.
+  double RealSize() const { return static_cast<double>(Size()) * scale_; }
+
+  /// All elements concatenated, for tests and driver-side logic. Does not
+  /// charge the cost model (see ops.h Collect for the action).
+  std::vector<T> ToVector() const {
+    std::vector<T> out;
+    out.reserve(static_cast<std::size_t>(Size()));
+    for (const auto& p : *parts_) out.insert(out.end(), p.begin(), p.end());
+    return out;
+  }
+
+ private:
+  Cluster* cluster_;
+  std::shared_ptr<const Partitions> parts_;
+  double scale_ = 1.0;
+  int64_t key_partitions_ = 0;
+};
+
+/// Creates a bag on `cluster` by splitting `data` round-robin into
+/// `num_partitions` partitions (cluster default parallelism if <= 0). The
+/// bag's scale defaults to ClusterConfig::data_scale; pass an explicit
+/// `scale` for driver-side collections whose synthetic cardinality is the
+/// real one (e.g. the bag of hyperparameter configurations: scale 1).
+template <typename T>
+Bag<T> Parallelize(Cluster* cluster, std::vector<T> data,
+                   int64_t num_partitions = -1, double scale = -1.0) {
+  MATRYOSHKA_CHECK(cluster != nullptr);
+  if (num_partitions <= 0) {
+    num_partitions = cluster->config().default_parallelism;
+  }
+  if (scale < 0) scale = cluster->config().data_scale;
+  num_partitions = std::max<int64_t>(1, num_partitions);
+  typename Bag<T>::Partitions parts(static_cast<std::size_t>(num_partitions));
+  const std::size_t n = data.size();
+  // Contiguous chunks, like reading consecutive blocks of a file: locality
+  // in the generated data (e.g. the visits of one session) stays within a
+  // partition, which is what makes map-side combining effective on real
+  // inputs.
+  const std::size_t per = (n + num_partitions - 1) / num_partitions;
+  std::size_t next = 0;
+  for (auto& p : parts) {
+    const std::size_t end = std::min(n, next + per);
+    p.reserve(end - next);
+    for (; next < end; ++next) p.push_back(std::move(data[next]));
+  }
+  return Bag<T>(cluster, std::move(parts), scale);
+}
+
+/// Estimates the *synthetic* bytes held by a bag by sampling up to
+/// `sample_per_partition` elements per partition and extrapolating.
+/// Multiply by bag.scale() for the real footprint (RealBagBytes).
+template <typename T>
+double EstimateBagBytes(const Bag<T>& bag, int sample_per_partition = 64) {
+  double total = 0.0;
+  for (const auto& part : bag.partitions()) {
+    if (part.empty()) continue;
+    const std::size_t sample =
+        std::min<std::size_t>(part.size(),
+                              static_cast<std::size_t>(sample_per_partition));
+    std::size_t bytes = 0;
+    for (std::size_t i = 0; i < sample; ++i) bytes += EstimateSize(part[i]);
+    total += static_cast<double>(bytes) / static_cast<double>(sample) *
+             static_cast<double>(part.size());
+  }
+  return total;
+}
+
+/// The bag's estimated real in-memory footprint under the cost model.
+template <typename T>
+double RealBagBytes(const Bag<T>& bag) {
+  return EstimateBagBytes(bag) * bag.scale();
+}
+
+}  // namespace matryoshka::engine
+
+#endif  // MATRYOSHKA_ENGINE_BAG_H_

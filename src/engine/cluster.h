@@ -1,0 +1,179 @@
+#ifndef MATRYOSHKA_ENGINE_CLUSTER_H_
+#define MATRYOSHKA_ENGINE_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace matryoshka::engine {
+
+/// Static description of the (simulated) cluster a program runs on, plus the
+/// calibration constants of the cost model.
+///
+/// The engine *really executes* every operator on in-process data, but
+/// reports time on a deterministic simulated clock driven by these constants.
+/// Defaults model the paper's evaluation cluster (Sec. 9.1): 25 machines,
+/// 2 x 8-core CPUs, 22 GB usable memory for Spark per machine, 1 Gb network.
+///
+/// Data in this repository is scaled down by ~3 orders of magnitude relative
+/// to the paper's runs; `data_scale` lets a benchmark declare how many
+/// "real" elements one synthetic element stands for, so memory pressure and
+/// compute/overhead ratios match the paper's regime.
+struct ClusterConfig {
+  int num_machines = 25;
+  int cores_per_machine = 16;
+  /// Memory usable by the engine per machine, in (simulated) bytes.
+  double memory_per_machine_bytes = 22.0 * (1ULL << 30);
+
+  /// Fixed cost of launching one job (driver -> scheduler round trip, task
+  /// serialization, ...). The paper's inner-parallel workaround pays this per
+  /// inner computation per action.
+  double job_launch_overhead_s = 0.1;
+  /// Per-task scheduling/launch/teardown cost.
+  double task_overhead_s = 0.004;
+  /// CPU cost per real element per operator pass.
+  double per_element_cost_s = 100e-9;
+  /// Aggregate network bandwidth per machine (1 Gb/s by default).
+  double network_bytes_per_s = 125e6;
+
+  /// Spark-style parallelism default: number of partitions produced by wide
+  /// operators when the caller does not override it. The paper sets it to
+  /// 3x the total core count.
+  int default_parallelism = 3 * 25 * 16;
+
+  /// Fraction of machine memory available to a single wide operator's
+  /// build/aggregation structures before it starts spilling to disk
+  /// (Spark's shuffle/execution memory fraction).
+  double execution_memory_fraction = 0.15;
+  /// JVM-style object overhead multiplier applied to wide operators'
+  /// working sets when checking the execution-memory budget (boxed keys,
+  /// hash-table load factors).
+  double memory_object_overhead = 3.0;
+  /// Time multiplier applied to the portion of a wide operator's input that
+  /// exceeds the execution memory and must be spilled and re-read.
+  double spill_penalty = 4.0;
+
+  /// How many "real" elements one synthetic element of a freshly loaded
+  /// dataset stands for (Parallelize stamps it onto new bags). Every bag
+  /// carries its own scale from there on: cardinality-preserving operators
+  /// propagate it, while key-collapsing operators (aggregation to a fixed
+  /// key space, the tag-sized InnerScalar bags) produce scale-1 bags whose
+  /// synthetic cardinality IS the real cardinality. All compute, network,
+  /// and memory accounting multiplies by the bag's scale.
+  double data_scale = 1.0;
+
+  /// If true, partition tasks run on a thread pool; results are identical,
+  /// only real (not simulated) run time changes.
+  bool execute_parallel = false;
+
+  int total_cores() const { return num_machines * cores_per_machine; }
+  /// Memory budget of one task slot (machine memory divided across the
+  /// concurrently running tasks of that machine).
+  double task_memory_budget() const {
+    return memory_per_machine_bytes / cores_per_machine;
+  }
+};
+
+/// Counters and the simulated clock accumulated over a program run.
+struct Metrics {
+  double simulated_time_s = 0.0;
+  int64_t jobs = 0;
+  int64_t stages = 0;
+  int64_t tasks = 0;
+  int64_t elements_processed = 0;
+  double shuffle_bytes = 0.0;
+  double broadcast_bytes = 0.0;
+  double spilled_bytes = 0.0;
+  int64_t spill_events = 0;
+  double peak_task_bytes = 0.0;
+  double peak_machine_bytes = 0.0;
+};
+
+/// Execution context shared by every Bag of one program run: cost-model
+/// accounting, sticky error status, and the optional real thread pool.
+///
+/// Error handling is sticky, Arrow-builder style: the first failure (e.g. a
+/// simulated out-of-memory) is recorded, subsequent operators become no-ops
+/// producing empty results, and the caller checks `status()` once at the end
+/// of the program.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterConfig& config() const { return config_; }
+  const Metrics& metrics() const { return metrics_; }
+  Metrics& mutable_metrics() { return metrics_; }
+
+  /// Sticky program status. Operators early-out once this is non-OK.
+  const Status& status() const { return status_; }
+  bool ok() const { return status_.ok(); }
+  /// Records the first failure; later calls keep the original status.
+  void Fail(Status status);
+  /// Clears status and metrics (fresh run on the same cluster).
+  void Reset();
+
+  // --- Cost-model accounting (called by operators) ---
+
+  /// Marks the start of a dataflow job (an *action* in Spark terms) and
+  /// charges the job-launch overhead.
+  void BeginJob(const std::string& label);
+
+  /// Charges one stage whose tasks have the given per-task costs (seconds of
+  /// single-core work each, already including any UDF weight). Simulates
+  /// greedy list scheduling of the tasks onto the cluster's core slots and
+  /// advances the clock by task overheads plus the resulting makespan.
+  void AccrueStage(const std::vector<double>& task_costs_s);
+
+  /// Convenience: a stage of `num_tasks` tasks uniformly covering
+  /// `total_elements` real elements with `cost_weight` weight each.
+  void AccrueUniformStage(int64_t num_tasks, double total_elements,
+                          double cost_weight);
+
+  /// Charges moving `bytes` (real, i.e. already multiplied by the source
+  /// bag's scale) across the shuffle: each machine sends/receives its share
+  /// at the configured bandwidth.
+  void AccrueShuffle(double bytes);
+
+  /// Charges collecting `bytes` (real) to the driver and re-distributing
+  /// them to every machine. Fails with OutOfMemory if the broadcast data
+  /// does not fit into a single machine's memory.
+  void AccrueBroadcast(double bytes);
+
+  /// Verifies that one task holding `bytes` of live data (real bytes, e.g.
+  /// one materialized group in a groupByKey times the workload's expansion
+  /// factor) fits into a task slot's memory budget; fails with OutOfMemory
+  /// otherwise.
+  void CheckTaskMemory(double bytes, const std::string& what);
+
+  /// Accounts a wide operator's per-machine working set (real bytes): if it
+  /// exceeds the execution-memory budget the exceeding fraction is charged
+  /// the spill penalty. Returns the time multiplier (>= 1) the caller
+  /// applies to the stage compute cost.
+  double SpillFactor(double per_machine_bytes);
+
+  /// Seconds of single-core compute for `n` real elements at weight `w`.
+  double ComputeCost(double n, double w) const {
+    return n * config_.per_element_cost_s * w;
+  }
+
+  /// Thread pool for real parallel execution, or nullptr when disabled.
+  ThreadPool* pool() { return pool_.get(); }
+
+ private:
+  ClusterConfig config_;
+  Metrics metrics_;
+  Status status_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace matryoshka::engine
+
+#endif  // MATRYOSHKA_ENGINE_CLUSTER_H_

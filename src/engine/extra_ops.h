@@ -1,0 +1,171 @@
+#ifndef MATRYOSHKA_ENGINE_EXTRA_OPS_H_
+#define MATRYOSHKA_ENGINE_EXTRA_OPS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "engine/bag.h"
+#include "engine/join.h"
+#include "engine/ops.h"
+#include "engine/shuffle.h"
+
+/// Secondary operators of the flat engine, rounding out the RDD-style API:
+/// sampling (the paper's Sec. 2.3 mentions sampling-based hyperparameter
+/// techniques that vary sample sizes), multiset difference/intersection,
+/// generalized keyed aggregation, and a top-k action.
+namespace matryoshka::engine {
+
+/// Bernoulli sample: keeps each element independently with probability
+/// `fraction`, deterministically derived from (seed, element hash, position)
+/// so re-evaluation is stable. Narrow; preserves scale (a real engine's
+/// sample of the real data keeps fraction * real elements).
+template <typename T>
+Bag<T> Sample(const Bag<T>& bag, double fraction, uint64_t seed) {
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return Bag<T>(c);
+  internal::ChargeScanStage(bag, 0.25);
+  const auto threshold = static_cast<uint64_t>(
+      fraction >= 1.0 ? ~uint64_t{0}
+                      : fraction * static_cast<double>(~uint64_t{0}));
+  typename Bag<T>::Partitions out(bag.partitions().size());
+  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
+    uint64_t pos = i * 0x9e3779b97f4a7c15ULL;
+    for (const auto& x : bag.partitions()[i]) {
+      pos += 0x2545f4914f6cdd1dULL;
+      const uint64_t r = Mix64(seed ^ pos ^ Hasher{}(x));
+      if (r <= threshold) out[i].push_back(x);
+    }
+  });
+  return Bag<T>(c, std::move(out), bag.scale(), bag.key_partitions());
+}
+
+/// Multiset difference with set semantics on the right (Spark's subtract):
+/// keeps the elements of `a` that do not occur in `b` at all. Shuffles both
+/// sides by element hash.
+template <typename T>
+Bag<T> Subtract(const Bag<T>& a, const Bag<T>& b,
+                int64_t num_partitions = -1) {
+  MATRYOSHKA_CHECK(a.cluster() == b.cluster());
+  Cluster* c = a.cluster();
+  if (!c->ok()) return Bag<T>(c);
+  const int64_t parts = internal::ResolveParallelism(c, num_partitions);
+  auto as = internal::ShuffleBy(
+      a, parts, [&](const T& x) { return internal::PartitionOfKey(x, parts); },
+      0.25);
+  auto bs = internal::ShuffleBy(
+      b, parts, [&](const T& x) { return internal::PartitionOfKey(x, parts); },
+      0.25);
+  std::vector<double> costs(static_cast<std::size_t>(parts));
+  for (int64_t i = 0; i < parts; ++i) {
+    costs[static_cast<std::size_t>(i)] =
+        c->ComputeCost(static_cast<double>(as[i].size()) * a.scale() +
+                           static_cast<double>(bs[i].size()) * b.scale(),
+                       0.5);
+  }
+  c->AccrueStage(costs);
+  typename Bag<T>::Partitions out(static_cast<std::size_t>(parts));
+  ParallelFor(c->pool(), static_cast<std::size_t>(parts), [&](std::size_t i) {
+    std::unordered_set<T, Hasher> exclude(bs[i].begin(), bs[i].end());
+    for (const auto& x : as[i]) {
+      if (!exclude.count(x)) out[i].push_back(x);
+    }
+  });
+  return Bag<T>(c, std::move(out), a.scale());
+}
+
+/// Set intersection (deduplicated, like Spark's intersection): the distinct
+/// elements occurring on both sides.
+template <typename T>
+Bag<T> Intersection(const Bag<T>& a, const Bag<T>& b,
+                    int64_t num_partitions = -1) {
+  MATRYOSHKA_CHECK(a.cluster() == b.cluster());
+  Cluster* c = a.cluster();
+  if (!c->ok()) return Bag<T>(c);
+  const int64_t parts = internal::ResolveParallelism(c, num_partitions);
+  auto as = internal::ShuffleBy(
+      a, parts, [&](const T& x) { return internal::PartitionOfKey(x, parts); },
+      0.25);
+  auto bs = internal::ShuffleBy(
+      b, parts, [&](const T& x) { return internal::PartitionOfKey(x, parts); },
+      0.25);
+  std::vector<double> costs(static_cast<std::size_t>(parts));
+  for (int64_t i = 0; i < parts; ++i) {
+    costs[static_cast<std::size_t>(i)] =
+        c->ComputeCost(static_cast<double>(as[i].size()) * a.scale() +
+                           static_cast<double>(bs[i].size()) * b.scale(),
+                       0.5);
+  }
+  c->AccrueStage(costs);
+  typename Bag<T>::Partitions out(static_cast<std::size_t>(parts));
+  ParallelFor(c->pool(), static_cast<std::size_t>(parts), [&](std::size_t i) {
+    std::unordered_set<T, Hasher> right(bs[i].begin(), bs[i].end());
+    std::unordered_set<T, Hasher> seen;
+    for (const auto& x : as[i]) {
+      if (right.count(x) && seen.insert(x).second) out[i].push_back(x);
+    }
+  });
+  return Bag<T>(c, std::move(out), std::min(a.scale(), b.scale()));
+}
+
+/// Generalized keyed aggregation (Spark's aggregateByKey): folds each key's
+/// values into an accumulator of a different type. `seq(acc, v)` absorbs a
+/// value; `comb(acc, acc)` merges partial accumulators across partitions.
+/// Map-side combining applies, like ReduceByKey; see shuffle.h for
+/// `result_scale`.
+template <typename K, typename V, typename A, typename Seq, typename Comb>
+Bag<std::pair<K, A>> AggregateByKey(const Bag<std::pair<K, V>>& bag, A zero,
+                                    Seq seq, Comb comb,
+                                    int64_t num_partitions = -1,
+                                    double weight = 1.0,
+                                    double result_scale = -1.0) {
+  // Absorb values into accumulators map-side, then merge accumulators with
+  // an ordinary ReduceByKey.
+  auto partials = MapPartitions(
+      bag,
+      [zero, seq](const std::vector<std::pair<K, V>>& part) {
+        std::unordered_map<K, A, Hasher> acc;
+        acc.reserve(part.size());
+        for (const auto& [k, v] : part) {
+          auto [it, inserted] = acc.try_emplace(k, zero);
+          it->second = seq(it->second, v);
+        }
+        std::vector<std::pair<K, A>> out;
+        out.reserve(acc.size());
+        for (auto& [k, a] : acc) out.emplace_back(k, std::move(a));
+        return out;
+      },
+      weight);
+  return ReduceByKey(partials, comb, num_partitions, weight, result_scale);
+}
+
+/// The k smallest elements under `cmp` (an action; k is expected to be
+/// driver-sized). Deterministic: ties are broken by comparison order after
+/// a full sort of the per-partition winners.
+template <typename T, typename Cmp>
+std::vector<T> TopK(const Bag<T>& bag, std::size_t k, Cmp cmp) {
+  Cluster* c = bag.cluster();
+  if (!c->ok() || k == 0) return {};
+  c->BeginJob("top");
+  internal::ChargeScanStage(bag, 0.5);
+  std::vector<T> heap;
+  for (const auto& part : bag.partitions()) {
+    for (const auto& x : part) {
+      heap.push_back(x);
+      std::push_heap(heap.begin(), heap.end(), cmp);
+      if (heap.size() > k) {
+        std::pop_heap(heap.begin(), heap.end(), cmp);
+        heap.pop_back();
+      }
+    }
+  }
+  std::sort(heap.begin(), heap.end(), cmp);
+  return heap;
+}
+
+}  // namespace matryoshka::engine
+
+#endif  // MATRYOSHKA_ENGINE_EXTRA_OPS_H_

@@ -1,0 +1,281 @@
+#ifndef MATRYOSHKA_ENGINE_JOIN_H_
+#define MATRYOSHKA_ENGINE_JOIN_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "engine/bag.h"
+#include "engine/shuffle.h"
+
+/// Binary operators of the flat engine: equi-joins (repartition and
+/// broadcast physical implementations — Sec. 8.2 of the paper chooses
+/// between these two at runtime), cogroup, and cartesian product.
+///
+/// Scale semantics: join outputs take the larger input scale (the join of a
+/// data-sized bag with a key-unique, scale-1 side — the common tag join —
+/// has data-sized output); Cartesian multiplies the scales.
+namespace matryoshka::engine {
+
+namespace internal {
+
+/// Join partition-count resolution, Spark-style: an explicit request wins;
+/// otherwise adopt the partitioner of an already-key-partitioned input
+/// (left side preferred), else the engine default.
+template <typename L, typename R>
+int64_t ResolveJoinParallelism(Cluster* c, int64_t requested, const Bag<L>& l,
+                               const Bag<R>& r) {
+  if (requested > 0) return requested;
+  if (l.key_partitions() > 0) return l.key_partitions();
+  if (r.key_partitions() > 0) return r.key_partitions();
+  return c->config().default_parallelism;
+}
+
+/// Shuffles one join input onto `parts` key partitions, or reuses its
+/// existing layout (charging only the scan, no network) when it is already
+/// co-partitioned.
+template <typename K, typename V>
+typename Bag<std::pair<K, V>>::Partitions JoinSide(
+    const Bag<std::pair<K, V>>& side, int64_t parts) {
+  if (AlreadyKeyPartitioned(side, parts)) {
+    ChargeScanStage(side, 0.25);
+    return side.partitions();
+  }
+  return ShuffleBy(
+      side, parts,
+      [&](const std::pair<K, V>& x) { return PartitionOfKey(x.first, parts); },
+      0.25);
+}
+
+}  // namespace internal
+
+/// Inner equi-join by shuffling both sides on the key, then hash-joining
+/// each co-partition (build side = right). Inputs already partitioned on
+/// the key with a matching partition count are not re-shuffled.
+template <typename K, typename V, typename W>
+Bag<std::pair<K, std::pair<V, W>>> RepartitionJoin(
+    const Bag<std::pair<K, V>>& left, const Bag<std::pair<K, W>>& right,
+    int64_t num_partitions = -1) {
+  using Out = std::pair<K, std::pair<V, W>>;
+  MATRYOSHKA_CHECK(left.cluster() == right.cluster());
+  Cluster* c = left.cluster();
+  if (!c->ok()) return Bag<Out>(c);
+  const int64_t parts =
+      internal::ResolveJoinParallelism(c, num_partitions, left, right);
+  const double out_scale = std::max(left.scale(), right.scale());
+
+  auto ls = internal::JoinSide(left, parts);
+  auto rs = internal::JoinSide(right, parts);
+  const double build_bytes =
+      RealBagBytes(right) / static_cast<double>(c->config().num_machines);
+  const double spill = c->SpillFactor(build_bytes);
+
+  std::vector<double> costs(static_cast<std::size_t>(parts));
+  for (int64_t i = 0; i < parts; ++i) {
+    costs[static_cast<std::size_t>(i)] =
+        spill * c->ComputeCost(static_cast<double>(ls[i].size()) *
+                                       left.scale() +
+                                   static_cast<double>(rs[i].size()) *
+                                       right.scale(),
+                               1.0);
+  }
+  c->AccrueStage(costs);
+
+  typename Bag<Out>::Partitions out(static_cast<std::size_t>(parts));
+  ParallelFor(c->pool(), static_cast<std::size_t>(parts), [&](std::size_t i) {
+    std::unordered_map<K, std::vector<W>, Hasher> build;
+    for (const auto& [k, w] : rs[i]) build[k].push_back(w);
+    for (const auto& [k, v] : ls[i]) {
+      auto it = build.find(k);
+      if (it == build.end()) continue;
+      for (const auto& w : it->second) {
+        out[i].emplace_back(k, std::pair<V, W>(v, w));
+      }
+    }
+  });
+  return Bag<Out>(c, std::move(out), out_scale, parts);
+}
+
+/// Inner equi-join that broadcasts the (small) right side to every machine
+/// and probes it from the left side without any shuffle. Fails with
+/// OutOfMemory when the broadcast build table does not fit on one machine.
+template <typename K, typename V, typename W>
+Bag<std::pair<K, std::pair<V, W>>> BroadcastJoin(
+    const Bag<std::pair<K, V>>& left, const Bag<std::pair<K, W>>& right) {
+  using Out = std::pair<K, std::pair<V, W>>;
+  MATRYOSHKA_CHECK(left.cluster() == right.cluster());
+  Cluster* c = left.cluster();
+  if (!c->ok()) return Bag<Out>(c);
+  const double out_scale = std::max(left.scale(), right.scale());
+
+  // Hash tables over the broadcast data cost noticeably more than the raw
+  // payload; 2x is a conservative stand-in for JVM object overhead.
+  c->AccrueBroadcast(RealBagBytes(right) * 2.0);
+  if (!c->ok()) return Bag<Out>(c);
+
+  std::unordered_map<K, std::vector<W>, Hasher> build;
+  for (const auto& part : right.partitions()) {
+    for (const auto& [k, w] : part) build[k].push_back(w);
+  }
+  // Every probe task pays for building its hash table over the broadcast
+  // data (Spark deserializes the broadcast per executor): charge the probe
+  // scan plus a per-task build of right.RealSize() elements.
+  {
+    std::vector<double> costs = internal::ScanCosts(left, 1.0);
+    const double build_cost = c->ComputeCost(right.RealSize(), 1.0);
+    for (auto& cost : costs) cost += build_cost;
+    c->mutable_metrics().elements_processed +=
+        static_cast<int64_t>(left.RealSize());
+    c->AccrueStage(costs);
+  }
+  typename Bag<Out>::Partitions out(left.partitions().size());
+  ParallelFor(c->pool(), left.partitions().size(), [&](std::size_t i) {
+    for (const auto& [k, v] : left.partitions()[i]) {
+      auto it = build.find(k);
+      if (it == build.end()) continue;
+      for (const auto& w : it->second) {
+        out[i].emplace_back(k, std::pair<V, W>(v, w));
+      }
+    }
+  });
+  // A broadcast join is map-side: the left layout (and partitioner) stays.
+  return Bag<Out>(c, std::move(out), out_scale, left.key_partitions());
+}
+
+/// Left outer equi-join (repartition implementation): every left element
+/// appears once per matching right element, or once with nullopt when the
+/// key has no match. Used by lifted count/aggregations to produce results
+/// for empty inner bags (Sec. 4.4).
+template <typename K, typename V, typename W>
+Bag<std::pair<K, std::pair<V, std::optional<W>>>> LeftOuterJoin(
+    const Bag<std::pair<K, V>>& left, const Bag<std::pair<K, W>>& right,
+    int64_t num_partitions = -1) {
+  using Out = std::pair<K, std::pair<V, std::optional<W>>>;
+  MATRYOSHKA_CHECK(left.cluster() == right.cluster());
+  Cluster* c = left.cluster();
+  if (!c->ok()) return Bag<Out>(c);
+  const int64_t parts =
+      internal::ResolveJoinParallelism(c, num_partitions, left, right);
+  const double out_scale = std::max(left.scale(), right.scale());
+
+  auto ls = internal::JoinSide(left, parts);
+  auto rs = internal::JoinSide(right, parts);
+  std::vector<double> costs(static_cast<std::size_t>(parts));
+  for (int64_t i = 0; i < parts; ++i) {
+    costs[static_cast<std::size_t>(i)] = c->ComputeCost(
+        static_cast<double>(ls[i].size()) * left.scale() +
+            static_cast<double>(rs[i].size()) * right.scale(),
+        1.0);
+  }
+  c->AccrueStage(costs);
+
+  typename Bag<Out>::Partitions out(static_cast<std::size_t>(parts));
+  ParallelFor(c->pool(), static_cast<std::size_t>(parts), [&](std::size_t i) {
+    std::unordered_map<K, std::vector<W>, Hasher> build;
+    for (const auto& [k, w] : rs[i]) build[k].push_back(w);
+    for (const auto& [k, v] : ls[i]) {
+      auto it = build.find(k);
+      if (it == build.end()) {
+        out[i].emplace_back(k, std::pair<V, std::optional<W>>(v, std::nullopt));
+      } else {
+        for (const auto& w : it->second) {
+          out[i].emplace_back(k, std::pair<V, std::optional<W>>(v, w));
+        }
+      }
+    }
+  });
+  return Bag<Out>(c, std::move(out), out_scale, parts);
+}
+
+/// Full cogroup: for every key present on either side, the pair of value
+/// lists. Groups materialize per task, so the same memory check as
+/// GroupByKey applies.
+template <typename K, typename V, typename W>
+Bag<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
+    const Bag<std::pair<K, V>>& left, const Bag<std::pair<K, W>>& right,
+    int64_t num_partitions = -1) {
+  using Out = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
+  MATRYOSHKA_CHECK(left.cluster() == right.cluster());
+  Cluster* c = left.cluster();
+  if (!c->ok()) return Bag<Out>(c);
+  const int64_t parts =
+      internal::ResolveJoinParallelism(c, num_partitions, left, right);
+  const double out_scale = std::max(left.scale(), right.scale());
+
+  auto ls = internal::JoinSide(left, parts);
+  auto rs = internal::JoinSide(right, parts);
+  std::vector<double> costs(static_cast<std::size_t>(parts));
+  for (int64_t i = 0; i < parts; ++i) {
+    costs[static_cast<std::size_t>(i)] = c->ComputeCost(
+        static_cast<double>(ls[i].size()) * left.scale() +
+            static_cast<double>(rs[i].size()) * right.scale(),
+        0.5);
+  }
+  c->AccrueStage(costs);
+
+  typename Bag<Out>::Partitions out(static_cast<std::size_t>(parts));
+  double max_group_bytes = 0.0;
+  for (int64_t i = 0; i < parts; ++i) {
+    std::unordered_map<K, std::pair<std::vector<V>, std::vector<W>>, Hasher>
+        groups;
+    for (auto& [k, v] : ls[i]) groups[k].first.push_back(std::move(v));
+    for (auto& [k, w] : rs[i]) groups[k].second.push_back(std::move(w));
+    auto& part = out[static_cast<std::size_t>(i)];
+    part.reserve(groups.size());
+    for (auto& [k, g] : groups) {
+      double bytes = static_cast<double>(sizeof(Out));
+      if (!g.first.empty()) {
+        bytes += EstimateSize(g.first.front()) *
+                 static_cast<double>(g.first.size()) * left.scale();
+      }
+      if (!g.second.empty()) {
+        bytes += EstimateSize(g.second.front()) *
+                 static_cast<double>(g.second.size()) * right.scale();
+      }
+      max_group_bytes = std::max(max_group_bytes, bytes);
+      part.emplace_back(k, std::move(g));
+    }
+  }
+  c->CheckTaskMemory(max_group_bytes, "cogroup");
+  if (!c->ok()) return Bag<Out>(c);
+  return Bag<Out>(c, std::move(out), out_scale, parts);
+}
+
+/// Cartesian product, implemented by broadcasting the right side (which
+/// must therefore fit on one machine). The output scale is the product of
+/// the input scales (|L_real| x |R_real| pairs).
+template <typename A, typename B>
+Bag<std::pair<A, B>> Cartesian(const Bag<A>& left, const Bag<B>& right) {
+  using Out = std::pair<A, B>;
+  MATRYOSHKA_CHECK(left.cluster() == right.cluster());
+  Cluster* c = left.cluster();
+  if (!c->ok()) return Bag<Out>(c);
+  const double out_scale = left.scale() * right.scale();
+  c->AccrueBroadcast(RealBagBytes(right));
+  if (!c->ok()) return Bag<Out>(c);
+
+  std::vector<B> rhs = right.ToVector();
+  std::vector<double> costs;
+  costs.reserve(left.partitions().size());
+  for (const auto& part : left.partitions()) {
+    costs.push_back(c->ComputeCost(
+        static_cast<double>(part.size() * rhs.size()) * out_scale, 0.5));
+  }
+  c->AccrueStage(costs);
+
+  typename Bag<Out>::Partitions out(left.partitions().size());
+  ParallelFor(c->pool(), left.partitions().size(), [&](std::size_t i) {
+    out[i].reserve(left.partitions()[i].size() * rhs.size());
+    for (const auto& a : left.partitions()[i]) {
+      for (const auto& b : rhs) out[i].emplace_back(a, b);
+    }
+  });
+  return Bag<Out>(c, std::move(out), out_scale);
+}
+
+}  // namespace matryoshka::engine
+
+#endif  // MATRYOSHKA_ENGINE_JOIN_H_

@@ -1,0 +1,288 @@
+#ifndef MATRYOSHKA_ENGINE_OPS_H_
+#define MATRYOSHKA_ENGINE_OPS_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "engine/bag.h"
+#include "engine/cluster.h"
+
+/// Narrow (pipelined) transformations and actions of the flat dataflow
+/// engine. Wide (shuffling) operators live in shuffle.h and join.h.
+///
+/// Conventions shared by every operator:
+///  - `weight` is the relative CPU cost of the operator's UDF per element
+///    (1.0 = a trivial projection). The cost model charges
+///    synthetic_elements * bag.scale() * per_element_cost * weight.
+///  - Element-wise operators propagate the input bag's scale to the output.
+///  - Operators are no-ops returning empty results once the owning cluster
+///    is in a failed state (sticky status; check cluster->status() at the
+///    end of a program).
+///  - Actions (Count, Collect, Reduce, NotEmpty, ...) charge one job-launch
+///    overhead, mirroring Spark where every action triggers a job.
+namespace matryoshka::engine {
+
+namespace internal {
+
+/// Per-task costs of scanning each partition once at the given UDF weight.
+template <typename T>
+std::vector<double> ScanCosts(const Bag<T>& bag, double weight) {
+  std::vector<double> costs;
+  costs.reserve(static_cast<std::size_t>(bag.num_partitions()));
+  for (const auto& part : bag.partitions()) {
+    costs.push_back(bag.cluster()->ComputeCost(
+        static_cast<double>(part.size()) * bag.scale(), weight));
+  }
+  return costs;
+}
+
+template <typename T>
+void ChargeScanStage(const Bag<T>& bag, double weight) {
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return;
+  c->mutable_metrics().elements_processed +=
+      static_cast<int64_t>(bag.RealSize());
+  c->AccrueStage(ScanCosts(bag, weight));
+}
+
+}  // namespace internal
+
+/// Applies `f` to every element. f: T -> U.
+template <typename T, typename F>
+auto Map(const Bag<T>& bag, F f, double weight = 1.0)
+    -> Bag<std::decay_t<decltype(f(std::declval<const T&>()))>> {
+  using U = std::decay_t<decltype(f(std::declval<const T&>()))>;
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return Bag<U>(c);
+  internal::ChargeScanStage(bag, weight);
+  typename Bag<U>::Partitions out(bag.partitions().size());
+  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
+    const auto& part = bag.partitions()[i];
+    out[i].reserve(part.size());
+    for (const auto& x : part) out[i].push_back(f(x));
+  });
+  return Bag<U>(c, std::move(out), bag.scale());
+}
+
+/// Keeps the elements for which `pred` returns true.
+template <typename T, typename P>
+Bag<T> Filter(const Bag<T>& bag, P pred, double weight = 1.0) {
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return Bag<T>(c);
+  internal::ChargeScanStage(bag, weight);
+  typename Bag<T>::Partitions out(bag.partitions().size());
+  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
+    for (const auto& x : bag.partitions()[i]) {
+      if (pred(x)) out[i].push_back(x);
+    }
+  });
+  // Filtering never moves elements: key partitioning survives.
+  return Bag<T>(c, std::move(out), bag.scale(), bag.key_partitions());
+}
+
+/// Applies `f` to every element and concatenates the results.
+/// f: T -> iterable of U.
+template <typename T, typename F>
+auto FlatMap(const Bag<T>& bag, F f, double weight = 1.0)
+    -> Bag<std::decay_t<decltype(*std::begin(f(std::declval<const T&>())))>> {
+  using U = std::decay_t<decltype(*std::begin(f(std::declval<const T&>())))>;
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return Bag<U>(c);
+  internal::ChargeScanStage(bag, weight);
+  typename Bag<U>::Partitions out(bag.partitions().size());
+  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
+    for (const auto& x : bag.partitions()[i]) {
+      for (auto&& y : f(x)) out[i].push_back(std::move(y));
+    }
+  });
+  return Bag<U>(c, std::move(out), bag.scale());
+}
+
+/// Transforms whole partitions. f: const std::vector<T>& -> std::vector<U>.
+template <typename T, typename F>
+auto MapPartitions(const Bag<T>& bag, F f, double weight = 1.0)
+    -> Bag<typename std::decay_t<
+        decltype(f(std::declval<const std::vector<T>&>()))>::value_type> {
+  using U = typename std::decay_t<
+      decltype(f(std::declval<const std::vector<T>&>()))>::value_type;
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return Bag<U>(c);
+  internal::ChargeScanStage(bag, weight);
+  typename Bag<U>::Partitions out(bag.partitions().size());
+  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
+    out[i] = f(bag.partitions()[i]);
+  });
+  return Bag<U>(c, std::move(out), bag.scale());
+}
+
+/// First components of a bag of pairs.
+template <typename K, typename V>
+Bag<K> Keys(const Bag<std::pair<K, V>>& bag) {
+  return Map(bag, [](const std::pair<K, V>& p) { return p.first; });
+}
+
+/// Second components of a bag of pairs.
+template <typename K, typename V>
+Bag<V> Values(const Bag<std::pair<K, V>>& bag) {
+  return Map(bag, [](const std::pair<K, V>& p) { return p.second; });
+}
+
+/// Applies `f` to the value of every pair, keeping keys, and — since keys
+/// do not change — preserving the bag's key partitioning (Spark's
+/// mapValues-with-preservesPartitioning).
+template <typename K, typename V, typename F>
+auto MapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0)
+    -> Bag<std::pair<K, std::decay_t<decltype(f(std::declval<const V&>()))>>> {
+  using W = std::decay_t<decltype(f(std::declval<const V&>()))>;
+  using Out = std::pair<K, W>;
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return Bag<Out>(c);
+  internal::ChargeScanStage(bag, weight);
+  typename Bag<Out>::Partitions out(bag.partitions().size());
+  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
+    const auto& part = bag.partitions()[i];
+    out[i].reserve(part.size());
+    for (const auto& [k, v] : part) out[i].emplace_back(k, f(v));
+  });
+  return Bag<Out>(c, std::move(out), bag.scale(), bag.key_partitions());
+}
+
+/// Applies `f` to the value of every pair and emits one output pair per
+/// produced value, under the same key; preserves key partitioning.
+/// f: V -> iterable of W.
+template <typename K, typename V, typename F>
+auto FlatMapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0)
+    -> Bag<std::pair<
+        K, std::decay_t<decltype(*std::begin(f(std::declval<const V&>())))>>> {
+  using W = std::decay_t<decltype(*std::begin(f(std::declval<const V&>())))>;
+  using Out = std::pair<K, W>;
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return Bag<Out>(c);
+  internal::ChargeScanStage(bag, weight);
+  typename Bag<Out>::Partitions out(bag.partitions().size());
+  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
+    for (const auto& [k, v] : bag.partitions()[i]) {
+      for (auto&& w : f(v)) out[i].emplace_back(k, std::move(w));
+    }
+  });
+  return Bag<Out>(c, std::move(out), bag.scale(), bag.key_partitions());
+}
+
+/// Bag union (multiset semantics, like Spark's union): concatenates the two
+/// bags' partition lists. Metadata-only; free in the cost model. The result
+/// takes the larger scale (unioning bags of different scales is rare and
+/// the bigger side dominates the cost model). When both inputs share the
+/// same key partitioning, partitions are merged pairwise so the result
+/// stays co-partitioned (a zipPartitions-style union).
+template <typename T>
+Bag<T> Union(const Bag<T>& a, const Bag<T>& b) {
+  MATRYOSHKA_CHECK(a.cluster() == b.cluster());
+  Cluster* c = a.cluster();
+  if (!c->ok()) return Bag<T>(c);
+  const double scale = std::max(a.scale(), b.scale());
+  if (a.key_partitions() > 0 && a.key_partitions() == b.key_partitions() &&
+      a.num_partitions() == b.num_partitions()) {
+    typename Bag<T>::Partitions out = a.partitions();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i].insert(out[i].end(), b.partitions()[i].begin(),
+                    b.partitions()[i].end());
+    }
+    return Bag<T>(c, std::move(out), scale, a.key_partitions());
+  }
+  typename Bag<T>::Partitions out = a.partitions();
+  for (const auto& p : b.partitions()) out.push_back(p);
+  return Bag<T>(c, std::move(out), scale);
+}
+
+/// Pairs every element with a unique 64-bit id (narrow: ids are formed from
+/// the partition index and the offset within the partition, like Spark's
+/// zipWithUniqueId).
+template <typename T>
+Bag<std::pair<uint64_t, T>> ZipWithUniqueId(const Bag<T>& bag) {
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return Bag<std::pair<uint64_t, T>>(c);
+  internal::ChargeScanStage(bag, 1.0);
+  const uint64_t stride =
+      static_cast<uint64_t>(std::max<int64_t>(1, bag.num_partitions()));
+  typename Bag<std::pair<uint64_t, T>>::Partitions out(bag.partitions().size());
+  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
+    const auto& part = bag.partitions()[i];
+    out[i].reserve(part.size());
+    for (std::size_t j = 0; j < part.size(); ++j) {
+      out[i].emplace_back(static_cast<uint64_t>(j) * stride + i, part[j]);
+    }
+  });
+  return Bag<std::pair<uint64_t, T>>(c, std::move(out), bag.scale());
+}
+
+// --- Actions ---
+
+/// Number of synthetic elements. Charges a job plus a scan.
+template <typename T>
+int64_t Count(const Bag<T>& bag) {
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return 0;
+  c->BeginJob("count");
+  internal::ChargeScanStage(bag, 0.25);
+  return bag.Size();
+}
+
+/// True iff the bag has at least one element. Charges a job plus a scan
+/// (used by lifted loops to test their exit condition, Listing 4 line 9).
+template <typename T>
+bool NotEmpty(const Bag<T>& bag) {
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return false;
+  c->BeginJob("notEmpty");
+  internal::ChargeScanStage(bag, 0.05);
+  return bag.Size() > 0;
+}
+
+/// Folds all elements with the associative, commutative `f`; nullopt for an
+/// empty bag. Charges a job plus a scan.
+template <typename T, typename F>
+std::optional<T> Reduce(const Bag<T>& bag, F f, double weight = 1.0) {
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return std::nullopt;
+  c->BeginJob("reduce");
+  internal::ChargeScanStage(bag, weight);
+  std::optional<T> acc;
+  for (const auto& part : bag.partitions()) {
+    for (const auto& x : part) {
+      if (!acc.has_value()) {
+        acc = x;
+      } else {
+        acc = f(*acc, x);
+      }
+    }
+  }
+  return acc;
+}
+
+/// Materializes the bag at the driver. Charges a job, a scan, and the
+/// network transfer to the driver; fails the cluster with OutOfMemory if the
+/// data does not fit into one machine.
+template <typename T>
+std::vector<T> Collect(const Bag<T>& bag) {
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return {};
+  c->BeginJob("collect");
+  internal::ChargeScanStage(bag, 0.25);
+  const double bytes = RealBagBytes(bag);
+  if (bytes > c->config().memory_per_machine_bytes) {
+    c->Fail(Status::OutOfMemory("collect result does not fit on the driver"));
+    return {};
+  }
+  c->mutable_metrics().simulated_time_s +=
+      bytes / c->config().network_bytes_per_s;
+  return bag.ToVector();
+}
+
+}  // namespace matryoshka::engine
+
+#endif  // MATRYOSHKA_ENGINE_OPS_H_

@@ -1,0 +1,305 @@
+#ifndef MATRYOSHKA_ENGINE_SHUFFLE_H_
+#define MATRYOSHKA_ENGINE_SHUFFLE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "engine/bag.h"
+#include "engine/ops.h"
+
+/// Wide (shuffling) operators: repartitioning, keyed aggregation, grouping,
+/// and duplicate elimination. Joins live in join.h.
+///
+/// Scale semantics: repartitioning keeps the input scale. Aggregating
+/// operators (ReduceByKey, Distinct) take an optional `result_scale`: by
+/// default the input scale is kept (right when the key space scales with
+/// the data, e.g. visitor IPs); pass an explicit value — typically 1.0 or
+/// the tag bag's scale — when the operator collapses onto a fixed key space
+/// (e.g. per-(run, centroid) aggregates in lifted K-means), so the tiny
+/// combined intermediate is not billed as if it were data-sized.
+namespace matryoshka::engine {
+
+namespace internal {
+
+inline int64_t ResolveParallelism(Cluster* c, int64_t requested) {
+  return requested > 0 ? requested : c->config().default_parallelism;
+}
+
+inline double ResolveScale(double requested, double input_scale) {
+  return requested >= 0 ? requested : input_scale;
+}
+
+/// True when a keyed bag is already hash-partitioned on its key into
+/// exactly `parts` partitions — the shuffle is then a no-op on the network.
+template <typename T>
+bool AlreadyKeyPartitioned(const Bag<T>& bag, int64_t parts) {
+  return bag.key_partitions() == parts && bag.num_partitions() == parts;
+}
+
+/// Redistributes elements into `num_parts` partitions by `part_of(elem)`.
+/// Charges the map-side scan and the network shuffle, not the reduce side.
+template <typename T, typename PartOf>
+typename Bag<T>::Partitions ShuffleBy(const Bag<T>& bag, int64_t num_parts,
+                                      PartOf part_of, double map_weight) {
+  Cluster* c = bag.cluster();
+  typename Bag<T>::Partitions out(static_cast<std::size_t>(num_parts));
+  if (!c->ok()) return out;
+  ChargeScanStage(bag, map_weight);
+  c->AccrueShuffle(RealBagBytes(bag));
+  for (const auto& part : bag.partitions()) {
+    for (const auto& x : part) {
+      out[part_of(x)].push_back(x);
+    }
+  }
+  return out;
+}
+
+template <typename K>
+std::size_t PartitionOfKey(const K& key, int64_t num_parts) {
+  return static_cast<std::size_t>(Hasher{}(key) %
+                                  static_cast<uint64_t>(num_parts));
+}
+
+/// Per-task costs of processing already-shuffled reduce-side partitions at
+/// the given scale.
+template <typename T>
+std::vector<double> PartitionCosts(
+    Cluster* c, const std::vector<std::vector<T>>& parts, double weight,
+    double scale) {
+  std::vector<double> costs;
+  costs.reserve(parts.size());
+  for (const auto& p : parts) {
+    costs.push_back(
+        c->ComputeCost(static_cast<double>(p.size()) * scale, weight));
+  }
+  return costs;
+}
+
+}  // namespace internal
+
+/// Redistributes the bag into `num_partitions` hash partitions (by element
+/// hash). A full shuffle.
+template <typename T>
+Bag<T> Repartition(const Bag<T>& bag, int64_t num_partitions = -1) {
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return Bag<T>(c);
+  const int64_t parts = internal::ResolveParallelism(c, num_partitions);
+  auto out = internal::ShuffleBy(
+      bag, parts,
+      [&](const T& x) { return internal::PartitionOfKey(x, parts); }, 0.25);
+  c->AccrueStage(internal::PartitionCosts(c, out, 0.1, bag.scale()));
+  return Bag<T>(c, std::move(out), bag.scale());
+}
+
+/// Redistributes a bag of pairs so all elements of one key share a
+/// partition. A full shuffle.
+template <typename K, typename V>
+Bag<std::pair<K, V>> PartitionByKey(const Bag<std::pair<K, V>>& bag,
+                                    int64_t num_partitions = -1) {
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return Bag<std::pair<K, V>>(c);
+  const int64_t parts = internal::ResolveParallelism(c, num_partitions);
+  if (internal::AlreadyKeyPartitioned(bag, parts)) return bag;
+  auto out = internal::ShuffleBy(
+      bag, parts,
+      [&](const std::pair<K, V>& x) {
+        return internal::PartitionOfKey(x.first, parts);
+      },
+      0.25);
+  c->AccrueStage(internal::PartitionCosts(c, out, 0.1, bag.scale()));
+  return Bag<std::pair<K, V>>(c, std::move(out), bag.scale(), parts);
+}
+
+/// Merges the values of each key with the associative, commutative `f`.
+///
+/// Does map-side combining (like Spark's reduceByKey): only one combined
+/// value per (partition, key) crosses the shuffle, so memory on the reduce
+/// side is bounded by the number of distinct keys, not the input size.
+/// See the header comment for `result_scale`.
+template <typename K, typename V, typename F>
+Bag<std::pair<K, V>> ReduceByKey(const Bag<std::pair<K, V>>& bag, F f,
+                                 int64_t num_partitions = -1,
+                                 double weight = 1.0,
+                                 double result_scale = -1.0) {
+  using KV = std::pair<K, V>;
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return Bag<KV>(c);
+  const int64_t parts = internal::ResolveParallelism(c, num_partitions);
+  const double out_scale = internal::ResolveScale(result_scale, bag.scale());
+
+  if (internal::AlreadyKeyPartitioned(bag, parts)) {
+    // Co-partitioned input: the whole reduction is map-side; no shuffle.
+    internal::ChargeScanStage(bag, weight);
+    typename Bag<KV>::Partitions out(bag.partitions().size());
+    ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
+      std::unordered_map<K, V, Hasher> acc;
+      acc.reserve(bag.partitions()[i].size());
+      for (const auto& [k, v] : bag.partitions()[i]) {
+        auto [it, inserted] = acc.try_emplace(k, v);
+        if (!inserted) it->second = f(it->second, v);
+      }
+      out[i].reserve(acc.size());
+      for (auto& [k, v] : acc) out[i].emplace_back(k, std::move(v));
+    });
+    return Bag<KV>(c, std::move(out), out_scale, parts);
+  }
+
+  // Map side: per-partition combine at the input scale.
+  internal::ChargeScanStage(bag, weight);
+  typename Bag<KV>::Partitions combined(bag.partitions().size());
+  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
+    std::unordered_map<K, V, Hasher> acc;
+    acc.reserve(bag.partitions()[i].size());
+    for (const auto& [k, v] : bag.partitions()[i]) {
+      auto [it, inserted] = acc.try_emplace(k, v);
+      if (!inserted) it->second = f(it->second, v);
+    }
+    combined[i].reserve(acc.size());
+    for (auto& [k, v] : acc) combined[i].emplace_back(k, std::move(v));
+  });
+  // The combined intermediate lives at the RESULT scale: when the key space
+  // is fixed, combining saturates in the real run just as it does here.
+  Bag<KV> combined_bag(c, std::move(combined), out_scale);
+
+  // Shuffle the combined data, then reduce-side merge.
+  c->AccrueShuffle(RealBagBytes(combined_bag));
+  typename Bag<KV>::Partitions shuffled(static_cast<std::size_t>(parts));
+  for (const auto& part : combined_bag.partitions()) {
+    for (const auto& kv : part) {
+      shuffled[internal::PartitionOfKey(kv.first, parts)].push_back(kv);
+    }
+  }
+  const double spill =
+      c->SpillFactor(RealBagBytes(combined_bag) /
+                     static_cast<double>(c->config().num_machines));
+  auto costs = internal::PartitionCosts(c, shuffled, weight, out_scale);
+  for (auto& cost : costs) cost *= spill;
+  c->AccrueStage(costs);
+
+  typename Bag<KV>::Partitions out(static_cast<std::size_t>(parts));
+  ParallelFor(c->pool(), shuffled.size(), [&](std::size_t i) {
+    std::unordered_map<K, V, Hasher> acc;
+    for (const auto& [k, v] : shuffled[i]) {
+      auto [it, inserted] = acc.try_emplace(k, v);
+      if (!inserted) it->second = f(it->second, v);
+    }
+    out[i].reserve(acc.size());
+    for (auto& [k, v] : acc) out[i].emplace_back(k, std::move(v));
+  });
+  return Bag<KV>(c, std::move(out), out_scale, parts);
+}
+
+/// Collects all values of each key into one in-memory group
+/// (Bag[(K, Array[V])] in the paper's notation).
+///
+/// No map-side combining is possible, so the *whole group* must materialize
+/// inside a single reduce task: the cost model checks every group (scaled by
+/// `group_expansion`, the working-set multiplier of whatever will process
+/// the group in the same task) against the per-task memory budget and fails
+/// with OutOfMemory when one does not fit. This is precisely the mechanism
+/// that breaks the outer-parallel workaround on big or skewed groups.
+///
+/// The output bag keeps the input scale: group *contents* scale with the
+/// data even though the number of groups usually does not.
+template <typename K, typename V>
+Bag<std::pair<K, std::vector<V>>> GroupByKey(const Bag<std::pair<K, V>>& bag,
+                                             int64_t num_partitions = -1,
+                                             double group_expansion = 1.0) {
+  using KG = std::pair<K, std::vector<V>>;
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return Bag<KG>(c);
+  const int64_t parts = internal::ResolveParallelism(c, num_partitions);
+  auto shuffled = internal::ShuffleBy(
+      bag, parts,
+      [&](const std::pair<K, V>& x) {
+        return internal::PartitionOfKey(x.first, parts);
+      },
+      0.25);
+  const double spill = c->SpillFactor(
+      RealBagBytes(bag) / static_cast<double>(c->config().num_machines));
+  auto costs = internal::PartitionCosts(c, shuffled, 0.5, bag.scale());
+  for (auto& cost : costs) cost *= spill;
+  c->AccrueStage(costs);
+
+  typename Bag<KG>::Partitions out(static_cast<std::size_t>(parts));
+  double max_group_bytes = 0.0;
+  for (std::size_t i = 0; i < shuffled.size(); ++i) {
+    std::unordered_map<K, std::vector<V>, Hasher> groups;
+    for (auto& [k, v] : shuffled[i]) {
+      groups[k].push_back(std::move(v));
+    }
+    out[i].reserve(groups.size());
+    for (auto& [k, vs] : groups) {
+      // Sample-estimate the group footprint.
+      double bytes = static_cast<double>(sizeof(KG));
+      if (!vs.empty()) {
+        bytes += EstimateSize(vs.front()) * static_cast<double>(vs.size());
+      }
+      max_group_bytes = std::max(max_group_bytes, bytes);
+      out[i].emplace_back(k, std::move(vs));
+    }
+  }
+  c->CheckTaskMemory(max_group_bytes * bag.scale() * group_expansion,
+                     "groupByKey");
+  if (!c->ok()) return Bag<KG>(c);
+  return Bag<KG>(c, std::move(out), bag.scale(), parts);
+}
+
+/// Removes duplicate elements (shuffle by element, then per-partition
+/// dedup). Requires std::hash-able, equality-comparable elements. See the
+/// header comment for `result_scale` (e.g. 1.0 when deduplicating onto a
+/// fixed key space such as the grouping keys of an experiment's x-axis).
+template <typename T>
+Bag<T> Distinct(const Bag<T>& bag, int64_t num_partitions = -1,
+                double result_scale = -1.0) {
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return Bag<T>(c);
+  const int64_t parts = internal::ResolveParallelism(c, num_partitions);
+  const double out_scale = internal::ResolveScale(result_scale, bag.scale());
+
+  // Map-side pre-dedup keeps the shuffle volume at one copy per distinct
+  // value per partition (Spark implements distinct via reduceByKey).
+  internal::ChargeScanStage(bag, 0.5);
+  typename Bag<T>::Partitions pre(bag.partitions().size());
+  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
+    std::unordered_set<T, Hasher> seen;
+    seen.reserve(bag.partitions()[i].size());
+    for (const auto& x : bag.partitions()[i]) {
+      if (seen.insert(x).second) pre[i].push_back(x);
+    }
+  });
+  Bag<T> pre_bag(c, std::move(pre), out_scale);
+
+  c->AccrueShuffle(RealBagBytes(pre_bag));
+  typename Bag<T>::Partitions shuffled(static_cast<std::size_t>(parts));
+  for (const auto& part : pre_bag.partitions()) {
+    for (const auto& x : part) {
+      shuffled[internal::PartitionOfKey(x, parts)].push_back(x);
+    }
+  }
+  const double spill =
+      c->SpillFactor(RealBagBytes(pre_bag) /
+                     static_cast<double>(c->config().num_machines));
+  auto costs = internal::PartitionCosts(c, shuffled, 0.5, out_scale);
+  for (auto& cost : costs) cost *= spill;
+  c->AccrueStage(costs);
+
+  typename Bag<T>::Partitions out(static_cast<std::size_t>(parts));
+  ParallelFor(c->pool(), shuffled.size(), [&](std::size_t i) {
+    std::unordered_set<T, Hasher> seen;
+    seen.reserve(shuffled[i].size());
+    for (const auto& x : shuffled[i]) {
+      if (seen.insert(x).second) out[i].push_back(x);
+    }
+  });
+  return Bag<T>(c, std::move(out), out_scale);
+}
+
+}  // namespace matryoshka::engine
+
+#endif  // MATRYOSHKA_ENGINE_SHUFFLE_H_

@@ -1,0 +1,333 @@
+#include "lang/expr.h"
+
+#include <sstream>
+
+namespace matryoshka::lang {
+
+namespace {
+
+std::shared_ptr<Expr> New(ExprKind kind) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  return e;
+}
+
+const char* KindName(ExprKind k) {
+  switch (k) {
+    case ExprKind::kSource:
+      return "source";
+    case ExprKind::kVar:
+      return "var";
+    case ExprKind::kConst:
+      return "const";
+    case ExprKind::kTupleMake:
+      return "tuple";
+    case ExprKind::kTupleField:
+      return "field";
+    case ExprKind::kBinOp:
+      return "binop";
+    case ExprKind::kMap:
+      return "map";
+    case ExprKind::kFilter:
+      return "filter";
+    case ExprKind::kFlatMap:
+      return "flatMap";
+    case ExprKind::kReduceByKey:
+      return "reduceByKey";
+    case ExprKind::kGroupByKey:
+      return "groupByKey";
+    case ExprKind::kDistinct:
+      return "distinct";
+    case ExprKind::kCount:
+      return "count";
+    case ExprKind::kUnion:
+      return "union";
+    case ExprKind::kWhile:
+      return "while";
+    case ExprKind::kLiftedWhile:
+      return "liftedWhile";
+    case ExprKind::kIf:
+      return "if";
+    case ExprKind::kLiftedIf:
+      return "liftedIf";
+    case ExprKind::kGroupByKeyIntoNestedBag:
+      return "groupByKeyIntoNestedBag";
+    case ExprKind::kMapWithLiftedUdf:
+      return "mapWithLiftedUDF";
+    case ExprKind::kLiftedMap:
+      return "liftedMap";
+    case ExprKind::kLiftedFilter:
+      return "liftedFilter";
+    case ExprKind::kLiftedFlatMap:
+      return "liftedFlatMap";
+    case ExprKind::kLiftedReduceByKey:
+      return "liftedReduceByKey";
+    case ExprKind::kLiftedDistinct:
+      return "liftedDistinct";
+    case ExprKind::kLiftedCount:
+      return "liftedCount";
+    case ExprKind::kBinaryScalarOp:
+      return "binaryScalarOp";
+    case ExprKind::kLiftedMapWithClosure:
+      return "liftedMapWithClosure";
+  }
+  return "?";
+}
+
+const char* OpName(BinOpKind op) {
+  switch (op) {
+    case BinOpKind::kAdd:
+      return "+";
+    case BinOpKind::kSub:
+      return "-";
+    case BinOpKind::kMul:
+      return "*";
+    case BinOpKind::kDiv:
+      return "/";
+    case BinOpKind::kEq:
+      return "==";
+    case BinOpKind::kNe:
+      return "!=";
+    case BinOpKind::kLt:
+      return "<";
+    case BinOpKind::kLe:
+      return "<=";
+    case BinOpKind::kAnd:
+      return "&&";
+    case BinOpKind::kOr:
+      return "||";
+  }
+  return "?";
+}
+
+void Print(const Expr& e, std::ostringstream& out);
+
+void Print(const Lambda& lam, std::ostringstream& out) {
+  out << "\\(";
+  for (std::size_t i = 0; i < lam.params.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << lam.params[i];
+  }
+  if (!lam.captures.empty()) {
+    out << " | captures:";
+    for (const auto& c : lam.captures) out << " " << c;
+  }
+  out << ") -> ";
+  if (!lam.body.empty()) {
+    out << "{ ";
+    for (const Stmt& s : lam.body) {
+      out << "let " << s.name << " = ";
+      Print(*s.expr, out);
+      out << "; ";
+    }
+    out << "return ";
+    Print(*lam.result, out);
+    out << " }";
+  } else {
+    Print(*lam.result, out);
+  }
+}
+
+void Print(const Expr& e, std::ostringstream& out) {
+  switch (e.kind) {
+    case ExprKind::kSource:
+      out << "source(" << e.name << ")";
+      return;
+    case ExprKind::kVar:
+      out << e.name;
+      return;
+    case ExprKind::kConst:
+      out << e.literal.ToString();
+      return;
+    case ExprKind::kTupleMake: {
+      out << "(";
+      for (std::size_t i = 0; i < e.inputs.size(); ++i) {
+        if (i > 0) out << ", ";
+        Print(*e.inputs[i], out);
+      }
+      out << ")";
+      return;
+    }
+    case ExprKind::kTupleField:
+      Print(*e.inputs[0], out);
+      out << "._" << e.index;
+      return;
+    case ExprKind::kBinOp:
+    case ExprKind::kBinaryScalarOp: {
+      out << KindName(e.kind) << "[" << OpName(e.op) << "](";
+      Print(*e.inputs[0], out);
+      out << ", ";
+      Print(*e.inputs[1], out);
+      out << ")";
+      return;
+    }
+    default: {
+      out << KindName(e.kind) << "(";
+      bool first = true;
+      for (const auto& in : e.inputs) {
+        if (!first) out << ", ";
+        first = false;
+        Print(*in, out);
+      }
+      if (!e.name.empty()) {
+        if (!first) out << ", ";
+        first = false;
+        out << "$" << e.name;
+      }
+      if (e.lambda) {
+        if (!first) out << ", ";
+        first = false;
+        Print(*e.lambda, out);
+      }
+      if (e.lambda2) {
+        if (!first) out << ", ";
+        Print(*e.lambda2, out);
+      }
+      out << ")";
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+ExprPtr Source(std::string name) {
+  auto e = New(ExprKind::kSource);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Var(std::string name) {
+  auto e = New(ExprKind::kVar);
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr Lit(Value v) {
+  auto e = New(ExprKind::kConst);
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeTuple(std::vector<ExprPtr> parts) {
+  auto e = New(ExprKind::kTupleMake);
+  e->inputs = std::move(parts);
+  return e;
+}
+
+ExprPtr Field(ExprPtr in, std::size_t i) {
+  auto e = New(ExprKind::kTupleField);
+  e->inputs = {std::move(in)};
+  e->index = i;
+  return e;
+}
+
+ExprPtr BinOp(BinOpKind op, ExprPtr a, ExprPtr b) {
+  auto e = New(ExprKind::kBinOp);
+  e->op = op;
+  e->inputs = {std::move(a), std::move(b)};
+  return e;
+}
+
+namespace {
+ExprPtr UnaryBagOp(ExprKind kind, ExprPtr bag) {
+  auto e = New(kind);
+  e->inputs = {std::move(bag)};
+  return e;
+}
+
+ExprPtr BagOpWithLambda(ExprKind kind, ExprPtr bag, LambdaPtr f) {
+  auto e = New(kind);
+  e->inputs = {std::move(bag)};
+  e->lambda = std::move(f);
+  return e;
+}
+}  // namespace
+
+ExprPtr Map(ExprPtr bag, LambdaPtr f) {
+  return BagOpWithLambda(ExprKind::kMap, std::move(bag), std::move(f));
+}
+ExprPtr Filter(ExprPtr bag, LambdaPtr f) {
+  return BagOpWithLambda(ExprKind::kFilter, std::move(bag), std::move(f));
+}
+ExprPtr FlatMap(ExprPtr bag, LambdaPtr f) {
+  return BagOpWithLambda(ExprKind::kFlatMap, std::move(bag), std::move(f));
+}
+ExprPtr ReduceByKey(ExprPtr bag, LambdaPtr f2) {
+  auto e = New(ExprKind::kReduceByKey);
+  e->inputs = {std::move(bag)};
+  e->lambda2 = std::move(f2);
+  return e;
+}
+ExprPtr GroupByKey(ExprPtr bag) {
+  return UnaryBagOp(ExprKind::kGroupByKey, std::move(bag));
+}
+ExprPtr Distinct(ExprPtr bag) {
+  return UnaryBagOp(ExprKind::kDistinct, std::move(bag));
+}
+ExprPtr Count(ExprPtr bag) {
+  return UnaryBagOp(ExprKind::kCount, std::move(bag));
+}
+ExprPtr UnionOf(ExprPtr a, ExprPtr b) {
+  auto e = New(ExprKind::kUnion);
+  e->inputs = {std::move(a), std::move(b)};
+  return e;
+}
+
+ExprPtr While(ExprPtr init, LambdaPtr body) {
+  auto e = New(ExprKind::kWhile);
+  e->inputs = {std::move(init)};
+  e->lambda = std::move(body);
+  return e;
+}
+
+ExprPtr If(ExprPtr cond, ExprPtr state, LambdaPtr then_branch,
+           LambdaPtr else_branch) {
+  auto e = New(ExprKind::kIf);
+  e->inputs = {std::move(cond), std::move(state)};
+  e->lambda = std::move(then_branch);
+  e->lambda2 = std::move(else_branch);
+  return e;
+}
+
+LambdaPtr Lam(std::string param, ExprPtr result) {
+  auto l = std::make_shared<Lambda>();
+  l->params = {std::move(param)};
+  l->result = std::move(result);
+  return l;
+}
+
+LambdaPtr Lam2(std::string a, std::string b, ExprPtr result) {
+  auto l = std::make_shared<Lambda>();
+  l->params = {std::move(a), std::move(b)};
+  l->result = std::move(result);
+  return l;
+}
+
+LambdaPtr LamProgram(std::vector<std::string> params, std::vector<Stmt> body,
+                     ExprPtr result) {
+  auto l = std::make_shared<Lambda>();
+  l->params = std::move(params);
+  l->body = std::move(body);
+  l->result = std::move(result);
+  return l;
+}
+
+std::string ToString(const Expr& e) {
+  std::ostringstream out;
+  Print(e, out);
+  return out.str();
+}
+
+std::string ToString(const Program& p) {
+  std::ostringstream out;
+  for (const Stmt& s : p.stmts) {
+    out << "let " << s.name << " = ";
+    Print(*s.expr, out);
+    out << "\n";
+  }
+  out << "return " << p.result << "\n";
+  return out.str();
+}
+
+}  // namespace matryoshka::lang

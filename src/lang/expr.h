@@ -1,0 +1,152 @@
+#ifndef MATRYOSHKA_LANG_EXPR_H_
+#define MATRYOSHKA_LANG_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lang/value.h"
+
+namespace matryoshka::lang {
+
+/// Node kinds of the embedded query language IR ("Emma" stand-in).
+///
+/// The first block is the *surface* language the user writes (Listing 1 of
+/// the paper): nested bags and nested parallel operations, expressed
+/// directly. The second block is what only the PARSING PHASE may introduce
+/// (Listing 2): the explicit nesting primitives that the lowering phase
+/// resolves to flat engine operations at runtime.
+enum class ExprKind {
+  // --- surface language ---
+  kSource,       // named input bag, bound at execution time
+  kVar,          // reference to a let-bound name (or lambda parameter)
+  kConst,        // literal Value
+  kTupleMake,    // (e0, e1, ...)
+  kTupleField,   // e._i
+  kBinOp,        // scalar arithmetic / comparison / logic
+  kMap,          // bag.map(lambda)
+  kFilter,       // bag.filter(lambda)
+  kFlatMap,      // bag.flatMap(lambda) — lambda yields a tuple of outputs
+  kReduceByKey,  // bag of 2-tuples; lambda2 merges values per key
+  kGroupByKey,   // Bag[(k,v)] -> Bag[(k, Bag[v])]: the nesting source
+  kDistinct,
+  kCount,        // bag -> scalar
+  kUnion,
+  kWhile,        // iterate a loop state; body yields (next state, continue?)
+  kIf,           // per-group branch: then/else lambdas over a state
+  // --- introduced by the parsing phase (Sec. 4) ---
+  kGroupByKeyIntoNestedBag,  // Listing 2 line 3
+  kMapWithLiftedUdf,         // Listing 2 line 4 (UDF runs exactly once)
+  kLiftedMap,
+  kLiftedFilter,
+  kLiftedFlatMap,
+  kLiftedReduceByKey,
+  kLiftedDistinct,
+  kLiftedCount,
+  kBinaryScalarOp,        // scalar op over InnerScalars (tag join, Sec. 4.3)
+  kLiftedMapWithClosure,  // element lambda capturing an InnerScalar (Sec. 5.1)
+  kLiftedWhile,           // lifted loop (Sec. 6.2, Listing 4)
+  kLiftedIf,              // lifted branch (Sec. 6.2: both branches run)
+};
+
+enum class BinOpKind {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,  // numeric division; yields double
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kAnd,
+  kOr,
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Stmt;
+
+/// A function literal. Element-level lambdas (map/filter UDFs over single
+/// elements) have scalar-only bodies; the lambda of a lifted map holds the
+/// whole inner program (whose statements the parsing phase rewrites to
+/// lifted operations). `captures` lists the free variables the parsing
+/// phase made explicit (closure conversion, Sec. 5).
+struct Lambda {
+  std::vector<std::string> params;
+  std::vector<Stmt> body;  // let-bindings; may be empty for pure lambdas
+  ExprPtr result;
+  std::vector<std::string> captures;
+};
+using LambdaPtr = std::shared_ptr<const Lambda>;
+
+struct Expr {
+  ExprKind kind;
+  std::string name;        // kSource / kVar; kLiftedMapWithClosure: closure var
+  Value literal;           // kConst
+  BinOpKind op = BinOpKind::kAdd;
+  std::size_t index = 0;   // kTupleField
+  std::vector<ExprPtr> inputs;
+  LambdaPtr lambda;   // unary UDF
+  LambdaPtr lambda2;  // binary merge function (reduceByKey)
+};
+
+struct Stmt {
+  std::string name;
+  ExprPtr expr;
+};
+
+/// A straight-line nested-parallel program: let-bindings plus the name of
+/// the binding whose value is the program's result.
+struct Program {
+  std::vector<Stmt> stmts;
+  std::string result;
+};
+
+// --- builder helpers (the "syntax" of the embedded language) ---
+
+ExprPtr Source(std::string name);
+ExprPtr Var(std::string name);
+ExprPtr Lit(Value v);
+ExprPtr MakeTuple(std::vector<ExprPtr> parts);
+ExprPtr Field(ExprPtr e, std::size_t i);
+ExprPtr BinOp(BinOpKind op, ExprPtr a, ExprPtr b);
+ExprPtr Map(ExprPtr bag, LambdaPtr f);
+ExprPtr Filter(ExprPtr bag, LambdaPtr f);
+ExprPtr FlatMap(ExprPtr bag, LambdaPtr f);
+ExprPtr ReduceByKey(ExprPtr bag, LambdaPtr f2);
+ExprPtr GroupByKey(ExprPtr bag);
+ExprPtr Distinct(ExprPtr bag);
+ExprPtr Count(ExprPtr bag);
+ExprPtr UnionOf(ExprPtr a, ExprPtr b);
+/// Control flow as a higher-order function (Sec. 6.1): iterates from
+/// `init`; `body` takes the current loop state and returns the 2-tuple
+/// (next state, continue-as-boolean). Usable inside the UDF of a nested
+/// map, where the parsing phase lifts it (different groups exit at
+/// different iterations).
+ExprPtr While(ExprPtr init, LambdaPtr body);
+/// Per-group conditional (Sec. 6.1): routes `state` into `then_branch` or
+/// `else_branch` depending on the (per-group) boolean `cond`. Inside a
+/// lifted UDF this becomes a lifted if: BOTH branches execute, each over
+/// only the groups whose condition routes there.
+ExprPtr If(ExprPtr cond, ExprPtr state, LambdaPtr then_branch,
+           LambdaPtr else_branch);
+
+/// Pure unary lambda: param -> result expression.
+LambdaPtr Lam(std::string param, ExprPtr result);
+/// Pure binary lambda (reduce functions).
+LambdaPtr Lam2(std::string a, std::string b, ExprPtr result);
+/// Multi-statement lambda (the UDF of a nested map).
+LambdaPtr LamProgram(std::vector<std::string> params, std::vector<Stmt> body,
+                     ExprPtr result);
+
+/// Structural pretty-printer; the parsing-phase tests compare rewritten
+/// plans against the paper's Listing 2 shape through this.
+std::string ToString(const Expr& e);
+std::string ToString(const Program& p);
+
+}  // namespace matryoshka::lang
+
+#endif  // MATRYOSHKA_LANG_EXPR_H_

@@ -1,0 +1,572 @@
+#include "lang/parsing_phase.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace matryoshka::lang {
+
+namespace {
+
+/// Mutable copy of an expression node (the rewriter builds new trees).
+std::shared_ptr<Expr> Clone(const Expr& e) {
+  return std::make_shared<Expr>(e);
+}
+
+/// Collects the free variables of an expression (vars not bound by
+/// `bound`), in first-use order.
+void CollectFreeVars(const Expr& e, std::set<std::string>& bound,
+                     std::vector<std::string>& out) {
+  switch (e.kind) {
+    case ExprKind::kVar:
+      if (!bound.count(e.name) &&
+          std::find(out.begin(), out.end(), e.name) == out.end()) {
+        out.push_back(e.name);
+      }
+      return;
+    case ExprKind::kSource:
+    case ExprKind::kConst:
+      return;
+    default:
+      break;
+  }
+  for (const auto& in : e.inputs) CollectFreeVars(*in, bound, out);
+  for (const LambdaPtr& lam : {e.lambda, e.lambda2}) {
+    if (!lam) continue;
+    std::set<std::string> inner = bound;
+    for (const auto& p : lam->params) inner.insert(p);
+    for (const Stmt& s : lam->body) {
+      CollectFreeVars(*s.expr, inner, out);
+      inner.insert(s.name);
+    }
+    CollectFreeVars(*lam->result, inner, out);
+  }
+}
+
+std::vector<std::string> FreeVars(const Lambda& lam) {
+  std::set<std::string> bound(lam.params.begin(), lam.params.end());
+  std::vector<std::string> out;
+  for (const Stmt& s : lam.body) {
+    CollectFreeVars(*s.expr, bound, out);
+    bound.insert(s.name);
+  }
+  CollectFreeVars(*lam.result, bound, out);
+  return out;
+}
+
+bool IsBagOpKind(ExprKind k) {
+  switch (k) {
+    case ExprKind::kMap:
+    case ExprKind::kFilter:
+    case ExprKind::kFlatMap:
+    case ExprKind::kReduceByKey:
+    case ExprKind::kGroupByKey:
+    case ExprKind::kDistinct:
+    case ExprKind::kCount:
+    case ExprKind::kUnion:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Does the UDF body contain bag operations? (The trigger for lifting the
+/// UDF — Theorem 1 case 1.)
+bool HasBagOps(const Lambda& lam) {
+  std::vector<const Expr*> stack;
+  for (const Stmt& s : lam.body) stack.push_back(s.expr.get());
+  stack.push_back(lam.result.get());
+  while (!stack.empty()) {
+    const Expr* e = stack.back();
+    stack.pop_back();
+    if (IsBagOpKind(e->kind)) return true;
+    for (const auto& in : e->inputs) stack.push_back(in.get());
+    for (const LambdaPtr& l : {e->lambda, e->lambda2}) {
+      if (!l) continue;
+      for (const Stmt& s : l->body) stack.push_back(s.expr.get());
+      stack.push_back(l->result.get());
+    }
+  }
+  return false;
+}
+
+/// Closure conversion for element-level lambdas: record free variables.
+LambdaPtr WithCaptures(const LambdaPtr& lam) {
+  auto vars = FreeVars(*lam);
+  if (vars.empty()) return lam;
+  auto out = std::make_shared<Lambda>(*lam);
+  out->captures = std::move(vars);
+  return out;
+}
+
+class Rewriter {
+ public:
+  Result<Program> Run(const Program& in,
+                      std::unordered_map<std::string, VType>* types) {
+    Program out;
+    out.result = in.result;
+    for (const Stmt& s : in.stmts) {
+      MATRYOSHKA_ASSIGN_OR_RETURN(Typed t, RewriteTop(*s.expr));
+      env_[s.name] = t.type;
+      out.stmts.push_back(Stmt{s.name, t.expr});
+    }
+    if (!env_.count(in.result)) {
+      return Status::InvalidArgument("program result '" + in.result +
+                                     "' is not bound");
+    }
+    *types = env_;
+    return out;
+  }
+
+ private:
+  struct Typed {
+    ExprPtr expr;
+    VType type;
+  };
+
+  Result<VType> TypeOf(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kSource:
+        return VType::kBag;
+      case ExprKind::kVar: {
+        auto it = env_.find(e.name);
+        if (it == env_.end()) {
+          return Status::InvalidArgument("unbound variable '" + e.name + "'");
+        }
+        return it->second;
+      }
+      case ExprKind::kConst:
+        return VType::kScalar;
+      default:
+        return Status::Internal("TypeOf on composite expression");
+    }
+  }
+
+  /// Rewrites a top-level statement (outside any UDF). Theorem 1's case
+  /// analysis for top-level operations.
+  Result<Typed> RewriteTop(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kSource:
+        return Typed{Clone(e), VType::kBag};
+      case ExprKind::kVar: {
+        MATRYOSHKA_ASSIGN_OR_RETURN(VType t, TypeOf(e));
+        return Typed{Clone(e), t};
+      }
+      case ExprKind::kConst:
+        return Typed{Clone(e), VType::kScalar};
+      case ExprKind::kGroupByKey: {
+        // Case 2: flat input, nested output -> groupByKeyIntoNestedBag.
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed in, RewriteTop(*e.inputs[0]));
+        if (in.type != VType::kBag) {
+          return Status::Unsupported("groupByKey over a non-flat input");
+        }
+        auto out = Clone(e);
+        out->kind = ExprKind::kGroupByKeyIntoNestedBag;
+        out->inputs = {in.expr};
+        return Typed{out, VType::kNestedBag};
+      }
+      case ExprKind::kMap: {
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed in, RewriteTop(*e.inputs[0]));
+        if (in.type == VType::kNestedBag || HasBagOps(*e.lambda)) {
+          // Cases 1 & 3: the UDF must be lifted.
+          return RewriteLiftedMap(e, in);
+        }
+        auto out = Clone(e);
+        out->inputs = {in.expr};
+        out->lambda = WithCaptures(e.lambda);
+        return Typed{out, VType::kBag};
+      }
+      case ExprKind::kFilter:
+      case ExprKind::kFlatMap:
+      case ExprKind::kDistinct: {
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed in, RewriteTop(*e.inputs[0]));
+        if (in.type != VType::kBag) {
+          return Status::Unsupported(
+              "only map supports nested inputs at top level");
+        }
+        auto out = Clone(e);
+        out->inputs = {in.expr};
+        if (e.lambda) out->lambda = WithCaptures(e.lambda);
+        return Typed{out, VType::kBag};
+      }
+      case ExprKind::kReduceByKey: {
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed in, RewriteTop(*e.inputs[0]));
+        if (in.type != VType::kBag) {
+          return Status::Unsupported("reduceByKey over a non-flat input");
+        }
+        if (HasBagOps(*e.lambda2)) {
+          return Status::Unsupported(
+              "bag operations inside aggregation UDFs (Sec. 7 assumption)");
+        }
+        auto out = Clone(e);
+        out->inputs = {in.expr};
+        return Typed{out, VType::kBag};
+      }
+      case ExprKind::kCount: {
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed in, RewriteTop(*e.inputs[0]));
+        auto out = Clone(e);
+        out->inputs = {in.expr};
+        return Typed{out, VType::kScalar};
+      }
+      case ExprKind::kUnion: {
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed a, RewriteTop(*e.inputs[0]));
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed b, RewriteTop(*e.inputs[1]));
+        auto out = Clone(e);
+        out->inputs = {a.expr, b.expr};
+        return Typed{out, VType::kBag};
+      }
+      case ExprKind::kBinOp: {
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed a, RewriteTop(*e.inputs[0]));
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed b, RewriteTop(*e.inputs[1]));
+        if (a.type != VType::kScalar || b.type != VType::kScalar) {
+          return Status::Unsupported("binop over non-scalars at top level");
+        }
+        auto out = Clone(e);
+        out->inputs = {a.expr, b.expr};
+        return Typed{out, VType::kScalar};
+      }
+      case ExprKind::kTupleMake:
+      case ExprKind::kTupleField: {
+        auto out = Clone(e);
+        out->inputs.clear();
+        for (const auto& in : e.inputs) {
+          MATRYOSHKA_ASSIGN_OR_RETURN(Typed t, RewriteTop(*in));
+          out->inputs.push_back(t.expr);
+        }
+        return Typed{out, VType::kScalar};
+      }
+      default:
+        return Status::InvalidArgument(
+            "parsing-phase primitive in the input program: " + ToString(e));
+    }
+  }
+
+  /// Case 1/3: turns a map into mapWithLiftedUDF and lifts the UDF body.
+  Result<Typed> RewriteLiftedMap(const Expr& e, const Typed& input) {
+    const Lambda& lam = *e.lambda;
+    std::unordered_map<std::string, VType> local = env_;
+    if (input.type == VType::kNestedBag) {
+      if (lam.params.size() != 2) {
+        return Status::InvalidArgument(
+            "the UDF of a map over a nested bag takes (key, group)");
+      }
+      local[lam.params[0]] = VType::kInnerScalar;
+      local[lam.params[1]] = VType::kInnerBag;
+    } else {
+      if (lam.params.size() != 1) {
+        return Status::InvalidArgument("map UDF takes one parameter");
+      }
+      local[lam.params[0]] = VType::kInnerScalar;
+    }
+
+    auto lifted = std::make_shared<Lambda>();
+    lifted->params = lam.params;
+    lifted->captures = FreeVars(lam);
+    for (const Stmt& s : lam.body) {
+      MATRYOSHKA_ASSIGN_OR_RETURN(Typed t, RewriteInUdf(*s.expr, local));
+      local[s.name] = t.type;
+      lifted->body.push_back(Stmt{s.name, t.expr});
+    }
+    MATRYOSHKA_ASSIGN_OR_RETURN(Typed res, RewriteInUdf(*lam.result, local));
+    lifted->result = res.expr;
+    if (res.type != VType::kInnerScalar && res.type != VType::kInnerBag) {
+      return Status::Unsupported(
+          "the result of a lifted UDF must be a lifted scalar or bag");
+    }
+
+    auto out = Clone(e);
+    out->kind = ExprKind::kMapWithLiftedUdf;
+    out->inputs = {input.expr};
+    out->lambda = lifted;
+    return Typed{out, res.type};
+  }
+
+  /// Rewrites a statement INSIDE a lifted UDF: bag operations become lifted
+  /// operations, scalar operations over lifted scalars become scalar-op
+  /// primitives (Sec. 4.3-4.4).
+  Result<Typed> RewriteInUdf(const Expr& e,
+                             std::unordered_map<std::string, VType>& local) {
+    switch (e.kind) {
+      case ExprKind::kVar: {
+        auto it = local.find(e.name);
+        if (it == local.end()) {
+          return Status::InvalidArgument("unbound variable '" + e.name +
+                                         "' in lifted UDF");
+        }
+        return Typed{Clone(e), it->second};
+      }
+      case ExprKind::kConst:
+        return Typed{Clone(e), VType::kScalar};
+      case ExprKind::kSource:
+        // A bag from outside the UDF: the lifted-UDF closure case of
+        // Sec. 5.2 (half-lifted operations).
+        return Typed{Clone(e), VType::kBag};
+      case ExprKind::kMap:
+      case ExprKind::kFilter:
+      case ExprKind::kFlatMap:
+      case ExprKind::kDistinct: {
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed in, RewriteInUdf(*e.inputs[0], local));
+        if (in.type != VType::kInnerBag) {
+          return Status::Unsupported(
+              "bag op inside a lifted UDF over a non-lifted bag");
+        }
+        auto out = Clone(e);
+        out->inputs = {in.expr};
+        switch (e.kind) {
+          case ExprKind::kMap: {
+            // An element lambda capturing an InnerScalar is the unlifted-UDF
+            // closure case (Sec. 5.1): mapWithClosure.
+            auto captured = WithCaptures(e.lambda);
+            std::string closure_var;
+            for (const auto& c : captured->captures) {
+              auto it = local.find(c);
+              if (it != local.end() && it->second == VType::kInnerScalar) {
+                if (!closure_var.empty()) {
+                  return Status::Unsupported(
+                      "more than one InnerScalar closure per lambda");
+                }
+                closure_var = c;
+              }
+            }
+            if (!closure_var.empty()) {
+              out->kind = ExprKind::kLiftedMapWithClosure;
+              out->name = closure_var;
+            } else {
+              out->kind = ExprKind::kLiftedMap;
+            }
+            out->lambda = captured;
+            break;
+          }
+          case ExprKind::kFilter:
+            out->kind = ExprKind::kLiftedFilter;
+            out->lambda = WithCaptures(e.lambda);
+            break;
+          case ExprKind::kFlatMap:
+            out->kind = ExprKind::kLiftedFlatMap;
+            out->lambda = WithCaptures(e.lambda);
+            break;
+          case ExprKind::kDistinct:
+            out->kind = ExprKind::kLiftedDistinct;
+            break;
+          default:
+            break;
+        }
+        return Typed{out, VType::kInnerBag};
+      }
+      case ExprKind::kReduceByKey: {
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed in, RewriteInUdf(*e.inputs[0], local));
+        if (in.type != VType::kInnerBag) {
+          return Status::Unsupported("reduceByKey over a non-lifted bag");
+        }
+        if (HasBagOps(*e.lambda2)) {
+          return Status::Unsupported(
+              "bag operations inside aggregation UDFs (Sec. 7 assumption)");
+        }
+        auto out = Clone(e);
+        out->kind = ExprKind::kLiftedReduceByKey;
+        out->inputs = {in.expr};
+        return Typed{out, VType::kInnerBag};
+      }
+      case ExprKind::kCount: {
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed in, RewriteInUdf(*e.inputs[0], local));
+        if (in.type != VType::kInnerBag) {
+          return Status::Unsupported("count over a non-lifted bag in a UDF");
+        }
+        auto out = Clone(e);
+        out->kind = ExprKind::kLiftedCount;
+        out->inputs = {in.expr};
+        return Typed{out, VType::kInnerScalar};
+      }
+      case ExprKind::kUnion: {
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed a, RewriteInUdf(*e.inputs[0], local));
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed b, RewriteInUdf(*e.inputs[1], local));
+        if (a.type != VType::kInnerBag || b.type != VType::kInnerBag) {
+          return Status::Unsupported("union over non-lifted bags in a UDF");
+        }
+        auto out = Clone(e);
+        out->inputs = {a.expr, b.expr};
+        return Typed{out, VType::kInnerBag};
+      }
+      case ExprKind::kBinOp: {
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed a, RewriteInUdf(*e.inputs[0], local));
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed b, RewriteInUdf(*e.inputs[1], local));
+        auto out = Clone(e);
+        out->inputs = {a.expr, b.expr};
+        const bool a_lifted = a.type == VType::kInnerScalar;
+        const bool b_lifted = b.type == VType::kInnerScalar;
+        if (a_lifted || b_lifted) {
+          if ((a_lifted && b.type != VType::kInnerScalar &&
+               b.type != VType::kScalar) ||
+              (b_lifted && a.type != VType::kInnerScalar &&
+               a.type != VType::kScalar)) {
+            return Status::Unsupported("binop between lifted scalar and bag");
+          }
+          out->kind = ExprKind::kBinaryScalarOp;
+          return Typed{out, VType::kInnerScalar};
+        }
+        return Typed{out, VType::kScalar};
+      }
+      case ExprKind::kTupleMake:
+      case ExprKind::kTupleField: {
+        auto out = Clone(e);
+        out->inputs.clear();
+        VType t = VType::kScalar;
+        for (const auto& in : e.inputs) {
+          MATRYOSHKA_ASSIGN_OR_RETURN(Typed x, RewriteInUdf(*in, local));
+          if (x.type == VType::kInnerScalar) t = VType::kInnerScalar;
+          out->inputs.push_back(x.expr);
+        }
+        if (t == VType::kInnerScalar) {
+          return Status::Unsupported(
+              "tuple construction over lifted scalars (use binaryScalarOp-"
+              "compatible operations)");
+        }
+        return Typed{out, t};
+      }
+      case ExprKind::kWhile: {
+        // Sec. 6: the loop becomes a lifted loop. Its state is an InnerBag
+        // or InnerScalar; the body's result must be the 2-tuple
+        // (next state, continue?) with a lifted-scalar condition.
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed init,
+                                    RewriteInUdf(*e.inputs[0], local));
+        if (init.type != VType::kInnerBag &&
+            init.type != VType::kInnerScalar) {
+          return Status::Unsupported(
+              "while loop state inside a lifted UDF must be a lifted bag or "
+              "scalar");
+        }
+        const Lambda& body = *e.lambda;
+        if (body.params.size() != 1) {
+          return Status::InvalidArgument(
+              "while body takes exactly the loop state");
+        }
+        auto saved = local;
+        local[body.params[0]] = init.type;
+        auto lifted = std::make_shared<Lambda>();
+        lifted->params = body.params;
+        lifted->captures = FreeVars(body);
+        for (const Stmt& s : body.body) {
+          MATRYOSHKA_ASSIGN_OR_RETURN(Typed t, RewriteInUdf(*s.expr, local));
+          local[s.name] = t.type;
+          lifted->body.push_back(Stmt{s.name, t.expr});
+        }
+        if (body.result->kind != ExprKind::kTupleMake ||
+            body.result->inputs.size() != 2) {
+          return Status::InvalidArgument(
+              "while body must return (next state, continue?)");
+        }
+        MATRYOSHKA_ASSIGN_OR_RETURN(
+            Typed next, RewriteInUdf(*body.result->inputs[0], local));
+        MATRYOSHKA_ASSIGN_OR_RETURN(
+            Typed cond, RewriteInUdf(*body.result->inputs[1], local));
+        if (next.type != init.type) {
+          return Status::InvalidArgument(
+              "while body's next state has a different shape than the "
+              "initial state");
+        }
+        if (cond.type != VType::kInnerScalar) {
+          return Status::Unsupported(
+              "while condition must be a lifted scalar (per-group exit, "
+              "Sec. 6.2)");
+        }
+        auto res = std::make_shared<Expr>();
+        res->kind = ExprKind::kTupleMake;
+        res->inputs = {next.expr, cond.expr};
+        lifted->result = res;
+        local = saved;
+        auto out = Clone(e);
+        out->kind = ExprKind::kLiftedWhile;
+        out->inputs = {init.expr};
+        out->lambda = lifted;
+        return Typed{out, init.type};
+      }
+      case ExprKind::kIf: {
+        // Sec. 6.2: a lifted if executes BOTH branches, each over the tags
+        // whose condition routes there.
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed cond,
+                                    RewriteInUdf(*e.inputs[0], local));
+        MATRYOSHKA_ASSIGN_OR_RETURN(Typed state,
+                                    RewriteInUdf(*e.inputs[1], local));
+        if (cond.type != VType::kInnerScalar) {
+          return Status::Unsupported(
+              "if condition inside a lifted UDF must be a lifted scalar");
+        }
+        if (state.type != VType::kInnerBag &&
+            state.type != VType::kInnerScalar) {
+          return Status::Unsupported(
+              "if state inside a lifted UDF must be a lifted bag or scalar");
+        }
+        auto rewrite_branch =
+            [&](const Lambda& br) -> Result<LambdaPtr> {
+          if (br.params.size() != 1) {
+            return Status::InvalidArgument(
+                "if branches take exactly the routed state");
+          }
+          auto saved = local;
+          local[br.params[0]] = state.type;
+          auto lifted = std::make_shared<Lambda>();
+          lifted->params = br.params;
+          lifted->captures = FreeVars(br);
+          for (const Stmt& s : br.body) {
+            MATRYOSHKA_ASSIGN_OR_RETURN(Typed t, RewriteInUdf(*s.expr, local));
+            local[s.name] = t.type;
+            lifted->body.push_back(Stmt{s.name, t.expr});
+          }
+          MATRYOSHKA_ASSIGN_OR_RETURN(Typed res,
+                                      RewriteInUdf(*br.result, local));
+          if (res.type != state.type) {
+            return Status::InvalidArgument(
+                "if branches must return the state's shape");
+          }
+          lifted->result = res.expr;
+          local = saved;
+          return LambdaPtr(lifted);
+        };
+        MATRYOSHKA_ASSIGN_OR_RETURN(LambdaPtr then_l, rewrite_branch(*e.lambda));
+        MATRYOSHKA_ASSIGN_OR_RETURN(LambdaPtr else_l,
+                                    rewrite_branch(*e.lambda2));
+        auto out = Clone(e);
+        out->kind = ExprKind::kLiftedIf;
+        out->inputs = {cond.expr, state.expr};
+        out->lambda = then_l;
+        out->lambda2 = else_l;
+        return Typed{out, state.type};
+      }
+      case ExprKind::kGroupByKey:
+        return Status::Unsupported(
+            "nested grouping inside a lifted UDF is not supported by the "
+            "plan-level pipeline (use the typed core API, Sec. 7)");
+      default:
+        return Status::InvalidArgument(
+            "unexpected node inside a lifted UDF: " + ToString(e));
+    }
+  }
+
+  std::unordered_map<std::string, VType> env_;
+};
+
+}  // namespace
+
+const char* VTypeName(VType t) {
+  switch (t) {
+    case VType::kScalar:
+      return "Scalar";
+    case VType::kBag:
+      return "Bag";
+    case VType::kNestedBag:
+      return "NestedBag";
+    case VType::kInnerScalar:
+      return "InnerScalar";
+    case VType::kInnerBag:
+      return "InnerBag";
+  }
+  return "?";
+}
+
+Result<Program> ParsingPhase::Rewrite(const Program& program) {
+  Rewriter rewriter;
+  return rewriter.Run(program, &types_);
+}
+
+}  // namespace matryoshka::lang

@@ -1,0 +1,57 @@
+#ifndef MATRYOSHKA_LANG_PARSING_PHASE_H_
+#define MATRYOSHKA_LANG_PARSING_PHASE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "lang/expr.h"
+
+namespace matryoshka::lang {
+
+/// Value categories the parsing phase tracks while rewriting (the "looking
+/// at the code as data" of Sec. 4.1.1): what a name denotes before and
+/// after lifting.
+enum class VType {
+  kScalar,       // plain driver-side value
+  kBag,          // flat distributed bag
+  kNestedBag,    // Bag[(K, Bag[V])] — only between groupByKey and its use
+  kInnerScalar,  // lifted scalar inside a lifted UDF
+  kInnerBag,     // lifted bag inside a lifted UDF
+};
+
+const char* VTypeName(VType t);
+
+/// THE PARSING PHASE (Sec. 4.1.1, performed at "compile time" — here: on
+/// the plan before execution). Takes a nested-parallel program written in
+/// the surface language (Listing 1) and rewrites it into the explicitly
+/// nested-parallel program (Listing 2):
+///  - groupByKey producing a nested bag  -> groupByKeyIntoNestedBag,
+///  - a map whose UDF contains bag operations (or whose input is nested)
+///    -> mapWithLiftedUDF, its UDF body rewritten statement by statement:
+///    bag ops -> lifted ops, scalar ops over lifted scalars ->
+///    binaryScalarOp (Sec. 4.3/4.4),
+///  - closures made explicit: every lambda's free variables are recorded
+///    in its `captures`; an element-level lambda capturing an InnerScalar
+///    becomes a liftedMapWithClosure (Sec. 5.1).
+/// The output is a logical plan: the lifted operations' physical
+/// implementations are chosen later, at runtime, by the lowering phase.
+class ParsingPhase {
+ public:
+  /// Rewrites `program`; returns the explicitly nested-parallel program or
+  /// an Unsupported/InvalidArgument status (e.g. bag ops in aggregation
+  /// UDFs, see the assumptions of Sec. 7).
+  Result<Program> Rewrite(const Program& program);
+
+  /// Type assigned to each top-level binding during the last Rewrite.
+  const std::unordered_map<std::string, VType>& types() const {
+    return types_;
+  }
+
+ private:
+  std::unordered_map<std::string, VType> types_;
+};
+
+}  // namespace matryoshka::lang
+
+#endif  // MATRYOSHKA_LANG_PARSING_PHASE_H_

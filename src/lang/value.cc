@@ -1,0 +1,84 @@
+#include "lang/value.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace matryoshka::lang {
+
+int64_t Value::AsInt() const {
+  MATRYOSHKA_CHECK(is_int()) << "Value is not an int: " << ToString();
+  return std::get<int64_t>(v_);
+}
+
+double Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(v_));
+  MATRYOSHKA_CHECK(is_double()) << "Value is not numeric: " << ToString();
+  return std::get<double>(v_);
+}
+
+bool Value::AsBool() const {
+  MATRYOSHKA_CHECK(is_bool()) << "Value is not a bool: " << ToString();
+  return std::get<bool>(v_);
+}
+
+const std::string& Value::AsString() const {
+  MATRYOSHKA_CHECK(is_string()) << "Value is not a string: " << ToString();
+  return std::get<std::string>(v_);
+}
+
+const Value::Tuple& Value::AsTuple() const {
+  MATRYOSHKA_CHECK(is_tuple()) << "Value is not a tuple: " << ToString();
+  return std::get<Tuple>(v_);
+}
+
+const Value& Value::Field(std::size_t i) const {
+  const Tuple& t = AsTuple();
+  MATRYOSHKA_CHECK(i < t.size())
+      << "tuple field " << i << " out of range (size " << t.size() << ")";
+  return t[i];
+}
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(std::get<int64_t>(v_));
+  if (is_double()) return std::to_string(std::get<double>(v_));
+  if (is_bool()) return std::get<bool>(v_) ? "true" : "false";
+  if (is_string()) return "\"" + std::get<std::string>(v_) + "\"";
+  std::string s = "(";
+  const Tuple& t = std::get<Tuple>(v_);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += t[i].ToString();
+  }
+  return s + ")";
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.v_.index() != b.v_.index()) return a.v_.index() < b.v_.index();
+  return a.v_ < b.v_;
+}
+
+std::size_t Value::HashValue() const {
+  std::size_t seed = v_.index();
+  if (is_int()) return HashCombine(seed, std::hash<int64_t>{}(std::get<int64_t>(v_)));
+  if (is_double()) return HashCombine(seed, std::hash<double>{}(std::get<double>(v_)));
+  if (is_bool()) return HashCombine(seed, std::get<bool>(v_) ? 1 : 2);
+  if (is_string()) {
+    return HashCombine(seed, std::hash<std::string>{}(std::get<std::string>(v_)));
+  }
+  for (const Value& x : std::get<Tuple>(v_)) {
+    seed = HashCombine(seed, x.HashValue());
+  }
+  return seed;
+}
+
+std::size_t Value::EstimatedBytes() const {
+  if (is_string()) return 16 + std::get<std::string>(v_).size();
+  if (is_tuple()) {
+    std::size_t total = 8;
+    for (const Value& x : std::get<Tuple>(v_)) total += x.EstimatedBytes();
+    return total;
+  }
+  return 8;
+}
+
+}  // namespace matryoshka::lang

@@ -1,0 +1,65 @@
+#ifndef MATRYOSHKA_WORKLOADS_AVG_DISTANCES_H_
+#define MATRYOSHKA_WORKLOADS_AVG_DISTANCES_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "datagen/datagen.h"
+#include "engine/bag.h"
+#include "workloads/workload.h"
+
+/// Average Distances (Sec. 2.2): the average shortest-path distance between
+/// all pairs of vertices of every connected component of an input graph —
+/// connectedComps(g).map(avgDistances). The task with THREE levels of
+/// parallel operations (Sec. 9.1): (1) components, (2) one BFS per vertex
+/// of a component, (3) the parallel frontier expansion of each BFS — with
+/// an iterative computation (the BFS loop) at the innermost level, whose
+/// instances terminate at different iterations.
+namespace matryoshka::workloads {
+
+struct AvgDistancesParams {
+  int64_t max_bfs_iterations = 10000;
+};
+
+/// Per-component result: the average pairwise distance.
+using AvgDistancesResult = WorkloadResult<int64_t, double>;
+
+/// Fully nested Matryoshka version: components -> lifted per-vertex BFS
+/// (depth-2 tags) -> lifted frontier loop.
+AvgDistancesResult AvgDistancesMatryoshka(
+    engine::Cluster* cluster, const engine::Bag<datagen::Edge>& edges,
+    const AvgDistancesParams& params, core::OptimizerOptions options = {});
+
+/// Outer-parallel workaround: parallel over components only; each
+/// component's all-pairs BFS runs sequentially in one task.
+AvgDistancesResult AvgDistancesOuterParallel(
+    engine::Cluster* cluster, const engine::Bag<datagen::Edge>& edges,
+    const AvgDistancesParams& params);
+
+/// Inner-parallel workaround: driver loops over components AND over start
+/// vertices; only the frontier expansion of one BFS at a time uses the
+/// engine (the paper's point: with three levels, this parallelizes only the
+/// innermost one and pays job overhead for every BFS step of every vertex
+/// of every component).
+AvgDistancesResult AvgDistancesInnerParallel(
+    engine::Cluster* cluster, const engine::Bag<datagen::Edge>& edges,
+    const AvgDistancesParams& params);
+
+AvgDistancesResult RunAvgDistances(engine::Cluster* cluster,
+                                   const engine::Bag<datagen::Edge>& edges,
+                                   const AvgDistancesParams& params,
+                                   Variant variant,
+                                   core::OptimizerOptions options = {});
+
+/// Driver-side sequential reference.
+std::vector<std::pair<int64_t, double>> AvgDistancesReference(
+    const std::vector<datagen::Edge>& edges);
+
+/// Sequential all-pairs-BFS average distance of one component's edge list.
+double SequentialAvgDistance(const std::vector<datagen::Edge>& edges);
+
+}  // namespace matryoshka::workloads
+
+#endif  // MATRYOSHKA_WORKLOADS_AVG_DISTANCES_H_

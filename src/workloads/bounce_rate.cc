@@ -1,0 +1,177 @@
+#include "workloads/bounce_rate.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/matryoshka.h"
+#include "engine/join.h"
+#include "engine/ops.h"
+#include "engine/shuffle.h"
+
+namespace matryoshka::workloads {
+
+namespace {
+
+using datagen::Visit;
+using engine::Bag;
+using engine::Cluster;
+
+using Ip = int64_t;
+using Day = int64_t;
+
+/// Sequential bounce rate of one group of IPs (the original, unlifted UDF of
+/// Listing 1): |{visitors with exactly one visit}| / |distinct visitors|.
+double BounceRateOfGroup(const std::vector<Ip>& ips) {
+  std::unordered_map<Ip, int64_t> counts;
+  counts.reserve(ips.size());
+  for (Ip ip : ips) counts[ip]++;
+  if (counts.empty()) return 0.0;
+  int64_t bounces = 0;
+  for (const auto& [ip, c] : counts) {
+    if (c == 1) ++bounces;
+  }
+  return static_cast<double>(bounces) / static_cast<double>(counts.size());
+}
+
+}  // namespace
+
+BounceRateResult BounceRateMatryoshka(Cluster* cluster,
+                                      const Bag<Visit>& visits,
+                                      core::OptimizerOptions options) {
+  using core::BinaryScalarOp;
+  using core::LiftedCount;
+  using core::LiftedDistinct;
+  using core::LiftedFilter;
+  using core::LiftedMap;
+  using core::LiftedReduceByKey;
+
+  // Listing 2 line 3: groupByKeyIntoNestedBag.
+  auto nested = core::GroupByKeyIntoNestedBag(visits, options);
+
+  // Listing 2 lines 5-10, the lifted UDF (executed once over all days).
+  auto result = core::MapWithLiftedUdf(
+      nested, [&](const core::LiftingContext& ctx,
+                  const core::InnerScalar<Day>& days,
+                  const core::InnerBag<Ip>& group) {
+        (void)ctx;
+        (void)days;
+        // val countsPerIP = group.map((_, 1)).reduceByKey(_+_)
+        auto counts_per_ip = LiftedReduceByKey(
+            LiftedMap(group,
+                      [](Ip ip) { return std::pair<Ip, int64_t>(ip, 1); }),
+            [](int64_t a, int64_t b) { return a + b; });
+        // val numBounces = countsPerIP.filter(_._2 == 1).count()
+        auto num_bounces = LiftedCount(LiftedFilter(
+            counts_per_ip,
+            [](const std::pair<Ip, int64_t>& p) { return p.second == 1; }));
+        // val numTotalVisitors = group.distinct().count()
+        auto num_total = LiftedCount(LiftedDistinct(group));
+        // val bounceRate = binaryScalarOp(numBounces, numTotal)(_ / _)
+        return BinaryScalarOp(num_bounces, num_total,
+                              [](int64_t b, int64_t t) {
+                                return t == 0 ? 0.0
+                                              : static_cast<double>(b) /
+                                                    static_cast<double>(t);
+                              });
+      });
+
+  auto rates = engine::Collect(core::ZipWithKeys(nested.keys(), result));
+  return FinishRun<Day, double>(cluster, std::move(rates));
+}
+
+BounceRateResult BounceRateOuterParallel(Cluster* cluster,
+                                         const Bag<Visit>& visits) {
+  auto grouped =
+      engine::GroupByKey(visits, /*num_partitions=*/-1,
+                         /*group_expansion=*/kBounceRateGroupExpansion);
+  auto rates_bag = baselines::ProcessGroupsSequentially(
+      grouped,
+      [](const Day&, const std::vector<Ip>& ips) {
+        return BounceRateOfGroup(ips);
+      },
+      // Sequential UDF passes: count per IP, scan for bounces, distinct.
+      [](const Day&, const std::vector<Ip>& ips) {
+        return static_cast<int64_t>(3 * ips.size());
+      },
+      kBounceRateGroupExpansion);
+  auto rates = engine::Collect(rates_bag);
+  return FinishRun<Day, double>(cluster, std::move(rates));
+}
+
+BounceRateResult BounceRateInnerParallel(Cluster* cluster,
+                                         const Bag<Visit>& visits) {
+  std::vector<std::pair<Day, double>> rates;
+  baselines::ForEachGroupInnerParallel(
+      visits, [&](const Day& day, const Bag<Ip>& group) {
+        // Per-group jobs use a modest tuned parallelism (a real user would
+        // not run a 1-day job with cluster-wide partition counts).
+        constexpr int64_t kGroupParallelism = 32;
+        auto counts = engine::ReduceByKey(
+            engine::Map(group,
+                        [](Ip ip) { return std::pair<Ip, int64_t>(ip, 1); }),
+            [](int64_t a, int64_t b) { return a + b; }, kGroupParallelism);
+        const int64_t bounces = engine::Count(engine::Filter(
+            counts,
+            [](const std::pair<Ip, int64_t>& p) { return p.second == 1; }));
+        const int64_t total =
+            engine::Count(engine::Distinct(group, kGroupParallelism));
+        rates.emplace_back(day, total == 0 ? 0.0
+                                           : static_cast<double>(bounces) /
+                                                 static_cast<double>(total));
+      });
+  if (!cluster->ok()) rates.clear();
+  return FinishRun<Day, double>(cluster, std::move(rates));
+}
+
+BounceRateResult BounceRateDiqlLike(Cluster* cluster,
+                                    const Bag<Visit>& visits,
+                                    baselines::DiqlLikeOptions diql_options) {
+  // DIQL could not flatten this program and fell back to the outer-parallel
+  // plan (Sec. 9.4), with generated (unfused) per-group code.
+  auto grouped = engine::GroupByKey(visits, /*num_partitions=*/-1,
+                                    diql_options.group_expansion);
+  auto rates_bag = baselines::ProcessGroupsSequentially(
+      grouped,
+      [](const Day&, const std::vector<Ip>& ips) {
+        return BounceRateOfGroup(ips);
+      },
+      [](const Day&, const std::vector<Ip>& ips) {
+        return static_cast<int64_t>(3 * ips.size());
+      },
+      diql_options.group_expansion, diql_options.interpretation_overhead);
+  auto rates = engine::Collect(rates_bag);
+  return FinishRun<Day, double>(cluster, std::move(rates));
+}
+
+BounceRateResult RunBounceRate(Cluster* cluster, const Bag<Visit>& visits,
+                               Variant variant,
+                               core::OptimizerOptions options) {
+  switch (variant) {
+    case Variant::kMatryoshka:
+      return BounceRateMatryoshka(cluster, visits, options);
+    case Variant::kOuterParallel:
+      return BounceRateOuterParallel(cluster, visits);
+    case Variant::kInnerParallel:
+      return BounceRateInnerParallel(cluster, visits);
+    case Variant::kDiqlLike:
+      return BounceRateDiqlLike(cluster, visits);
+  }
+  MATRYOSHKA_CHECK(false) << "unknown variant";
+  return {};
+}
+
+std::vector<std::pair<int64_t, double>> BounceRateReference(
+    const std::vector<Visit>& visits) {
+  std::map<Day, std::vector<Ip>> by_day;
+  for (const auto& [day, ip] : visits) by_day[day].push_back(ip);
+  std::vector<std::pair<Day, double>> out;
+  out.reserve(by_day.size());
+  for (const auto& [day, ips] : by_day) {
+    out.emplace_back(day, BounceRateOfGroup(ips));
+  }
+  return out;
+}
+
+}  // namespace matryoshka::workloads

@@ -1,0 +1,61 @@
+#ifndef MATRYOSHKA_WORKLOADS_BOUNCE_RATE_H_
+#define MATRYOSHKA_WORKLOADS_BOUNCE_RATE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "core/optimizer.h"
+#include "datagen/datagen.h"
+#include "engine/bag.h"
+#include "workloads/workload.h"
+
+/// The per-day bounce-rate task of Sec. 2.1 / Listings 1-3: for every day,
+/// the fraction of visitors who visited exactly one page. Two levels of
+/// parallelism, no control flow — the task the paper evaluates against DIQL
+/// (Sec. 9.4).
+namespace matryoshka::workloads {
+
+using BounceRateResult = WorkloadResult<int64_t, double>;
+
+/// Working-set multiplier of the sequential bounce-rate UDF over the raw
+/// group bytes (two hash tables plus JVM-like object overhead). Used by the
+/// outer-parallel and DIQL-like variants' memory checks.
+inline constexpr double kBounceRateGroupExpansion = 6.0;
+
+/// Nested-parallel implementation via Matryoshka's primitives — the
+/// flattened equivalent of Listing 1 (what the parsing + lowering phases
+/// produce from the user program).
+BounceRateResult BounceRateMatryoshka(engine::Cluster* cluster,
+                                      const engine::Bag<datagen::Visit>& visits,
+                                      core::OptimizerOptions options = {});
+
+/// Outer-parallel workaround: groupByKey per day, sequential UDF per group.
+BounceRateResult BounceRateOuterParallel(
+    engine::Cluster* cluster, const engine::Bag<datagen::Visit>& visits);
+
+/// Inner-parallel workaround: driver loop over days, engine jobs per day.
+BounceRateResult BounceRateInnerParallel(
+    engine::Cluster* cluster, const engine::Bag<datagen::Visit>& visits);
+
+/// DIQL-like flattening baseline: falls back to the outer-parallel plan
+/// (the behaviour the paper observed from DIQL on this task), with no
+/// runtime optimization and generated-code overhead.
+BounceRateResult BounceRateDiqlLike(
+    engine::Cluster* cluster, const engine::Bag<datagen::Visit>& visits,
+    baselines::DiqlLikeOptions diql_options = {});
+
+/// Dispatches on `variant`.
+BounceRateResult RunBounceRate(engine::Cluster* cluster,
+                               const engine::Bag<datagen::Visit>& visits,
+                               Variant variant,
+                               core::OptimizerOptions options = {});
+
+/// Reference result computed sequentially on the driver (for tests).
+std::vector<std::pair<int64_t, double>> BounceRateReference(
+    const std::vector<datagen::Visit>& visits);
+
+}  // namespace matryoshka::workloads
+
+#endif  // MATRYOSHKA_WORKLOADS_BOUNCE_RATE_H_

@@ -1,0 +1,109 @@
+#include "workloads/connected_components.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "engine/join.h"
+#include "engine/ops.h"
+#include "engine/shuffle.h"
+
+namespace matryoshka::workloads {
+
+namespace {
+using datagen::Edge;
+using engine::Bag;
+using Vertex = int64_t;
+using Label = int64_t;
+}  // namespace
+
+Bag<std::pair<Label, Vertex>> ConnectedComponents(const Bag<Edge>& edges,
+                                                  int64_t max_iterations) {
+  engine::Cluster* c = edges.cluster();
+  auto vertices = engine::Distinct(engine::FlatMap(edges, [](const Edge& e) {
+    return std::vector<Vertex>{e.src, e.dst};
+  }));
+  auto edges_by_src = engine::Map(edges, [](const Edge& e) {
+    return std::pair<Vertex, Vertex>(e.src, e.dst);
+  });
+  // Every vertex starts labeled with itself; labels propagate along edges
+  // and each vertex keeps the minimum it has seen.
+  auto labels = engine::Map(vertices, [](Vertex v) {
+    return std::pair<Vertex, Label>(v, v);
+  });
+  for (int64_t it = 0; it < max_iterations && c->ok(); ++it) {
+    auto msgs = engine::Map(
+        engine::RepartitionJoin(edges_by_src, labels),
+        [](const std::pair<Vertex, std::pair<Vertex, Label>>& p) {
+          // Send the source's label to the destination.
+          return std::pair<Vertex, Label>(p.second.first, p.second.second);
+        });
+    auto next = engine::ReduceByKey(
+        engine::Union(labels, msgs),
+        [](Label a, Label b) { return std::min(a, b); });
+    // Converged when no vertex's label shrank this round.
+    auto improved = engine::Filter(
+        engine::RepartitionJoin(next, labels),
+        [](const std::pair<Vertex, std::pair<Label, Label>>& p) {
+          return p.second.first < p.second.second;
+        });
+    const bool changed = engine::NotEmpty(improved);  // one job per round
+    labels = next;
+    if (!changed) break;
+    if (it + 1 == max_iterations) {
+      c->Fail(Status::Internal("connected components did not converge"));
+    }
+  }
+  // (component id, vertex)
+  return engine::Map(labels, [](const std::pair<Vertex, Label>& p) {
+    return std::pair<Label, Vertex>(p.second, p.first);
+  });
+}
+
+Bag<std::pair<Label, Edge>> EdgesByComponent(
+    const Bag<Edge>& edges, const Bag<std::pair<Label, Vertex>>& components) {
+  auto vertex_to_comp =
+      engine::Map(components, [](const std::pair<Label, Vertex>& p) {
+        return std::pair<Vertex, Label>(p.second, p.first);
+      });
+  auto edges_by_src = engine::Map(edges, [](const Edge& e) {
+    return std::pair<Vertex, Edge>(e.src, e);
+  });
+  return engine::Map(
+      engine::RepartitionJoin(edges_by_src, vertex_to_comp),
+      [](const std::pair<Vertex, std::pair<Edge, Label>>& p) {
+        return std::pair<Label, Edge>(p.second.second, p.second.first);
+      });
+}
+
+std::vector<std::pair<Label, Vertex>> ConnectedComponentsReference(
+    const std::vector<Edge>& edges) {
+  std::unordered_map<Vertex, Vertex> parent;
+  std::function<Vertex(Vertex)> find = [&](Vertex v) {
+    auto it = parent.find(v);
+    if (it == parent.end()) {
+      parent[v] = v;
+      return v;
+    }
+    if (it->second == v) return v;
+    Vertex root = find(it->second);
+    parent[v] = root;
+    return root;
+  };
+  for (const Edge& e : edges) {
+    Vertex a = find(e.src), b = find(e.dst);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+  std::vector<std::pair<Label, Vertex>> out;
+  out.reserve(parent.size());
+  for (const auto& [v, p] : parent) {
+    (void)p;
+    out.emplace_back(find(v), v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace matryoshka::workloads

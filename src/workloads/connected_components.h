@@ -1,0 +1,36 @@
+#ifndef MATRYOSHKA_WORKLOADS_CONNECTED_COMPONENTS_H_
+#define MATRYOSHKA_WORKLOADS_CONNECTED_COMPONENTS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "engine/bag.h"
+
+/// Connected components over a flat undirected graph — the library building
+/// block of Sec. 2.2 ("connectedComps(g)"), implemented as an iterative
+/// flat dataflow program (min-label propagation, like the Spark GraphX /
+/// Flink Gelly library functions the paper cites). The output tags every
+/// vertex with its component id (the minimum vertex id of the component),
+/// which downstream nested-parallel code groups on.
+namespace matryoshka::workloads {
+
+/// (component id, vertex) for every vertex of the graph. Expects both
+/// directions of every undirected edge to be present.
+engine::Bag<std::pair<int64_t, int64_t>> ConnectedComponents(
+    const engine::Bag<datagen::Edge>& edges, int64_t max_iterations = 10000);
+
+/// Edges re-keyed by the component id of their source vertex:
+/// (component id, edge). Built from a ConnectedComponents result.
+engine::Bag<std::pair<int64_t, datagen::Edge>> EdgesByComponent(
+    const engine::Bag<datagen::Edge>& edges,
+    const engine::Bag<std::pair<int64_t, int64_t>>& components);
+
+/// Sequential reference (union-find).
+std::vector<std::pair<int64_t, int64_t>> ConnectedComponentsReference(
+    const std::vector<datagen::Edge>& edges);
+
+}  // namespace matryoshka::workloads
+
+#endif  // MATRYOSHKA_WORKLOADS_CONNECTED_COMPONENTS_H_

@@ -1,0 +1,116 @@
+#ifndef MATRYOSHKA_WORKLOADS_KMEANS_H_
+#define MATRYOSHKA_WORKLOADS_KMEANS_H_
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/sizing.h"
+#include "core/optimizer.h"
+#include "datagen/datagen.h"
+#include "engine/bag.h"
+#include "workloads/workload.h"
+
+/// K-means clustering with many initial configurations (Sec. 2.3, Fig. 1),
+/// the paper's canonical iterative task with control flow at the inner
+/// nesting level. Two modes:
+///  - grouped: every run clusters its own point set (the weak-scaling
+///    experiments of Fig. 3, where #runs x points-per-run is constant),
+///  - hyperparameter: every run clusters the SAME shared point set from a
+///    different initialization — the assignment step is then a half-lifted
+///    MapWithClosure between the shared points (outside the lifted UDF) and
+///    the per-run means (inside), the operation of Sec. 8.3 / Fig. 8 right.
+namespace matryoshka::workloads {
+
+/// Upper bound on K supported by the lifted implementation (the per-run
+/// partial aggregate is a fixed-size array so it stays trivially copyable).
+inline constexpr int64_t kMaxK = 16;
+
+struct KMeansParams {
+  int64_t k = 4;
+  int64_t max_iterations = 10;
+  /// Convergence threshold on the total centroid shift per iteration;
+  /// different runs converge at different iterations, exercising the lifted
+  /// loop's per-tag exit (Sec. 6.2).
+  double epsilon = 1e-3;
+  uint64_t init_seed = 42;
+};
+
+/// Per-run outcome: the converged means, the inertia (sum of squared
+/// distances of points to their centroid, comparable across variants), and
+/// the number of iterations executed.
+struct KMeansModel {
+  datagen::Means means;
+  double inertia = 0.0;
+  int64_t iterations = 0;
+};
+
+using KMeansResult = WorkloadResult<int64_t, KMeansModel>;
+
+}  // namespace matryoshka::workloads
+
+namespace matryoshka::sizing_internal {
+template <>
+struct Sizer<workloads::KMeansModel> {
+  static std::size_t Of(const workloads::KMeansModel& m) {
+    return EstimateSize(m.means) + sizeof(double) + sizeof(int64_t);
+  }
+};
+}  // namespace matryoshka::sizing_internal
+
+namespace matryoshka::workloads {
+
+// --- Grouped mode (each run owns its points) ---
+
+KMeansResult KMeansMatryoshka(
+    engine::Cluster* cluster,
+    const engine::Bag<std::pair<int64_t, datagen::Point>>& points,
+    const KMeansParams& params, core::OptimizerOptions options = {});
+
+KMeansResult KMeansOuterParallel(
+    engine::Cluster* cluster,
+    const engine::Bag<std::pair<int64_t, datagen::Point>>& points,
+    const KMeansParams& params);
+
+KMeansResult KMeansInnerParallel(
+    engine::Cluster* cluster,
+    const engine::Bag<std::pair<int64_t, datagen::Point>>& points,
+    const KMeansParams& params);
+
+KMeansResult RunKMeans(
+    engine::Cluster* cluster,
+    const engine::Bag<std::pair<int64_t, datagen::Point>>& points,
+    const KMeansParams& params, Variant variant,
+    core::OptimizerOptions options = {});
+
+/// Reference grouped K-means computed sequentially on the driver.
+std::vector<std::pair<int64_t, KMeansModel>> KMeansReference(
+    const std::vector<std::pair<int64_t, datagen::Point>>& points,
+    const KMeansParams& params);
+
+// --- Hyperparameter mode (shared points, per-run initializations) ---
+
+/// Runs one K-means per initial configuration over the shared `points`.
+/// `num_runs` initial configurations are generated from params.init_seed.
+/// The cross-product strategy of the half-lifted assignment step follows
+/// options.cross_strategy (Fig. 8 right forces each side).
+KMeansResult KMeansHyperparameterMatryoshka(
+    engine::Cluster* cluster, const engine::Bag<datagen::Point>& points,
+    int64_t num_runs, const KMeansParams& params,
+    core::OptimizerOptions options = {});
+
+/// Inner-parallel hyperparameter search: a driver loop over configurations,
+/// each iteration of each run a separate set of engine jobs.
+KMeansResult KMeansHyperparameterInnerParallel(
+    engine::Cluster* cluster, const engine::Bag<datagen::Point>& points,
+    int64_t num_runs, const KMeansParams& params);
+
+/// Sequential single-machine K-means (shared by baselines and reference).
+KMeansModel SequentialKMeans(const std::vector<datagen::Point>& points,
+                             datagen::Means init, int64_t max_iterations,
+                             double epsilon);
+
+}  // namespace matryoshka::workloads
+
+#endif  // MATRYOSHKA_WORKLOADS_KMEANS_H_

@@ -1,0 +1,62 @@
+#ifndef MATRYOSHKA_WORKLOADS_PAGERANK_H_
+#define MATRYOSHKA_WORKLOADS_PAGERANK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "datagen/datagen.h"
+#include "engine/bag.h"
+#include "workloads/workload.h"
+
+/// Grouped PageRank (Sec. 9.1): the input graph's edges are grouped, and a
+/// separate PageRank runs for each group (as in Topic-Sensitive PageRank /
+/// BlockRank). Iterative, two levels of parallelism; the init-weight closure
+/// is the running example of Sec. 5.1, and the rank/exit-condition joins are
+/// the operations whose physical strategy Fig. 8 (left) ablates.
+namespace matryoshka::workloads {
+
+struct PageRankParams {
+  int64_t iterations = 10;
+  double damping = 0.85;
+};
+
+/// Per-group validation checksum: the sum of all final ranks (deterministic
+/// up to floating-point association).
+using PageRankResult = WorkloadResult<int64_t, double>;
+
+PageRankResult PageRankMatryoshka(
+    engine::Cluster* cluster,
+    const engine::Bag<std::pair<int64_t, datagen::Edge>>& edges,
+    const PageRankParams& params, core::OptimizerOptions options = {});
+
+PageRankResult PageRankOuterParallel(
+    engine::Cluster* cluster,
+    const engine::Bag<std::pair<int64_t, datagen::Edge>>& edges,
+    const PageRankParams& params);
+
+PageRankResult PageRankInnerParallel(
+    engine::Cluster* cluster,
+    const engine::Bag<std::pair<int64_t, datagen::Edge>>& edges,
+    const PageRankParams& params);
+
+PageRankResult RunPageRank(
+    engine::Cluster* cluster,
+    const engine::Bag<std::pair<int64_t, datagen::Edge>>& edges,
+    const PageRankParams& params, Variant variant,
+    core::OptimizerOptions options = {});
+
+/// Driver-side sequential reference.
+std::vector<std::pair<int64_t, double>> PageRankReference(
+    const std::vector<std::pair<int64_t, datagen::Edge>>& edges,
+    const PageRankParams& params);
+
+/// Sequential PageRank over one group's edge list; returns the rank sum.
+/// Exposed for the outer-parallel baseline and tests.
+double SequentialPageRank(const std::vector<datagen::Edge>& edges,
+                          const PageRankParams& params);
+
+}  // namespace matryoshka::workloads
+
+#endif  // MATRYOSHKA_WORKLOADS_PAGERANK_H_

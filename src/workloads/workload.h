@@ -1,0 +1,62 @@
+#ifndef MATRYOSHKA_WORKLOADS_WORKLOAD_H_
+#define MATRYOSHKA_WORKLOADS_WORKLOAD_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/cluster.h"
+
+namespace matryoshka::workloads {
+
+/// Outcome of running one workload variant on a (freshly Reset) cluster:
+/// the sticky status, the cost-model metrics (simulated time, jobs, ...),
+/// and a small per-group result summary for cross-variant validation.
+template <typename K, typename R>
+struct WorkloadResult {
+  Status status;
+  engine::Metrics metrics;
+  /// (group key, result) pairs, or empty if the run failed.
+  std::vector<std::pair<K, R>> per_group;
+
+  bool ok() const { return status.ok(); }
+  double time_s() const { return metrics.simulated_time_s; }
+};
+
+/// Snapshot helper: captures status + metrics from the cluster after a run.
+template <typename K, typename R>
+WorkloadResult<K, R> FinishRun(engine::Cluster* cluster,
+                               std::vector<std::pair<K, R>> per_group) {
+  WorkloadResult<K, R> result;
+  result.status = cluster->status();
+  result.metrics = cluster->metrics();
+  if (result.status.ok()) result.per_group = std::move(per_group);
+  return result;
+}
+
+/// Which implementation strategy to run a workload with.
+enum class Variant {
+  kMatryoshka,
+  kOuterParallel,
+  kInnerParallel,
+  kDiqlLike,
+};
+
+inline const char* VariantName(Variant v) {
+  switch (v) {
+    case Variant::kMatryoshka:
+      return "matryoshka";
+    case Variant::kOuterParallel:
+      return "outer-parallel";
+    case Variant::kInnerParallel:
+      return "inner-parallel";
+    case Variant::kDiqlLike:
+      return "diql-like";
+  }
+  return "?";
+}
+
+}  // namespace matryoshka::workloads
+
+#endif  // MATRYOSHKA_WORKLOADS_WORKLOAD_H_

@@ -1,0 +1,250 @@
+// Tests for lifted control flow (Sec. 6): lifted while loops where
+// different inner computations exit at different iterations, and lifted if
+// statements where different tags take different branches.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/matryoshka.h"
+
+namespace matryoshka::core {
+namespace {
+
+using engine::Bag;
+using engine::Cluster;
+using engine::ClusterConfig;
+using engine::Parallelize;
+
+ClusterConfig TestConfig() {
+  ClusterConfig cfg;
+  cfg.num_machines = 4;
+  cfg.cores_per_machine = 4;
+  cfg.default_parallelism = 8;
+  return cfg;
+}
+
+class ControlFlowTest : public ::testing::Test {
+ protected:
+  ControlFlowTest() : cluster_(TestConfig()) {}
+  Cluster cluster_;
+};
+
+TEST_F(ControlFlowTest, LiftedWhileScalarLoopsUntilPerTagCondition) {
+  // Each tag t starts at value v and doubles until >= 100. Different tags
+  // finish at different iterations.
+  auto params = Parallelize(&cluster_, std::vector<int64_t>{1, 5, 60}, 2);
+  auto init = LiftFlatBag(params);
+  auto result = LiftedWhileScalar(
+      init, [](const LiftingContext& ctx, const InnerScalar<int64_t>& s,
+               int64_t iter) {
+        (void)ctx;
+        (void)iter;
+        auto next = UnaryScalarOp(s, [](int64_t x) { return 2 * x; });
+        auto cond = UnaryScalarOp(next, [](int64_t x) { return x < 100; });
+        return std::make_pair(next, cond);
+      });
+  auto v = result.Flatten().ToVector();
+  std::sort(v.begin(), v.end());
+  // 1 -> 128, 5 -> 160, 60 -> 120.
+  EXPECT_EQ(v, (std::vector<int64_t>{120, 128, 160}));
+}
+
+TEST_F(ControlFlowTest, LiftedWhileResultHasAllOriginalTags) {
+  auto params = Parallelize(&cluster_, std::vector<int64_t>{1, 2, 3, 4}, 2);
+  auto init = LiftFlatBag(params);
+  auto result = LiftedWhileScalar(
+      init, [](const LiftingContext&, const InnerScalar<int64_t>& s,
+               int64_t) {
+        auto next = UnaryScalarOp(s, [](int64_t x) { return x + 1; });
+        auto cond = UnaryScalarOp(next, [](int64_t x) { return x < 5; });
+        return std::make_pair(next, cond);
+      });
+  EXPECT_EQ(result.repr().Size(), 4);
+  EXPECT_EQ(result.ctx().num_tags(), 4);  // result context is the full one
+}
+
+TEST_F(ControlFlowTest, LiftedWhileZeroIterationsBodyStillRunsOnce) {
+  // A do-while: the body executes at least once (Listing 4 is a do-while).
+  auto params = Parallelize(&cluster_, std::vector<int64_t>{10}, 1);
+  auto init = LiftFlatBag(params);
+  int body_runs = 0;
+  auto result = LiftedWhileScalar(
+      init, [&](const LiftingContext&, const InnerScalar<int64_t>& s,
+                int64_t) {
+        ++body_runs;
+        auto next = UnaryScalarOp(s, [](int64_t x) { return x + 1; });
+        auto cond = UnaryScalarOp(next, [](int64_t) { return false; });
+        return std::make_pair(next, cond);
+      });
+  EXPECT_EQ(body_runs, 1);
+  EXPECT_EQ(result.Flatten().ToVector(), (std::vector<int64_t>{11}));
+}
+
+TEST_F(ControlFlowTest, LiftedWhileNarrowsContextAsLoopsFinish) {
+  // Tags finish one per iteration; the body must see a shrinking tag count.
+  auto params =
+      Parallelize(&cluster_, std::vector<int64_t>{1, 2, 3}, 2);
+  auto init = LiftFlatBag(params);
+  std::vector<int64_t> seen_sizes;
+  LiftedWhileScalar(
+      init, [&](const LiftingContext& ctx, const InnerScalar<int64_t>& s,
+                int64_t) {
+        seen_sizes.push_back(ctx.num_tags());
+        auto next = UnaryScalarOp(s, [](int64_t x) { return x - 1; });
+        auto cond = UnaryScalarOp(next, [](int64_t x) { return x > 0; });
+        return std::make_pair(next, cond);
+      });
+  EXPECT_EQ(seen_sizes, (std::vector<int64_t>{3, 2, 1}));
+}
+
+TEST_F(ControlFlowTest, LiftedWhileChargesOneJobPerIterationNotPerTag) {
+  // 16 inner computations, each looping 5 iterations: job count must track
+  // iterations (5-ish), NOT 16 * 5. This is the crux of Matryoshka's win
+  // over the inner-parallel workaround.
+  std::vector<int64_t> params(16);
+  for (int i = 0; i < 16; ++i) params[i] = 5;
+  auto bag = Parallelize(&cluster_, params, 4);
+  auto init = LiftFlatBag(bag);
+  cluster_.Reset();
+  LiftedWhileScalar(init, [](const LiftingContext&,
+                             const InnerScalar<int64_t>& s, int64_t) {
+    auto next = UnaryScalarOp(s, [](int64_t x) { return x - 1; });
+    auto cond = UnaryScalarOp(next, [](int64_t x) { return x > 0; });
+    return std::make_pair(next, cond);
+  });
+  EXPECT_GT(cluster_.metrics().jobs, 0);
+  EXPECT_LE(cluster_.metrics().jobs, 6);
+}
+
+TEST_F(ControlFlowTest, LiftedWhileOnInnerBagState) {
+  // Each group's bag of numbers is decremented until all of the group's
+  // numbers are <= 0; groups have different starting maxima.
+  std::vector<std::pair<int64_t, int64_t>> data{
+      {1, 2}, {1, 1}, {2, 4}};
+  auto nested = GroupByKeyIntoNestedBag(Parallelize(&cluster_, data, 2));
+  auto result = LiftedWhile(
+      nested.values(),
+      [](const LiftingContext& ctx, const InnerBag<int64_t>& state,
+         int64_t) {
+        auto next = LiftedMap(state, [](int64_t x) { return x - 1; });
+        auto maxes = LiftedReduce(
+            next, [](int64_t a, int64_t b) { return std::max(a, b); });
+        auto cond = UnaryScalarOp(maxes, [](int64_t m) { return m > 0; });
+        (void)ctx;
+        return std::make_pair(next, cond);
+      });
+  // Group 1 loops twice: {2,1} -> {1,0} -> {0,-1}. Group 2 loops 4 times:
+  // {4} -> ... -> {0}.
+  auto counts = LiftedCount(result);
+  auto keyed = ZipWithKeys(nested.keys(), counts).ToVector();
+  std::map<int64_t, int64_t> m(keyed.begin(), keyed.end());
+  EXPECT_EQ(m[1], 2);
+  EXPECT_EQ(m[2], 1);
+  auto values = result.Flatten().ToVector();
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<int64_t>{-1, 0, 0}));
+}
+
+TEST_F(ControlFlowTest, LiftedWhileMaxIterationsGuard) {
+  auto params = Parallelize(&cluster_, std::vector<int64_t>{1}, 1);
+  auto init = LiftFlatBag(params);
+  LiftedWhileScalar(
+      init,
+      [](const LiftingContext&, const InnerScalar<int64_t>& s, int64_t) {
+        auto next = UnaryScalarOp(s, [](int64_t x) { return x; });
+        auto cond = UnaryScalarOp(next, [](int64_t) { return true; });
+        return std::make_pair(next, cond);
+      },
+      /*max_iterations=*/10);
+  EXPECT_FALSE(cluster_.ok());
+  EXPECT_EQ(cluster_.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(ControlFlowTest, LiftedIfScalarRoutesTagsByCondition) {
+  auto params =
+      Parallelize(&cluster_, std::vector<int64_t>{1, 2, 3, 4}, 2);
+  auto input = LiftFlatBag(params);
+  auto cond = UnaryScalarOp(input, [](int64_t x) { return x % 2 == 0; });
+  auto result = LiftedIfScalar(
+      cond, input,
+      [](const InnerScalar<int64_t>& evens) {
+        return UnaryScalarOp(evens, [](int64_t x) { return x * 100; });
+      },
+      [](const InnerScalar<int64_t>& odds) {
+        return UnaryScalarOp(odds, [](int64_t x) { return -x; });
+      });
+  auto v = result.Flatten().ToVector();
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int64_t>{-3, -1, 200, 400}));
+}
+
+TEST_F(ControlFlowTest, LiftedIfBranchesSeeOnlyTheirTags) {
+  auto params = Parallelize(&cluster_, std::vector<int64_t>{1, 2}, 2);
+  auto input = LiftFlatBag(params);
+  auto cond = UnaryScalarOp(input, [](int64_t x) { return x == 1; });
+  int64_t then_tags = -1, else_tags = -1;
+  LiftedIfScalar(
+      cond, input,
+      [&](const InnerScalar<int64_t>& s) {
+        then_tags = s.ctx().num_tags();
+        return s;
+      },
+      [&](const InnerScalar<int64_t>& s) {
+        else_tags = s.ctx().num_tags();
+        return s;
+      });
+  EXPECT_EQ(then_tags, 1);
+  EXPECT_EQ(else_tags, 1);
+}
+
+TEST_F(ControlFlowTest, LiftedIfOnInnerBags) {
+  // Groups with even counts double their elements; odd-count groups negate.
+  std::vector<std::pair<int64_t, int64_t>> data{
+      {1, 5}, {1, 6}, {2, 7}};
+  auto nested = GroupByKeyIntoNestedBag(Parallelize(&cluster_, data, 2));
+  auto counts = LiftedCount(nested.values());
+  auto cond = UnaryScalarOp(counts, [](int64_t c) { return c % 2 == 0; });
+  auto result = LiftedIf(
+      cond, nested.values(),
+      [](const InnerBag<int64_t>& b) {
+        return LiftedMap(b, [](int64_t x) { return 2 * x; });
+      },
+      [](const InnerBag<int64_t>& b) {
+        return LiftedMap(b, [](int64_t x) { return -x; });
+      });
+  auto v = result.Flatten().ToVector();
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int64_t>{-7, 10, 12}));
+}
+
+TEST_F(ControlFlowTest, IterativeComputationInsideLiftedIf) {
+  // Compositionality: a lifted while nested inside a lifted if branch.
+  auto params = Parallelize(&cluster_, std::vector<int64_t>{3, 50}, 2);
+  auto input = LiftFlatBag(params);
+  auto cond = UnaryScalarOp(input, [](int64_t x) { return x < 10; });
+  auto result = LiftedIfScalar(
+      cond, input,
+      [](const InnerScalar<int64_t>& small) {
+        // Double until >= 10.
+        return LiftedWhileScalar(
+            small, [](const LiftingContext&, const InnerScalar<int64_t>& s,
+                      int64_t) {
+              auto next = UnaryScalarOp(s, [](int64_t x) { return 2 * x; });
+              auto cond2 =
+                  UnaryScalarOp(next, [](int64_t x) { return x < 10; });
+              return std::make_pair(next, cond2);
+            });
+      },
+      [](const InnerScalar<int64_t>& big) { return big; });
+  auto v = result.Flatten().ToVector();
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int64_t>{12, 50}));
+}
+
+}  // namespace
+}  // namespace matryoshka::core

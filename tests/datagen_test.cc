@@ -1,0 +1,108 @@
+// Tests for the synthetic data generators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "datagen/datagen.h"
+
+namespace matryoshka::datagen {
+namespace {
+
+TEST(VisitsTest, CountAndDayRange) {
+  auto v = GenerateVisits(1000, 8, 0.0, 0.5, 1);
+  EXPECT_EQ(v.size(), 1000u);
+  for (auto& [day, ip] : v) {
+    EXPECT_GE(day, 0);
+    EXPECT_LT(day, 8);
+  }
+}
+
+TEST(VisitsTest, Deterministic) {
+  auto a = GenerateVisits(500, 4, 0.0, 0.5, 9);
+  auto b = GenerateVisits(500, 4, 0.0, 0.5, 9);
+  EXPECT_EQ(a, b);
+}
+
+TEST(VisitsTest, BounceFractionRoughlyHonored) {
+  auto v = GenerateVisits(20000, 4, 0.0, 0.7, 3);
+  std::map<int64_t, int64_t> per_ip;
+  for (auto& [day, ip] : v) per_ip[ip]++;
+  int64_t bounces = 0;
+  for (auto& [ip, c] : per_ip) bounces += (c == 1) ? 1 : 0;
+  double rate = static_cast<double>(bounces) / per_ip.size();
+  EXPECT_GT(rate, 0.6);
+  EXPECT_LT(rate, 0.85);
+}
+
+TEST(VisitsTest, ZipfSkewsDays) {
+  auto v = GenerateVisits(20000, 16, 1.2, 0.5, 5);
+  std::map<int64_t, int64_t> per_day;
+  for (auto& [day, ip] : v) per_day[day]++;
+  // The most popular day dominates the median day by a wide margin.
+  std::vector<int64_t> counts;
+  for (auto& [d, c] : per_day) counts.push_back(c);
+  std::sort(counts.rbegin(), counts.rend());
+  EXPECT_GT(counts[0], 4 * counts[counts.size() / 2]);
+}
+
+TEST(VisitsTest, VisitorsAreDayLocal) {
+  auto v = GenerateVisits(5000, 8, 0.0, 0.5, 7);
+  std::map<int64_t, std::set<int64_t>> days_of_ip;
+  for (auto& [day, ip] : v) days_of_ip[ip].insert(day);
+  for (auto& [ip, days] : days_of_ip) EXPECT_EQ(days.size(), 1u);
+}
+
+TEST(GroupedEdgesTest, VertexSpacesDisjoint) {
+  auto edges = GenerateGroupedEdges(2000, 8, 32, 0.0, 11);
+  EXPECT_EQ(edges.size(), 2000u);
+  for (auto& [g, e] : edges) {
+    EXPECT_GE(e.src, g * 32);
+    EXPECT_LT(e.src, (g + 1) * 32);
+    EXPECT_GE(e.dst, g * 32);
+    EXPECT_LT(e.dst, (g + 1) * 32);
+  }
+}
+
+TEST(GroupedEdgesTest, ZipfSkewsGroups) {
+  auto edges = GenerateGroupedEdges(20000, 64, 16, 1.2, 13);
+  std::map<int64_t, int64_t> per_group;
+  for (auto& [g, e] : edges) per_group[g]++;
+  EXPECT_GT(per_group[0], 8 * per_group.rbegin()->second);
+}
+
+TEST(ComponentsTest, CycleBackboneConnects) {
+  auto edges = GenerateComponents(3, 10, 0, 17);
+  // 3 components x 10 cycle edges x 2 directions.
+  EXPECT_EQ(edges.size(), 60u);
+  // Vertices of different components never share an edge.
+  for (const auto& e : edges) {
+    EXPECT_EQ(e.src / 10, e.dst / 10);
+  }
+}
+
+TEST(ComponentsTest, ExtraEdgesStayInComponent) {
+  auto edges = GenerateComponents(4, 8, 5, 19);
+  for (const auto& e : edges) EXPECT_EQ(e.src / 8, e.dst / 8);
+}
+
+TEST(PointsTest, GroupedPointsCoverAllGroups) {
+  auto pts = GenerateGroupedPoints(4000, 8, 3, 23);
+  std::set<int64_t> groups;
+  for (auto& [g, p] : pts) groups.insert(g);
+  EXPECT_EQ(groups.size(), 8u);
+}
+
+TEST(PointsTest, InitialMeansDeterministicPerSeed) {
+  auto a = GenerateInitialMeans(4, 100);
+  auto b = GenerateInitialMeans(4, 100);
+  auto c = GenerateInitialMeans(4, 101);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 4u);
+}
+
+}  // namespace
+}  // namespace matryoshka::datagen

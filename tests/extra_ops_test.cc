@@ -1,0 +1,262 @@
+// Tests for the secondary engine operators (sample, subtract, intersection,
+// aggregateByKey, top-k) and their lifted counterparts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/lifted_extra.h"
+#include "core/matryoshka.h"
+#include "engine/extra_ops.h"
+
+namespace matryoshka {
+namespace {
+
+using core::GroupByKeyIntoNestedBag;
+using engine::Bag;
+using engine::Cluster;
+using engine::ClusterConfig;
+using engine::Parallelize;
+
+ClusterConfig TestConfig() {
+  ClusterConfig cfg;
+  cfg.num_machines = 4;
+  cfg.cores_per_machine = 4;
+  cfg.default_parallelism = 8;
+  return cfg;
+}
+
+std::vector<int64_t> Iota(int64_t n) {
+  std::vector<int64_t> v(static_cast<std::size_t>(n));
+  for (int64_t i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = i;
+  return v;
+}
+
+template <typename T>
+std::vector<T> Sorted(std::vector<T> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+class ExtraOpsTest : public ::testing::Test {
+ protected:
+  ExtraOpsTest() : cluster_(TestConfig()) {}
+  Cluster cluster_;
+};
+
+TEST_F(ExtraOpsTest, SampleFractionRoughlyHonored) {
+  auto data = Iota(20000);
+  auto bag = Parallelize(&cluster_, data, 8);
+  auto s = engine::Sample(bag, 0.25, 7);
+  EXPECT_NEAR(static_cast<double>(s.Size()), 5000.0, 400.0);
+  // Sampled elements are a subset.
+  std::set<int64_t> all(data.begin(), data.end());
+  for (int64_t x : s.ToVector()) EXPECT_TRUE(all.count(x));
+}
+
+TEST_F(ExtraOpsTest, SampleDeterministicPerSeed) {
+  auto bag = Parallelize(&cluster_, Iota(1000), 4);
+  auto a = engine::Sample(bag, 0.5, 11).ToVector();
+  auto b = engine::Sample(bag, 0.5, 11).ToVector();
+  auto c = engine::Sample(bag, 0.5, 12).ToVector();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST_F(ExtraOpsTest, SampleEdgeFractions) {
+  auto bag = Parallelize(&cluster_, Iota(100), 4);
+  EXPECT_EQ(engine::Sample(bag, 1.0, 1).Size(), 100);
+  EXPECT_LE(engine::Sample(bag, 0.0, 1).Size(), 1);  // ~0 (boundary hash)
+}
+
+TEST_F(ExtraOpsTest, SubtractRemovesAllOccurrences) {
+  std::vector<int64_t> a{1, 2, 2, 3, 4};
+  std::vector<int64_t> b{2, 4, 9};
+  auto ab = Parallelize(&cluster_, a, 3);
+  auto bb = Parallelize(&cluster_, b, 2);
+  EXPECT_EQ(Sorted(engine::Subtract(ab, bb, 4).ToVector()),
+            (std::vector<int64_t>{1, 3}));
+}
+
+TEST_F(ExtraOpsTest, SubtractEmptyRight) {
+  auto a = Parallelize(&cluster_, Iota(10), 3);
+  auto b = Parallelize(&cluster_, std::vector<int64_t>{}, 2);
+  EXPECT_EQ(Sorted(engine::Subtract(a, b).ToVector()), Iota(10));
+}
+
+TEST_F(ExtraOpsTest, IntersectionDeduplicates) {
+  std::vector<int64_t> a{1, 2, 2, 3};
+  std::vector<int64_t> b{2, 2, 3, 5};
+  auto ab = Parallelize(&cluster_, a, 2);
+  auto bb = Parallelize(&cluster_, b, 3);
+  EXPECT_EQ(Sorted(engine::Intersection(ab, bb, 4).ToVector()),
+            (std::vector<int64_t>{2, 3}));
+}
+
+TEST_F(ExtraOpsTest, AggregateByKeyComputesAverages) {
+  std::vector<std::pair<int64_t, int64_t>> data;
+  for (int64_t i = 0; i < 90; ++i) data.emplace_back(i % 3, i);
+  auto bag = Parallelize(&cluster_, data, 6);
+  using Acc = std::pair<int64_t, int64_t>;  // (sum, count)
+  auto agg = engine::AggregateByKey(
+      bag, Acc{0, 0},
+      [](Acc acc, int64_t v) {
+        return Acc{acc.first + v, acc.second + 1};
+      },
+      [](Acc x, const Acc& y) {
+        return Acc{x.first + y.first, x.second + y.second};
+      },
+      4);
+  auto v = agg.ToVector();
+  ASSERT_EQ(v.size(), 3u);
+  for (auto& [k, acc] : v) {
+    EXPECT_EQ(acc.second, 30);
+    // Sum of i in 0..89 with i % 3 == k.
+    int64_t expect = 0;
+    for (int64_t i = 0; i < 90; ++i) {
+      if (i % 3 == k) expect += i;
+    }
+    EXPECT_EQ(acc.first, expect) << "key " << k;
+  }
+}
+
+TEST_F(ExtraOpsTest, AggregateByKeyMatchesReduceByKeyForMonoids) {
+  std::vector<std::pair<int64_t, int64_t>> data;
+  for (int64_t i = 0; i < 200; ++i) data.emplace_back(i % 7, i);
+  auto bag = Parallelize(&cluster_, data, 5);
+  auto plus = [](int64_t a, int64_t b) { return a + b; };
+  auto via_agg = Sorted(engine::AggregateByKey(bag, int64_t{0}, plus, plus, 4)
+                            .ToVector());
+  auto via_rbk = Sorted(engine::ReduceByKey(bag, plus, 4).ToVector());
+  EXPECT_EQ(via_agg, via_rbk);
+}
+
+TEST_F(ExtraOpsTest, TopKSmallest) {
+  std::vector<int64_t> data{5, 1, 9, 3, 7, 2, 8};
+  auto bag = Parallelize(&cluster_, data, 3);
+  auto top = engine::TopK(bag, 3, std::less<int64_t>());
+  EXPECT_EQ(top, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST_F(ExtraOpsTest, TopKLargestViaGreater) {
+  auto bag = Parallelize(&cluster_, Iota(100), 4);
+  auto top = engine::TopK(bag, 2, std::greater<int64_t>());
+  EXPECT_EQ(top, (std::vector<int64_t>{99, 98}));
+}
+
+TEST_F(ExtraOpsTest, TopKMoreThanSize) {
+  auto bag = Parallelize(&cluster_, Iota(3), 2);
+  EXPECT_EQ(engine::TopK(bag, 10, std::less<int64_t>()).size(), 3u);
+}
+
+TEST_F(ExtraOpsTest, TopKChargesAJob) {
+  auto bag = Parallelize(&cluster_, Iota(10), 2);
+  const int64_t before = cluster_.metrics().jobs;
+  engine::TopK(bag, 2, std::less<int64_t>());
+  EXPECT_EQ(cluster_.metrics().jobs, before + 1);
+}
+
+// ---- lifted counterparts ----
+
+class LiftedExtraTest : public ::testing::Test {
+ protected:
+  LiftedExtraTest() : cluster_(TestConfig()) {}
+
+  core::NestedBag<int64_t, int64_t> MakeNested(
+      const std::vector<std::pair<int64_t, int64_t>>& data) {
+    return GroupByKeyIntoNestedBag(Parallelize(&cluster_, data, 4));
+  }
+
+  std::map<int64_t, std::multiset<int64_t>> PerGroup(
+      const core::NestedBag<int64_t, int64_t>& nested,
+      const core::InnerBag<int64_t>& result) {
+    std::map<core::Tag, int64_t> tag_to_key;
+    for (auto& [t, k] : nested.keys().repr().ToVector()) tag_to_key[t] = k;
+    std::map<int64_t, std::multiset<int64_t>> out;
+    for (auto& [t, v] : result.repr().ToVector()) {
+      out[tag_to_key.at(t)].insert(v);
+    }
+    return out;
+  }
+
+  Cluster cluster_;
+};
+
+TEST_F(LiftedExtraTest, LiftedSubtractStaysWithinGroups) {
+  // Group 1 subtracts {10}; group 2 also CONTAINS 10 but subtracts nothing,
+  // so its 10 must survive.
+  auto a = MakeNested({{1, 10}, {1, 11}, {2, 10}});
+  std::vector<std::pair<core::Tag, int64_t>> b_rows;
+  for (auto& [t, k] : a.keys().repr().ToVector()) {
+    if (k == 1) b_rows.emplace_back(t, 10);
+  }
+  core::InnerBag<int64_t> b(a.ctx(), Parallelize(&cluster_, b_rows, 2));
+  auto result = core::LiftedSubtract(a.values(), b);
+  auto per_group = PerGroup(a, result);
+  EXPECT_EQ(per_group[1], (std::multiset<int64_t>{11}));
+  EXPECT_EQ(per_group[2], (std::multiset<int64_t>{10}));
+}
+
+TEST_F(LiftedExtraTest, LiftedIntersectionStaysWithinGroups) {
+  auto a = MakeNested({{1, 7}, {1, 8}, {2, 7}});
+  std::vector<std::pair<core::Tag, int64_t>> b_rows;
+  for (auto& [t, k] : a.keys().repr().ToVector()) {
+    if (k == 1) {
+      b_rows.emplace_back(t, 7);
+      b_rows.emplace_back(t, 9);
+    }
+  }
+  core::InnerBag<int64_t> b(a.ctx(), Parallelize(&cluster_, b_rows, 2));
+  auto result = core::LiftedIntersection(a.values(), b);
+  auto per_group = PerGroup(a, result);
+  EXPECT_EQ(per_group[1], (std::multiset<int64_t>{7}));
+  EXPECT_EQ(per_group.count(2), 0u);  // group 2's side b is empty
+}
+
+TEST_F(LiftedExtraTest, LiftedSampleSamplesPerGroup) {
+  std::vector<std::pair<int64_t, int64_t>> data;
+  for (int64_t g = 0; g < 4; ++g) {
+    for (int64_t i = 0; i < 2000; ++i) data.emplace_back(g, i);
+  }
+  auto nested = MakeNested(data);
+  auto sampled = core::LiftedSample(nested.values(), 0.5, 3);
+  auto per_group = PerGroup(nested, sampled);
+  for (auto& [g, vs] : per_group) {
+    EXPECT_NEAR(static_cast<double>(vs.size()), 1000.0, 200.0)
+        << "group " << g;
+  }
+}
+
+TEST_F(LiftedExtraTest, LiftedAggregateByKeyPerGroupAverages) {
+  // Per group: average value per key parity.
+  std::vector<std::pair<int64_t, int64_t>> data{
+      {1, 2}, {1, 4}, {1, 3}, {2, 10}};
+  auto nested = MakeNested(data);
+  auto keyed = core::LiftedMap(nested.values(), [](int64_t v) {
+    return std::pair<int64_t, int64_t>(v % 2, v);
+  });
+  using Acc = std::pair<int64_t, int64_t>;
+  auto agg = core::LiftedAggregateByKey(
+      keyed, Acc{0, 0},
+      [](Acc acc, int64_t v) {
+        return Acc{acc.first + v, acc.second + 1};
+      },
+      [](Acc x, const Acc& y) {
+        return Acc{x.first + y.first, x.second + y.second};
+      });
+  // Flatten and check: group 1 has parity-0 values {2,4} and parity-1 {3};
+  // group 2 parity-0 {10}.
+  std::multiset<std::pair<int64_t, Acc>> got;
+  for (auto& p : agg.Flatten().ToVector()) got.insert(p);
+  EXPECT_TRUE(got.count({0, Acc{6, 2}}));
+  EXPECT_TRUE(got.count({1, Acc{3, 1}}));
+  EXPECT_TRUE(got.count({0, Acc{10, 1}}));
+  EXPECT_EQ(got.size(), 3u);
+}
+
+}  // namespace
+}  // namespace matryoshka

@@ -1,0 +1,406 @@
+// Property-based tests of the flattening correctness theorem (Sec. 7,
+// Theorem 2): the change from the nested representation to the flat tagged
+// representation is an isomorphism that PRESERVES every lifted operation,
+//
+//     m(f(x)) == f'(m(x))
+//
+// where f is the per-group operation of the user's program, f' its lifted
+// version, and m the nested->flat representation change. Concretely: for
+// randomly generated grouped data, applying a lifted operation to the
+// InnerBag and reading the result back per group must equal applying the
+// plain sequential operation to each group independently.
+//
+// Each property is swept over (seed, #groups, #partitions) with
+// parameterized gtest instantiations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "core/matryoshka.h"
+
+namespace matryoshka::core {
+namespace {
+
+using engine::Cluster;
+using engine::ClusterConfig;
+using engine::Parallelize;
+
+ClusterConfig TestConfig() {
+  ClusterConfig cfg;
+  cfg.num_machines = 4;
+  cfg.cores_per_machine = 4;
+  cfg.default_parallelism = 8;
+  return cfg;
+}
+
+/// (seed, number of groups, input partition count)
+using Param = std::tuple<uint64_t, int64_t, int64_t>;
+
+class LiftingIsomorphismTest : public ::testing::TestWithParam<Param> {
+ protected:
+  LiftingIsomorphismTest() : cluster_(TestConfig()) {}
+
+  /// Random grouped data: group -> multiset of small ints (some groups may
+  /// collide on values, some values repeat within a group).
+  std::vector<std::pair<int64_t, int64_t>> MakeData() {
+    auto [seed, groups, parts] = GetParam();
+    Rng rng(seed);
+    std::vector<std::pair<int64_t, int64_t>> data;
+    const int64_t n = 40 * groups;
+    data.reserve(static_cast<std::size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      data.emplace_back(static_cast<int64_t>(rng.Uniform(
+                            static_cast<uint64_t>(groups))),
+                        rng.UniformInt(-20, 20));
+    }
+    return data;
+  }
+
+  /// The nested view of the data: m^-1 of the input.
+  std::map<int64_t, std::vector<int64_t>> GroupsOf(
+      const std::vector<std::pair<int64_t, int64_t>>& data) {
+    std::map<int64_t, std::vector<int64_t>> by_group;
+    for (auto& [g, v] : data) by_group[g].push_back(v);
+    return by_group;
+  }
+
+  NestedBag<int64_t, int64_t> Lift(
+      const std::vector<std::pair<int64_t, int64_t>>& data) {
+    auto [seed, groups, parts] = GetParam();
+    auto bag = Parallelize(&cluster_, data, parts);
+    return GroupByKeyIntoNestedBag(bag);
+  }
+
+  /// Reads a lifted result back into the nested view: applies m^-1.
+  template <typename T>
+  std::map<int64_t, std::multiset<T>> Unlift(
+      const NestedBag<int64_t, int64_t>& nested, const InnerBag<T>& result) {
+    // Map tags back to group keys through the keys InnerScalar.
+    std::map<Tag, int64_t> tag_to_key;
+    for (auto& [t, k] : nested.keys().repr().ToVector()) tag_to_key[t] = k;
+    std::map<int64_t, std::multiset<T>> out;
+    for (auto& [t, k] : nested.keys().repr().ToVector()) {
+      out[k];  // every group exists, even if its inner bag is empty
+    }
+    for (auto& [t, v] : result.repr().ToVector()) {
+      auto it = tag_to_key.find(t);
+      EXPECT_TRUE(it != tag_to_key.end()) << "unknown tag " << t.ToString();
+      if (it != tag_to_key.end()) out[it->second].insert(v);
+    }
+    return out;
+  }
+
+  template <typename T>
+  std::map<int64_t, T> UnliftScalar(
+      const NestedBag<int64_t, int64_t>& nested,
+      const InnerScalar<T>& result) {
+    auto pairs = ZipWithKeys(nested.keys(), result).ToVector();
+    std::map<int64_t, T> out;
+    for (auto& [k, v] : pairs) {
+      EXPECT_EQ(out.count(k), 0u) << "duplicate tag for group " << k;
+      out[k] = v;
+    }
+    return out;
+  }
+
+  Cluster cluster_;
+};
+
+TEST_P(LiftingIsomorphismTest, MapCommutes) {
+  auto data = MakeData();
+  auto nested = Lift(data);
+  auto f = [](int64_t v) { return 3 * v - 1; };
+  auto lifted = Unlift(nested, LiftedMap(nested.values(), f));
+  for (auto& [g, vs] : GroupsOf(data)) {
+    std::multiset<int64_t> expect;
+    for (int64_t v : vs) expect.insert(f(v));
+    EXPECT_EQ(lifted[g], expect) << "group " << g;
+  }
+}
+
+TEST_P(LiftingIsomorphismTest, FilterCommutes) {
+  auto data = MakeData();
+  auto nested = Lift(data);
+  auto pred = [](int64_t v) { return v % 3 == 0; };
+  auto lifted = Unlift(nested, LiftedFilter(nested.values(), pred));
+  for (auto& [g, vs] : GroupsOf(data)) {
+    std::multiset<int64_t> expect;
+    for (int64_t v : vs) {
+      if (pred(v)) expect.insert(v);
+    }
+    EXPECT_EQ(lifted[g], expect) << "group " << g;
+  }
+}
+
+TEST_P(LiftingIsomorphismTest, FlatMapCommutes) {
+  auto data = MakeData();
+  auto nested = Lift(data);
+  auto f = [](int64_t v) {
+    return v % 2 == 0 ? std::vector<int64_t>{v, v + 1}
+                      : std::vector<int64_t>{};
+  };
+  auto lifted = Unlift(nested, LiftedFlatMap(nested.values(), f));
+  for (auto& [g, vs] : GroupsOf(data)) {
+    std::multiset<int64_t> expect;
+    for (int64_t v : vs) {
+      for (int64_t y : f(v)) expect.insert(y);
+    }
+    EXPECT_EQ(lifted[g], expect) << "group " << g;
+  }
+}
+
+TEST_P(LiftingIsomorphismTest, DistinctCommutes) {
+  auto data = MakeData();
+  auto nested = Lift(data);
+  auto lifted = Unlift(nested, LiftedDistinct(nested.values()));
+  for (auto& [g, vs] : GroupsOf(data)) {
+    std::set<int64_t> dedup(vs.begin(), vs.end());
+    std::multiset<int64_t> expect(dedup.begin(), dedup.end());
+    EXPECT_EQ(lifted[g], expect) << "group " << g;
+  }
+}
+
+TEST_P(LiftingIsomorphismTest, CountCommutes) {
+  auto data = MakeData();
+  auto nested = Lift(data);
+  auto lifted = UnliftScalar(nested, LiftedCount(nested.values()));
+  for (auto& [g, vs] : GroupsOf(data)) {
+    EXPECT_EQ(lifted[g], static_cast<int64_t>(vs.size())) << "group " << g;
+  }
+}
+
+TEST_P(LiftingIsomorphismTest, ReduceCommutes) {
+  auto data = MakeData();
+  auto nested = Lift(data);
+  auto f = [](int64_t a, int64_t b) { return a + b; };
+  auto lifted = UnliftScalar(nested, LiftedReduce(nested.values(), f));
+  for (auto& [g, vs] : GroupsOf(data)) {
+    int64_t sum = 0;
+    for (int64_t v : vs) sum += v;
+    EXPECT_EQ(lifted[g], sum) << "group " << g;
+  }
+}
+
+TEST_P(LiftingIsomorphismTest, FoldWithEmptyGroupsCommutes) {
+  auto data = MakeData();
+  auto nested = Lift(data);
+  // Filter out everything >= 0 in some groups; fold must still produce the
+  // zero element for groups whose inner bag became empty.
+  auto filtered = LiftedFilter(nested.values(),
+                               [](int64_t v) { return v < -15; });
+  auto folded = LiftedFold(
+      filtered, int64_t{100}, [](int64_t v) { return v; },
+      [](int64_t a, int64_t b) { return a + b; });
+  auto lifted = UnliftScalar(nested, folded);
+  for (auto& [g, vs] : GroupsOf(data)) {
+    bool any = false;
+    int64_t sum = 0;
+    for (int64_t v : vs) {
+      if (v < -15) {
+        any = true;
+        sum += v;
+      }
+    }
+    // LiftedFold reduces the surviving values; a group whose inner bag
+    // became empty must yield exactly the zero element.
+    EXPECT_EQ(lifted[g], any ? sum : 100) << "group " << g;
+  }
+}
+
+TEST_P(LiftingIsomorphismTest, ReduceByKeyCommutes) {
+  auto data = MakeData();
+  auto nested = Lift(data);
+  // Per group: histogram of value parity.
+  auto keyed = LiftedMap(nested.values(), [](int64_t v) {
+    return std::pair<int64_t, int64_t>(((v % 2) + 2) % 2, 1);
+  });
+  auto reduced =
+      LiftedReduceByKey(keyed, [](int64_t a, int64_t b) { return a + b; });
+  auto lifted = Unlift(nested, reduced);
+  for (auto& [g, vs] : GroupsOf(data)) {
+    std::map<int64_t, int64_t> hist;
+    for (int64_t v : vs) hist[((v % 2) + 2) % 2]++;
+    std::multiset<std::pair<int64_t, int64_t>> expect(hist.begin(),
+                                                      hist.end());
+    EXPECT_EQ(lifted[g], expect) << "group " << g;
+  }
+}
+
+TEST_P(LiftingIsomorphismTest, UnionCommutes) {
+  auto data = MakeData();
+  auto nested = Lift(data);
+  auto doubled = LiftedMap(nested.values(), [](int64_t v) { return 2 * v; });
+  auto unioned = LiftedUnion(nested.values(), doubled);
+  auto lifted = Unlift(nested, unioned);
+  for (auto& [g, vs] : GroupsOf(data)) {
+    std::multiset<int64_t> expect(vs.begin(), vs.end());
+    for (int64_t v : vs) expect.insert(2 * v);
+    EXPECT_EQ(lifted[g], expect) << "group " << g;
+  }
+}
+
+TEST_P(LiftingIsomorphismTest, CompositionCommutes) {
+  // A whole pipeline (map . filter . reduceByKey . count) commutes — the
+  // composition argument of Theorem 2's proof.
+  auto data = MakeData();
+  auto nested = Lift(data);
+  auto piped = LiftedCount(LiftedReduceByKey(
+      LiftedMap(LiftedFilter(nested.values(),
+                             [](int64_t v) { return v > 0; }),
+                [](int64_t v) {
+                  return std::pair<int64_t, int64_t>(v % 5, v);
+                }),
+      [](int64_t a, int64_t b) { return std::max(a, b); }));
+  auto lifted = UnliftScalar(nested, piped);
+  for (auto& [g, vs] : GroupsOf(data)) {
+    std::set<int64_t> keys;
+    for (int64_t v : vs) {
+      if (v > 0) keys.insert(v % 5);
+    }
+    EXPECT_EQ(lifted[g], static_cast<int64_t>(keys.size())) << "group " << g;
+  }
+}
+
+TEST_P(LiftingIsomorphismTest, MapWithClosureCommutes) {
+  auto data = MakeData();
+  auto nested = Lift(data);
+  auto counts = LiftedCount(nested.values());
+  auto scaled = MapWithClosure(
+      nested.values(), counts,
+      [](int64_t v, int64_t n) { return v * n; });
+  auto lifted = Unlift(nested, scaled);
+  for (auto& [g, vs] : GroupsOf(data)) {
+    std::multiset<int64_t> expect;
+    for (int64_t v : vs) expect.insert(v * static_cast<int64_t>(vs.size()));
+    EXPECT_EQ(lifted[g], expect) << "group " << g;
+  }
+}
+
+TEST_P(LiftingIsomorphismTest, LiftedWhileCommutes) {
+  // Collatz-ish bounded loop per group: every element halves (rounded up)
+  // until the group's max drops below 3. Loops exit at different rounds.
+  auto data = MakeData();
+  // Make values positive so the loop terminates.
+  for (auto& [g, v] : data) v = std::abs(v) + 1;
+  auto nested = Lift(data);
+  auto result = LiftedWhile(
+      nested.values(),
+      [](const LiftingContext&, const InnerBag<int64_t>& state, int64_t) {
+        auto next = LiftedMap(state, [](int64_t v) { return (v + 1) / 2; });
+        auto maxes = LiftedReduce(
+            next, [](int64_t a, int64_t b) { return std::max(a, b); });
+        auto cond = UnaryScalarOp(maxes, [](int64_t m) { return m >= 3; });
+        return std::make_pair(next, cond);
+      },
+      /*max_iterations=*/100);
+  auto lifted = Unlift(nested, result);
+  for (auto& [g, vs] : GroupsOf(data)) {
+    std::vector<int64_t> state(vs.begin(), vs.end());
+    for (;;) {
+      int64_t mx = 0;
+      for (auto& v : state) {
+        v = (v + 1) / 2;
+        mx = std::max(mx, v);
+      }
+      if (mx < 3) break;
+    }
+    std::multiset<int64_t> expect(state.begin(), state.end());
+    EXPECT_EQ(lifted[g], expect) << "group " << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LiftingIsomorphismTest,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 2, 3),
+                       ::testing::Values<int64_t>(1, 5, 17),
+                       ::testing::Values<int64_t>(1, 7)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_groups" +
+             std::to_string(std::get<1>(info.param)) + "_parts" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---- Scale propagation properties (the cost model's bookkeeping must
+// ---- never depend on which physical strategy ran) ----
+
+class StrategyInvarianceTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int64_t>> {};
+
+TEST_P(StrategyInvarianceTest, JoinStrategyNeverChangesResults) {
+  auto [seed, groups] = GetParam();
+  Rng rng(seed);
+  std::vector<std::pair<int64_t, int64_t>> data;
+  for (int64_t i = 0; i < groups * 30; ++i) {
+    data.emplace_back(static_cast<int64_t>(
+                          rng.Uniform(static_cast<uint64_t>(groups))),
+                      rng.UniformInt(0, 100));
+  }
+  std::vector<std::pair<int64_t, double>> results[2];
+  int idx = 0;
+  for (auto strategy : {JoinStrategy::kBroadcast, JoinStrategy::kRepartition}) {
+    Cluster cluster(TestConfig());
+    OptimizerOptions opts;
+    opts.join_strategy = strategy;
+    auto nested =
+        GroupByKeyIntoNestedBag(Parallelize(&cluster, data, 5), opts);
+    auto counts = LiftedCount(nested.values());
+    auto sums = LiftedReduce(nested.values(),
+                             [](int64_t a, int64_t b) { return a + b; });
+    auto mean = BinaryScalarOp(sums, counts, [](int64_t s, int64_t n) {
+      return static_cast<double>(s) / static_cast<double>(n);
+    });
+    results[idx] = ZipWithKeys(nested.keys(), mean).ToVector();
+    std::sort(results[idx].begin(), results[idx].end());
+    ASSERT_TRUE(cluster.ok());
+    ++idx;
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+TEST_P(StrategyInvarianceTest, PartitionTuningNeverChangesResults) {
+  auto [seed, groups] = GetParam();
+  Rng rng(seed);
+  std::vector<std::pair<int64_t, int64_t>> data;
+  for (int64_t i = 0; i < groups * 30; ++i) {
+    data.emplace_back(static_cast<int64_t>(
+                          rng.Uniform(static_cast<uint64_t>(groups))),
+                      rng.UniformInt(0, 100));
+  }
+  std::vector<std::pair<int64_t, int64_t>> results[2];
+  int idx = 0;
+  for (bool tuned : {true, false}) {
+    Cluster cluster(TestConfig());
+    OptimizerOptions opts;
+    opts.tune_partitions = tuned;
+    auto nested =
+        GroupByKeyIntoNestedBag(Parallelize(&cluster, data, 5), opts);
+    auto counts = LiftedCount(LiftedDistinct(nested.values()));
+    results[idx] = ZipWithKeys(nested.keys(), counts).ToVector();
+    std::sort(results[idx].begin(), results[idx].end());
+    ASSERT_TRUE(cluster.ok());
+    ++idx;
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StrategyInvarianceTest,
+                         ::testing::Combine(::testing::Values<uint64_t>(11,
+                                                                        13),
+                                            ::testing::Values<int64_t>(3,
+                                                                       24)),
+                         [](const auto& info) {
+                           return "seed" +
+                                  std::to_string(std::get<0>(info.param)) +
+                                  "_groups" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+}  // namespace
+}  // namespace matryoshka::core

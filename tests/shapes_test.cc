@@ -1,0 +1,183 @@
+// Integration tests pinning the paper's headline QUALITATIVE results at a
+// scale small enough for CI. Each test is a miniature of one evaluation
+// claim (Sec. 9); the full-size versions live in bench/. If one of these
+// breaks, a figure's shape broke.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "engine/bag.h"
+#include "workloads/bounce_rate.h"
+#include "workloads/kmeans.h"
+#include "workloads/pagerank.h"
+
+namespace matryoshka::workloads {
+namespace {
+
+using engine::Cluster;
+using engine::ClusterConfig;
+using engine::Parallelize;
+
+/// A miniature of the paper's cluster: 8 machines x 8 cores, 4 GB each,
+/// with data scaled to stand for `target_gb` of real input.
+ClusterConfig MiniPaperCluster(double target_gb, int64_t elements,
+                               double bytes_per_element) {
+  ClusterConfig cfg;
+  cfg.num_machines = 8;
+  cfg.cores_per_machine = 8;
+  cfg.memory_per_machine_bytes = 4.0 * (1ULL << 30);
+  cfg.default_parallelism = 3 * 8 * 8;
+  cfg.data_scale =
+      target_gb * (1ULL << 30) / bytes_per_element / elements;
+  return cfg;
+}
+
+double RunKMeansVariant(Variant variant, int64_t groups, int64_t points,
+                        const ClusterConfig& cfg) {
+  Cluster cluster(cfg);
+  auto data = datagen::GenerateGroupedPoints(points, groups, 3, 5);
+  KMeansParams params;
+  params.k = 3;
+  params.max_iterations = 6;
+  params.epsilon = -1.0;
+  auto bag = Parallelize(&cluster, data);
+  auto result = RunKMeans(&cluster, bag, params, variant);
+  EXPECT_TRUE(result.ok()) << VariantName(variant) << ": "
+                           << result.status.ToString();
+  return result.time_s();
+}
+
+TEST(ShapeTest, Fig1CrossoverAndMatryoshkaDominance) {
+  constexpr int64_t kPoints = 1 << 14;
+  auto cfg = MiniPaperCluster(2.0, kPoints,
+                              sizeof(std::pair<int64_t, datagen::Point>));
+  // Few groups: outer-parallel starves; inner-parallel is fine.
+  const double outer_few = RunKMeansVariant(Variant::kOuterParallel, 2,
+                                            kPoints, cfg);
+  const double inner_few = RunKMeansVariant(Variant::kInnerParallel, 2,
+                                            kPoints, cfg);
+  EXPECT_GT(outer_few, 3.0 * inner_few);
+  // Many groups: inner-parallel drowns in job overhead; outer is fine.
+  const double outer_many = RunKMeansVariant(Variant::kOuterParallel, 256,
+                                             kPoints, cfg);
+  const double inner_many = RunKMeansVariant(Variant::kInnerParallel, 256,
+                                             kPoints, cfg);
+  EXPECT_GT(inner_many, 3.0 * outer_many);
+  // Matryoshka beats or roughly matches the best workaround at BOTH ends
+  // (at this miniature scale its fixed per-stage costs weigh relatively
+  // more than in the full-size Fig. 1 run, hence the loose factor).
+  const double m_few =
+      RunKMeansVariant(Variant::kMatryoshka, 2, kPoints, cfg);
+  const double m_many =
+      RunKMeansVariant(Variant::kMatryoshka, 256, kPoints, cfg);
+  EXPECT_LT(m_few, 1.5 * inner_few);
+  EXPECT_LT(m_many, 2.5 * outer_many);
+  // And it is far better than the WRONG workaround at each end.
+  EXPECT_LT(4.0 * m_few, outer_few);
+  EXPECT_LT(4.0 * m_many, inner_many);
+}
+
+TEST(ShapeTest, WeakScalingMatryoshkaStaysFlat) {
+  constexpr int64_t kPoints = 1 << 14;
+  auto cfg = MiniPaperCluster(2.0, kPoints,
+                              sizeof(std::pair<int64_t, datagen::Point>));
+  const double at4 = RunKMeansVariant(Variant::kMatryoshka, 4, kPoints, cfg);
+  const double at128 =
+      RunKMeansVariant(Variant::kMatryoshka, 128, kPoints, cfg);
+  // "Nearly constant": within 2x across a 32x change in inner computations.
+  EXPECT_LT(at128, 2.0 * at4);
+  EXPECT_LT(at4, 2.0 * at128);
+}
+
+TEST(ShapeTest, ScaleOutMatryoshkaSpeedsUpWorkaroundsDoNot) {
+  constexpr int64_t kPoints = 1 << 14;
+  auto run = [&](Variant v, int machines) {
+    auto cfg = MiniPaperCluster(2.0, kPoints,
+                                sizeof(std::pair<int64_t, datagen::Point>));
+    cfg.num_machines = machines;
+    cfg.default_parallelism = 3 * machines * cfg.cores_per_machine;
+    return RunKMeansVariant(v, 32, kPoints, cfg);
+  };
+  const double m2 = run(Variant::kMatryoshka, 2);
+  const double m8 = run(Variant::kMatryoshka, 8);
+  EXPECT_GT(m2, 2.0 * m8);  // near-linear scale-out
+  const double outer2 = run(Variant::kOuterParallel, 2);
+  const double outer8 = run(Variant::kOuterParallel, 8);
+  EXPECT_LT(outer2, 1.5 * outer8);  // flat: capped at 32 groups
+}
+
+TEST(ShapeTest, SkewKillsOuterParallelNotMatryoshka) {
+  constexpr int64_t kVisits = 1 << 14;
+  auto cfg = MiniPaperCluster(12.0, kVisits, sizeof(datagen::Visit));
+  auto skewed = datagen::GenerateVisits(kVisits, 256, 1.1, 0.5, 3);
+  auto uniform = datagen::GenerateVisits(kVisits, 256, 0.0, 0.5, 3);
+
+  Cluster c1(cfg);
+  auto r1 = BounceRateOuterParallel(&c1, Parallelize(&c1, skewed));
+  EXPECT_TRUE(r1.status.IsOutOfMemory());
+
+  Cluster c2(cfg), c3(cfg);
+  auto m_skew = BounceRateMatryoshka(&c2, Parallelize(&c2, skewed));
+  auto m_uni = BounceRateMatryoshka(&c3, Parallelize(&c3, uniform));
+  ASSERT_TRUE(m_skew.ok());
+  ASSERT_TRUE(m_uni.ok());
+  // Sec. 9.5: within 15% of the unskewed run. Allow 25% at mini scale.
+  EXPECT_LT(m_skew.time_s(), 1.25 * m_uni.time_s());
+  EXPECT_GT(m_skew.time_s(), 0.75 * m_uni.time_s());
+}
+
+TEST(ShapeTest, JobCountsAreTheMechanism) {
+  // The causal claim behind every figure: Matryoshka's job count depends on
+  // the iteration count only; inner-parallel's multiplies by the number of
+  // inner computations.
+  constexpr int64_t kEdges = 1 << 13;
+  auto cfg = MiniPaperCluster(1.0, kEdges,
+                              sizeof(std::pair<int64_t, datagen::Edge>));
+  PageRankParams params;
+  params.iterations = 4;
+  for (int64_t groups : {8, 64}) {
+    auto data = datagen::GenerateGroupedEdges(kEdges, groups, 32, 0.0, 7);
+    Cluster cm(cfg), ci(cfg);
+    auto m = PageRankMatryoshka(&cm, Parallelize(&cm, data), params);
+    auto i = PageRankInnerParallel(&ci, Parallelize(&ci, data), params);
+    ASSERT_TRUE(m.ok());
+    ASSERT_TRUE(i.ok());
+    EXPECT_LE(m.metrics.jobs, params.iterations + 4);
+    EXPECT_GE(i.metrics.jobs, groups * params.iterations);
+  }
+}
+
+TEST(ShapeTest, OptimizerNeverLosesBadlyOnJoins) {
+  // Sec. 9.6's summary: the optimizer's choice is never much worse than
+  // the better forced strategy, at either end of the sweep.
+  constexpr int64_t kEdges = 1 << 13;
+  auto cfg = MiniPaperCluster(4.0, kEdges,
+                              sizeof(std::pair<int64_t, datagen::Edge>));
+  PageRankParams params;
+  params.iterations = 4;
+  for (int64_t groups : {4, 256}) {
+    auto data = datagen::GenerateGroupedEdges(
+        kEdges, groups, std::max<int64_t>(16, 4096 / groups), 0.0, 9);
+    double times[3];
+    int idx = 0;
+    for (auto strategy :
+         {core::JoinStrategy::kAuto, core::JoinStrategy::kBroadcast,
+          core::JoinStrategy::kRepartition}) {
+      Cluster c(cfg);
+      core::OptimizerOptions opts;
+      opts.join_strategy = strategy;
+      auto r = PageRankMatryoshka(&c, Parallelize(&c, data), params, opts);
+      ASSERT_TRUE(r.ok());
+      times[idx++] = r.time_s();
+    }
+    const double best = std::min(times[1], times[2]);
+    EXPECT_LT(times[0], 1.3 * best) << groups << " groups";
+  }
+}
+
+}  // namespace
+}  // namespace matryoshka::workloads

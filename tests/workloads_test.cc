@@ -1,0 +1,398 @@
+// Cross-variant correctness tests for the four evaluation workloads: the
+// Matryoshka, outer-parallel, and inner-parallel implementations must all
+// reproduce the sequential driver-side reference (up to floating-point
+// association). This is the repository-level statement of Theorem 2
+// (flattening preserves program semantics).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "engine/bag.h"
+#include "workloads/avg_distances.h"
+#include "workloads/bounce_rate.h"
+#include "workloads/connected_components.h"
+#include "workloads/kmeans.h"
+#include "workloads/pagerank.h"
+
+namespace matryoshka::workloads {
+namespace {
+
+using engine::Cluster;
+using engine::ClusterConfig;
+using engine::Parallelize;
+
+ClusterConfig TestConfig() {
+  ClusterConfig cfg;
+  cfg.num_machines = 4;
+  cfg.cores_per_machine = 4;
+  cfg.default_parallelism = 16;
+  return cfg;
+}
+
+template <typename K, typename R>
+std::map<K, R> AsMap(const std::vector<std::pair<K, R>>& v) {
+  return std::map<K, R>(v.begin(), v.end());
+}
+
+// ---------- Bounce rate ----------
+
+class BounceRateTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(BounceRateTest, MatchesReference) {
+  auto visits = datagen::GenerateVisits(3000, 16, 0.0, 0.5, 7);
+  auto ref = AsMap(BounceRateReference(visits));
+  Cluster cluster(TestConfig());
+  auto bag = Parallelize(&cluster, visits, 8);
+  auto result = RunBounceRate(&cluster, bag, GetParam());
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  auto got = AsMap(result.per_group);
+  ASSERT_EQ(got.size(), ref.size());
+  for (auto& [day, rate] : ref) {
+    ASSERT_TRUE(got.count(day)) << "missing day " << day;
+    EXPECT_NEAR(got[day], rate, 1e-12) << "day " << day;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, BounceRateTest,
+                         ::testing::Values(Variant::kMatryoshka,
+                                           Variant::kOuterParallel,
+                                           Variant::kInnerParallel,
+                                           Variant::kDiqlLike),
+                         [](const auto& info) {
+                           std::string n = VariantName(info.param);
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+TEST(BounceRateSkewTest, ZipfKeysStillCorrect) {
+  auto visits = datagen::GenerateVisits(3000, 32, 1.1, 0.4, 11);
+  auto ref = AsMap(BounceRateReference(visits));
+  Cluster cluster(TestConfig());
+  auto bag = Parallelize(&cluster, visits, 8);
+  auto result = BounceRateMatryoshka(&cluster, bag);
+  ASSERT_TRUE(result.ok());
+  auto got = AsMap(result.per_group);
+  ASSERT_EQ(got.size(), ref.size());
+  for (auto& [day, rate] : ref) EXPECT_NEAR(got[day], rate, 1e-12);
+}
+
+TEST(BounceRateJobsTest, MatryoshkaJobCountIndependentOfGroups) {
+  Cluster cluster(TestConfig());
+  for (int64_t days : {4, 64}) {
+    auto visits = datagen::GenerateVisits(2000, days, 0.0, 0.5, 3);
+    cluster.Reset();
+    auto bag = Parallelize(&cluster, visits, 8);
+    auto result = BounceRateMatryoshka(&cluster, bag);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result.metrics.jobs, 3) << days << " days";
+  }
+}
+
+TEST(BounceRateJobsTest, InnerParallelJobCountGrowsWithGroups) {
+  Cluster cluster(TestConfig());
+  auto visits = datagen::GenerateVisits(2000, 32, 0.0, 0.5, 3);
+  auto bag = Parallelize(&cluster, visits, 8);
+  auto result = BounceRateInnerParallel(&cluster, bag);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result.metrics.jobs, 64);  // >= 2 jobs per day
+}
+
+// ---------- K-means (grouped) ----------
+
+class KMeansTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(KMeansTest, MatchesReference) {
+  KMeansParams params;
+  params.k = 3;
+  params.max_iterations = 8;
+  params.epsilon = 1e-3;
+  auto points = datagen::GenerateGroupedPoints(2000, 6, 3, 21);
+  auto ref = AsMap(KMeansReference(points, params));
+  Cluster cluster(TestConfig());
+  auto bag = Parallelize(&cluster, points, 8);
+  auto result = RunKMeans(&cluster, bag, params, GetParam());
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  auto got = AsMap(result.per_group);
+  ASSERT_EQ(got.size(), ref.size());
+  for (auto& [run, model] : ref) {
+    ASSERT_TRUE(got.count(run));
+    const KMeansModel& g = got[run];
+    EXPECT_EQ(g.iterations, model.iterations) << "run " << run;
+    ASSERT_EQ(g.means.size(), model.means.size());
+    EXPECT_NEAR(g.inertia, model.inertia,
+                1e-6 * (1.0 + std::abs(model.inertia)))
+        << "run " << run;
+    for (std::size_t i = 0; i < g.means.size(); ++i) {
+      for (std::size_t d = 0; d < g.means[i].size(); ++d) {
+        EXPECT_NEAR(g.means[i][d], model.means[i][d], 1e-8);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ParallelVariants, KMeansTest,
+                         ::testing::Values(Variant::kMatryoshka,
+                                           Variant::kOuterParallel,
+                                           Variant::kInnerParallel),
+                         [](const auto& info) {
+                           std::string n = VariantName(info.param);
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+TEST(KMeansDiqlTest, DiqlVariantIsUnsupported) {
+  KMeansParams params;
+  Cluster cluster(TestConfig());
+  auto bag = Parallelize(
+      &cluster, datagen::GenerateGroupedPoints(100, 2, 2, 5), 4);
+  auto result = RunKMeans(&cluster, bag, params, Variant::kDiqlLike);
+  EXPECT_TRUE(result.status.IsUnsupported());
+}
+
+TEST(KMeansConvergenceTest, RunsConvergeAtDifferentIterations) {
+  // The per-tag loop exit (Sec. 6.2 P1-P3) should be exercised: with
+  // different groups, iteration counts should not all be equal.
+  KMeansParams params;
+  params.k = 3;
+  params.max_iterations = 30;
+  params.epsilon = 1e-2;
+  auto points = datagen::GenerateGroupedPoints(3000, 8, 3, 31);
+  Cluster cluster(TestConfig());
+  auto bag = Parallelize(&cluster, points, 8);
+  auto result = KMeansMatryoshka(&cluster, bag, params);
+  ASSERT_TRUE(result.ok());
+  std::vector<int64_t> iters;
+  for (auto& [run, m] : result.per_group) iters.push_back(m.iterations);
+  std::sort(iters.begin(), iters.end());
+  EXPECT_GT(iters.back(), iters.front())
+      << "all runs converged at the same iteration; the test data is too "
+         "uniform to exercise per-tag loop exits";
+}
+
+// ---------- K-means (hyperparameter mode) ----------
+
+TEST(KMeansHyperTest, MatryoshkaMatchesInnerParallel) {
+  KMeansParams params;
+  params.k = 3;
+  params.max_iterations = 6;
+  params.epsilon = 1e-3;
+  auto points = datagen::GeneratePoints(1500, 3, 17);
+  Cluster c1(TestConfig()), c2(TestConfig());
+  auto b1 = Parallelize(&c1, points, 8);
+  auto b2 = Parallelize(&c2, points, 8);
+  auto m = KMeansHyperparameterMatryoshka(&c1, b1, 5, params);
+  auto i = KMeansHyperparameterInnerParallel(&c2, b2, 5, params);
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(i.ok());
+  auto gm = AsMap(m.per_group);
+  auto gi = AsMap(i.per_group);
+  ASSERT_EQ(gm.size(), 5u);
+  ASSERT_EQ(gi.size(), 5u);
+  for (auto& [run, model] : gi) {
+    EXPECT_EQ(gm[run].iterations, model.iterations);
+    EXPECT_NEAR(gm[run].inertia, model.inertia,
+                1e-6 * (1.0 + std::abs(model.inertia)));
+  }
+}
+
+TEST(KMeansHyperTest, ForcedCrossStrategiesAgree) {
+  KMeansParams params;
+  params.k = 2;
+  params.max_iterations = 4;
+  auto points = datagen::GeneratePoints(500, 2, 23);
+  auto run = [&](core::CrossStrategy s) {
+    Cluster c(TestConfig());
+    core::OptimizerOptions opts;
+    opts.cross_strategy = s;
+    auto bag = Parallelize(&c, points, 6);
+    auto r = KMeansHyperparameterMatryoshka(&c, bag, 3, params, opts);
+    EXPECT_TRUE(r.ok());
+    return r.per_group;
+  };
+  auto a = AsMap(run(core::CrossStrategy::kBroadcastScalar));
+  auto b = AsMap(run(core::CrossStrategy::kBroadcastPrimary));
+  ASSERT_EQ(a.size(), b.size());
+  for (auto& [k, m] : a) {
+    EXPECT_NEAR(m.inertia, b[k].inertia, 1e-6 * (1.0 + std::abs(m.inertia)));
+  }
+}
+
+// ---------- PageRank ----------
+
+class PageRankTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(PageRankTest, MatchesReference) {
+  PageRankParams params;
+  params.iterations = 5;
+  auto edges = datagen::GenerateGroupedEdges(2000, 6, 24, 0.0, 13);
+  auto ref = AsMap(PageRankReference(edges, params));
+  Cluster cluster(TestConfig());
+  auto bag = Parallelize(&cluster, edges, 8);
+  auto result = RunPageRank(&cluster, bag, params, GetParam());
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  auto got = AsMap(result.per_group);
+  ASSERT_EQ(got.size(), ref.size());
+  for (auto& [g, sum] : ref) {
+    ASSERT_TRUE(got.count(g)) << "missing group " << g;
+    EXPECT_NEAR(got[g], sum, 1e-9) << "group " << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ParallelVariants, PageRankTest,
+                         ::testing::Values(Variant::kMatryoshka,
+                                           Variant::kOuterParallel,
+                                           Variant::kInnerParallel),
+                         [](const auto& info) {
+                           std::string n = VariantName(info.param);
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+TEST(PageRankSkewTest, ZipfGroupsStillCorrect) {
+  PageRankParams params;
+  params.iterations = 4;
+  auto edges = datagen::GenerateGroupedEdges(2000, 12, 24, 1.1, 19);
+  auto ref = AsMap(PageRankReference(edges, params));
+  Cluster cluster(TestConfig());
+  auto bag = Parallelize(&cluster, edges, 8);
+  auto result = PageRankMatryoshka(&cluster, bag, params);
+  ASSERT_TRUE(result.ok());
+  auto got = AsMap(result.per_group);
+  ASSERT_EQ(got.size(), ref.size());
+  for (auto& [g, sum] : ref) EXPECT_NEAR(got[g], sum, 1e-9);
+}
+
+TEST(PageRankJobsTest, MatryoshkaJobsScaleWithIterationsNotGroups) {
+  PageRankParams params;
+  params.iterations = 5;
+  Cluster cluster(TestConfig());
+  auto edges = datagen::GenerateGroupedEdges(2000, 16, 16, 0.0, 23);
+  auto bag = Parallelize(&cluster, edges, 8);
+  auto result = PageRankMatryoshka(&cluster, bag, params);
+  ASSERT_TRUE(result.ok());
+  // ~1 job per lifted-loop iteration + constant overhead; far below
+  // 16 groups x 5 iterations.
+  EXPECT_LE(result.metrics.jobs, params.iterations + 4);
+}
+
+TEST(PageRankForcedJoinsTest, BroadcastAndRepartitionAgree) {
+  PageRankParams params;
+  params.iterations = 4;
+  auto edges = datagen::GenerateGroupedEdges(1500, 8, 16, 0.0, 29);
+  auto run = [&](core::JoinStrategy s) {
+    Cluster c(TestConfig());
+    core::OptimizerOptions opts;
+    opts.join_strategy = s;
+    auto bag = Parallelize(&c, edges, 8);
+    auto r = PageRankMatryoshka(&c, bag, params, opts);
+    EXPECT_TRUE(r.ok());
+    return AsMap(r.per_group);
+  };
+  auto a = run(core::JoinStrategy::kBroadcast);
+  auto b = run(core::JoinStrategy::kRepartition);
+  ASSERT_EQ(a.size(), b.size());
+  for (auto& [g, sum] : a) EXPECT_NEAR(sum, b[g], 1e-9);
+}
+
+// ---------- Connected components ----------
+
+TEST(ConnectedComponentsTest, MatchesUnionFind) {
+  auto edges = datagen::GenerateComponents(5, 12, 6, 37);
+  auto ref = ConnectedComponentsReference(edges);
+  Cluster cluster(TestConfig());
+  auto bag = Parallelize(&cluster, edges, 8);
+  auto got = engine::Collect(ConnectedComponents(bag));
+  ASSERT_TRUE(cluster.ok());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, ref);
+}
+
+TEST(ConnectedComponentsTest, SingleComponent) {
+  auto edges = datagen::GenerateComponents(1, 8, 0, 41);
+  Cluster cluster(TestConfig());
+  auto bag = Parallelize(&cluster, edges, 4);
+  auto got = engine::Collect(ConnectedComponents(bag));
+  std::set<int64_t> labels;
+  for (auto& [c, v] : got) labels.insert(c);
+  EXPECT_EQ(labels.size(), 1u);
+  EXPECT_EQ(got.size(), 8u);
+}
+
+TEST(ConnectedComponentsTest, EdgesByComponentKeysEveryEdge) {
+  auto edges = datagen::GenerateComponents(3, 6, 2, 43);
+  Cluster cluster(TestConfig());
+  auto bag = Parallelize(&cluster, edges, 4);
+  auto comps = ConnectedComponents(bag);
+  auto keyed = EdgesByComponent(bag, comps);
+  EXPECT_EQ(keyed.Size(), bag.Size());
+  // Every edge's component equals the union-find component of its source.
+  auto ref = ConnectedComponentsReference(edges);
+  std::map<int64_t, int64_t> comp_of;
+  for (auto& [c, v] : ref) comp_of[v] = c;
+  for (auto& [c, e] : engine::Collect(keyed)) {
+    EXPECT_EQ(c, comp_of[e.src]);
+  }
+}
+
+// ---------- Average distances (3 levels) ----------
+
+class AvgDistancesTest : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(AvgDistancesTest, MatchesReference) {
+  auto edges = datagen::GenerateComponents(4, 8, 3, 47);
+  auto ref = AsMap(AvgDistancesReference(edges));
+  Cluster cluster(TestConfig());
+  auto bag = Parallelize(&cluster, edges, 6);
+  auto result = RunAvgDistances(&cluster, bag, {}, GetParam());
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  auto got = AsMap(result.per_group);
+  ASSERT_EQ(got.size(), ref.size());
+  for (auto& [c, avg] : ref) {
+    ASSERT_TRUE(got.count(c)) << "missing component " << c;
+    EXPECT_NEAR(got[c], avg, 1e-9) << "component " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ParallelVariants, AvgDistancesTest,
+                         ::testing::Values(Variant::kMatryoshka,
+                                           Variant::kOuterParallel,
+                                           Variant::kInnerParallel),
+                         [](const auto& info) {
+                           std::string n = VariantName(info.param);
+                           std::replace(n.begin(), n.end(), '-', '_');
+                           return n;
+                         });
+
+TEST(AvgDistancesJobsTest, InnerParallelPaysJobsPerVertexPerStep) {
+  auto edges = datagen::GenerateComponents(2, 6, 0, 53);
+  Cluster c1(TestConfig()), c2(TestConfig());
+  auto b1 = Parallelize(&c1, edges, 4);
+  auto b2 = Parallelize(&c2, edges, 4);
+  auto inner = AvgDistancesInnerParallel(&c1, b1, {});
+  auto matry = AvgDistancesMatryoshka(&c2, b2, {});
+  ASSERT_TRUE(inner.ok());
+  ASSERT_TRUE(matry.ok());
+  // 12 BFS instances x several steps each vs ~max-BFS-depth iterations.
+  EXPECT_GT(inner.metrics.jobs, 3 * matry.metrics.jobs);
+}
+
+TEST(AvgDistancesTest, CycleGraphClosedForm) {
+  // A single cycle of n vertices: average distance = sum over pairs of
+  // min(k, n-k) / (n-1) per vertex. For n = 6: (1+1+2+2+3)/5 = 1.8.
+  auto edges = datagen::GenerateComponents(1, 6, 0, 59);
+  Cluster cluster(TestConfig());
+  auto bag = Parallelize(&cluster, edges, 4);
+  auto result = AvgDistancesMatryoshka(&cluster, bag, {});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.per_group.size(), 1u);
+  EXPECT_NEAR(result.per_group[0].second, 1.8, 1e-9);
+}
+
+}  // namespace
+}  // namespace matryoshka::workloads
