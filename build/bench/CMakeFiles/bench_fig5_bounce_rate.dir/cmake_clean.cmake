@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_bounce_rate.dir/bench_fig5_bounce_rate.cc.o"
+  "CMakeFiles/bench_fig5_bounce_rate.dir/bench_fig5_bounce_rate.cc.o.d"
+  "bench_fig5_bounce_rate"
+  "bench_fig5_bounce_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_bounce_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_diql.dir/bench_fig6_diql.cc.o"
+  "CMakeFiles/bench_fig6_diql.dir/bench_fig6_diql.cc.o.d"
+  "bench_fig6_diql"
+  "bench_fig6_diql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_diql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

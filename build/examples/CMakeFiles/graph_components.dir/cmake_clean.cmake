@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_components.dir/graph_components.cpp.o"
+  "CMakeFiles/graph_components.dir/graph_components.cpp.o.d"
+  "graph_components"
+  "graph_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

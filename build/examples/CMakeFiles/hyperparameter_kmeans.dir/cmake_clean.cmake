@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperparameter_kmeans.dir/hyperparameter_kmeans.cpp.o"
+  "CMakeFiles/hyperparameter_kmeans.dir/hyperparameter_kmeans.cpp.o.d"
+  "hyperparameter_kmeans"
+  "hyperparameter_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperparameter_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skewed_bounce_rate.dir/skewed_bounce_rate.cpp.o"
+  "CMakeFiles/skewed_bounce_rate.dir/skewed_bounce_rate.cpp.o.d"
+  "skewed_bounce_rate"
+  "skewed_bounce_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skewed_bounce_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

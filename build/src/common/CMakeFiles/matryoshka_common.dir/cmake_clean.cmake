@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matryoshka_common.dir/logging.cc.o"
+  "CMakeFiles/matryoshka_common.dir/logging.cc.o.d"
+  "CMakeFiles/matryoshka_common.dir/random.cc.o"
+  "CMakeFiles/matryoshka_common.dir/random.cc.o.d"
+  "CMakeFiles/matryoshka_common.dir/status.cc.o"
+  "CMakeFiles/matryoshka_common.dir/status.cc.o.d"
+  "CMakeFiles/matryoshka_common.dir/thread_pool.cc.o"
+  "CMakeFiles/matryoshka_common.dir/thread_pool.cc.o.d"
+  "libmatryoshka_common.a"
+  "libmatryoshka_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matryoshka_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

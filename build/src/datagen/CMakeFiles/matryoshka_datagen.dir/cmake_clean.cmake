@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matryoshka_datagen.dir/datagen.cc.o"
+  "CMakeFiles/matryoshka_datagen.dir/datagen.cc.o.d"
+  "libmatryoshka_datagen.a"
+  "libmatryoshka_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matryoshka_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

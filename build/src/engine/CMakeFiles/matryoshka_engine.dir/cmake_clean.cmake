@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matryoshka_engine.dir/cluster.cc.o"
+  "CMakeFiles/matryoshka_engine.dir/cluster.cc.o.d"
+  "libmatryoshka_engine.a"
+  "libmatryoshka_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matryoshka_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/expr.cc" "src/lang/CMakeFiles/matryoshka_lang.dir/expr.cc.o" "gcc" "src/lang/CMakeFiles/matryoshka_lang.dir/expr.cc.o.d"
+  "/root/repo/src/lang/lowering_phase.cc" "src/lang/CMakeFiles/matryoshka_lang.dir/lowering_phase.cc.o" "gcc" "src/lang/CMakeFiles/matryoshka_lang.dir/lowering_phase.cc.o.d"
+  "/root/repo/src/lang/parsing_phase.cc" "src/lang/CMakeFiles/matryoshka_lang.dir/parsing_phase.cc.o" "gcc" "src/lang/CMakeFiles/matryoshka_lang.dir/parsing_phase.cc.o.d"
+  "/root/repo/src/lang/value.cc" "src/lang/CMakeFiles/matryoshka_lang.dir/value.cc.o" "gcc" "src/lang/CMakeFiles/matryoshka_lang.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/matryoshka_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/matryoshka_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matryoshka_lang.dir/expr.cc.o"
+  "CMakeFiles/matryoshka_lang.dir/expr.cc.o.d"
+  "CMakeFiles/matryoshka_lang.dir/lowering_phase.cc.o"
+  "CMakeFiles/matryoshka_lang.dir/lowering_phase.cc.o.d"
+  "CMakeFiles/matryoshka_lang.dir/parsing_phase.cc.o"
+  "CMakeFiles/matryoshka_lang.dir/parsing_phase.cc.o.d"
+  "CMakeFiles/matryoshka_lang.dir/value.cc.o"
+  "CMakeFiles/matryoshka_lang.dir/value.cc.o.d"
+  "libmatryoshka_lang.a"
+  "libmatryoshka_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matryoshka_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/avg_distances.cc" "src/workloads/CMakeFiles/matryoshka_workloads.dir/avg_distances.cc.o" "gcc" "src/workloads/CMakeFiles/matryoshka_workloads.dir/avg_distances.cc.o.d"
+  "/root/repo/src/workloads/bounce_rate.cc" "src/workloads/CMakeFiles/matryoshka_workloads.dir/bounce_rate.cc.o" "gcc" "src/workloads/CMakeFiles/matryoshka_workloads.dir/bounce_rate.cc.o.d"
+  "/root/repo/src/workloads/connected_components.cc" "src/workloads/CMakeFiles/matryoshka_workloads.dir/connected_components.cc.o" "gcc" "src/workloads/CMakeFiles/matryoshka_workloads.dir/connected_components.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/workloads/CMakeFiles/matryoshka_workloads.dir/kmeans.cc.o" "gcc" "src/workloads/CMakeFiles/matryoshka_workloads.dir/kmeans.cc.o.d"
+  "/root/repo/src/workloads/pagerank.cc" "src/workloads/CMakeFiles/matryoshka_workloads.dir/pagerank.cc.o" "gcc" "src/workloads/CMakeFiles/matryoshka_workloads.dir/pagerank.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/matryoshka_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/matryoshka_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/matryoshka_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matryoshka_workloads.dir/avg_distances.cc.o"
+  "CMakeFiles/matryoshka_workloads.dir/avg_distances.cc.o.d"
+  "CMakeFiles/matryoshka_workloads.dir/bounce_rate.cc.o"
+  "CMakeFiles/matryoshka_workloads.dir/bounce_rate.cc.o.d"
+  "CMakeFiles/matryoshka_workloads.dir/connected_components.cc.o"
+  "CMakeFiles/matryoshka_workloads.dir/connected_components.cc.o.d"
+  "CMakeFiles/matryoshka_workloads.dir/kmeans.cc.o"
+  "CMakeFiles/matryoshka_workloads.dir/kmeans.cc.o.d"
+  "CMakeFiles/matryoshka_workloads.dir/pagerank.cc.o"
+  "CMakeFiles/matryoshka_workloads.dir/pagerank.cc.o.d"
+  "libmatryoshka_workloads.a"
+  "libmatryoshka_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matryoshka_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_closures_test.dir/core_closures_test.cc.o"
+  "CMakeFiles/core_closures_test.dir/core_closures_test.cc.o.d"
+  "core_closures_test"
+  "core_closures_test.pdb"
+  "core_closures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_closures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

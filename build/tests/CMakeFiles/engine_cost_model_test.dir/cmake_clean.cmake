@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_cost_model_test.dir/engine_cost_model_test.cc.o"
+  "CMakeFiles/engine_cost_model_test.dir/engine_cost_model_test.cc.o.d"
+  "engine_cost_model_test"
+  "engine_cost_model_test.pdb"
+  "engine_cost_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_cost_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/core_primitives_test[1]_include.cmake")
+include("/root/repo/build/tests/core_control_flow_test[1]_include.cmake")
+include("/root/repo/build/tests/core_closures_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/extra_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/shapes_test[1]_include.cmake")
