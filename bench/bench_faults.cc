@@ -1,0 +1,94 @@
+// Fault-tolerance A/B: the Fig. 1 K-means setup run with and without the
+// StandardFaultPlan, for the inner-parallel workaround (many jobs of tiny
+// tasks) and Matryoshka (few jobs of chunky tasks). The new quantitative
+// claim in the paper's spirit: retry backoff and straggler tails are paid
+// once per stage, and inner-parallel runs ~20x more stages, so under the
+// same fault regime its simulated time degrades by an order of magnitude
+// more seconds -- and its fault penalty grows linearly with the number of
+// inner computations, while Matryoshka's stays flat (its stage count is
+// independent of the group count).
+//
+// x-axis: args are (configurations, faults_on). Compare the faults_on=1 row
+// against the faults_on=0 row of the same variant; the degradation is their
+// difference. Sweep the configurations axis to see inner-parallel's penalty
+// scale while Matryoshka's does not. Pass --faults=<prob> to override the
+// injected task failure probability of the fault-on arms (default 0.01).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "datagen/datagen.h"
+#include "engine/bag.h"
+#include "workloads/kmeans.h"
+
+namespace matryoshka::bench {
+namespace {
+
+using workloads::KMeansParams;
+using workloads::Variant;
+
+constexpr int64_t kTotalPoints = 1 << 18;
+constexpr double kTargetGb = 8.0;
+constexpr uint64_t kSeed = 2021;
+
+double g_fault_prob = 0.01;  // set from --faults in main()
+
+KMeansParams Params() {
+  KMeansParams p;
+  p.k = 4;
+  p.max_iterations = 10;
+  p.epsilon = 0.0;  // fixed work per run, like Fig. 1
+  return p;
+}
+
+engine::ClusterConfig Config(bool faults_on) {
+  engine::ClusterConfig cfg = PaperCluster();
+  ScaleToTarget(&cfg, kTargetGb, kTotalPoints,
+                sizeof(std::pair<int64_t, datagen::Point>));
+  if (faults_on) {
+    cfg.faults = StandardFaultPlan(kSeed);
+    cfg.faults.task_failure_prob = g_fault_prob;
+  }
+  return cfg;
+}
+
+void RunVariant(benchmark::State& state, Variant variant) {
+  const int64_t configs = state.range(0);
+  const bool faults_on = state.range(1) != 0;
+  auto data = datagen::GenerateGroupedPoints(kTotalPoints, configs, 3, kSeed);
+  engine::Cluster cluster(Config(faults_on));
+  for (auto _ : state) {
+    cluster.Reset();
+    auto bag = engine::Parallelize(&cluster, data);
+    auto result = workloads::RunKMeans(&cluster, bag, Params(), variant);
+    Report(state, result);
+  }
+  state.counters["faults"] = faults_on ? 1 : 0;
+}
+
+void BM_Faults_InnerParallel(benchmark::State& state) {
+  RunVariant(state, Variant::kInnerParallel);
+}
+void BM_Faults_Matryoshka(benchmark::State& state) {
+  RunVariant(state, Variant::kMatryoshka);
+}
+
+#define FAULTS_ARGS                                                     \
+  ArgsProduct({{64, 256}, {0, 1}})                                      \
+      ->UseManualTime()->Unit(benchmark::kSecond)->Iterations(1)
+
+BENCHMARK(BM_Faults_InnerParallel)->FAULTS_ARGS;
+BENCHMARK(BM_Faults_Matryoshka)->FAULTS_ARGS;
+
+}  // namespace
+}  // namespace matryoshka::bench
+
+int main(int argc, char** argv) {
+  matryoshka::bench::g_fault_prob =
+      matryoshka::bench::ParseFaultsFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,8 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "engine/cluster.h"
@@ -44,6 +46,42 @@ inline engine::ClusterConfig LargePaperCluster() {
   return cfg;
 }
 
+/// The reference fault regime for A/B (faults on vs. off) runs: occasional
+/// transient task failures with a generous retry budget (so runs survive),
+/// a sprinkle of 4x stragglers, and one machine lost early in the run. All
+/// draws are seeded: every benchmark iteration sees the identical fault
+/// history.
+inline engine::FaultPlan StandardFaultPlan(uint64_t seed = 2021) {
+  engine::FaultPlan plan;
+  plan.seed = seed;
+  plan.task_failure_prob = 0.01;
+  plan.max_task_retries = 6;
+  plan.retry_backoff_s = 0.5;
+  plan.straggler_fraction = 0.05;
+  plan.straggler_slowdown = 4.0;
+  plan.machine_loss_times_s = {30.0};
+  return plan;
+}
+
+/// Parses and strips a `--faults[=prob]` flag (must precede
+/// benchmark::Initialize, which rejects unknown flags). Returns the task
+/// failure probability to use for the fault-on arms: the StandardFaultPlan
+/// default when the flag is absent, or the given override.
+inline double ParseFaultsFlag(int* argc, char** argv) {
+  double prob = StandardFaultPlan().task_failure_prob;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") == 0) continue;  // default prob
+    if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      prob = std::atof(argv[i] + 9);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return prob;
+}
+
 /// Declares that the synthetic dataset of `synthetic_elements` elements
 /// (about `bytes_per_element` estimated bytes each) stands for
 /// `target_gb` GB of real data: sets data_scale so that each synthetic
@@ -75,6 +113,14 @@ void Report(benchmark::State& state,
   state.counters["shuffle_gb"] =
       result.metrics.shuffle_bytes / (1ULL << 30);
   state.counters["spills"] = static_cast<double>(result.metrics.spill_events);
+  if (result.metrics.failed_tasks > 0 || result.metrics.machines_lost > 0 ||
+      result.metrics.speculative_launches > 0) {
+    state.counters["retries"] =
+        static_cast<double>(result.metrics.task_retries);
+    state.counters["failed_tasks"] =
+        static_cast<double>(result.metrics.failed_tasks);
+    state.counters["recovery_s"] = result.metrics.recovery_time_s;
+  }
 }
 
 }  // namespace matryoshka::bench

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Builds and runs the test suite. Usage:
+#   scripts/check.sh            # RelWithDebInfo build + full ctest
+#   scripts/check.sh asan       # ASan+UBSan build + full ctest
+#   scripts/check.sh faults     # RelWithDebInfo build + fault-suite only
+# Any extra arguments are forwarded to ctest.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mode="${1:-default}"
+[ $# -gt 0 ] && shift
+
+case "$mode" in
+  default)
+    preset=default; test_preset=default ;;
+  asan)
+    preset=asan; test_preset=asan ;;
+  faults)
+    preset=default; test_preset=faults ;;
+  *)
+    echo "usage: scripts/check.sh [default|asan|faults] [ctest args...]" >&2
+    exit 2 ;;
+esac
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)"
+ctest --preset "$test_preset" -j "$(nproc)" "$@"

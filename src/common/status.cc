@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal error";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kTaskFailed:
+      return "Task failed";
   }
   return "Unknown";
 }

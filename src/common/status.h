@@ -20,6 +20,10 @@ enum class StatusCode {
   kUnsupported,
   kInternal,
   kCancelled,
+  /// A simulated task exhausted its retry budget (fault injection). Distinct
+  /// from kOutOfMemory so callers can tell recoverable-but-exhausted task
+  /// failures apart from deterministic memory-model failures.
+  kTaskFailed,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -67,6 +71,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status TaskFailed(std::string msg) {
+    return Status(StatusCode::kTaskFailed, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
@@ -77,6 +84,7 @@ class Status {
   bool IsNotImplemented() const {
     return code_ == StatusCode::kNotImplemented;
   }
+  bool IsTaskFailed() const { return code_ == StatusCode::kTaskFailed; }
 
   StatusCode code() const { return code_; }
   /// The error message; empty for OK statuses.

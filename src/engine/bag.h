@@ -38,11 +38,12 @@ class Bag {
       : cluster_(cluster), parts_(std::make_shared<const Partitions>()) {}
 
   Bag(Cluster* cluster, Partitions parts, double scale = 1.0,
-      int64_t key_partitions = 0)
+      int64_t key_partitions = 0, int lineage_depth = 1)
       : cluster_(cluster),
         parts_(std::make_shared<const Partitions>(std::move(parts))),
         scale_(scale),
-        key_partitions_(key_partitions) {}
+        key_partitions_(key_partitions),
+        lineage_depth_(lineage_depth) {}
 
   Cluster* cluster() const { return cluster_; }
   const Partitions& partitions() const { return *parts_; }
@@ -59,6 +60,13 @@ class Bag {
   /// network shuffle; mapValues/filter-style operators preserve it, while
   /// key-changing maps clear it.
   int64_t key_partitions() const { return key_partitions_; }
+
+  /// Number of narrow stages that must re-run to regenerate one of this
+  /// bag's partitions after a machine loss: 1 for freshly
+  /// loaded/shuffled/aggregated data (stage boundaries cut lineage), +1 per
+  /// narrow transformation since. The fault model multiplies machine-loss
+  /// recompute cost by this depth.
+  int lineage_depth() const { return lineage_depth_; }
 
   /// Total number of synthetic elements. Pure metadata access — does NOT
   /// model a count() action (see ops.h Count for the job-charging version).
@@ -85,6 +93,7 @@ class Bag {
   std::shared_ptr<const Partitions> parts_;
   double scale_ = 1.0;
   int64_t key_partitions_ = 0;
+  int lineage_depth_ = 1;
 };
 
 /// Creates a bag on `cluster` by splitting `data` round-robin into

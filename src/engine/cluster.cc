@@ -1,11 +1,33 @@
 #include "engine/cluster.h"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace matryoshka::engine {
+
+namespace {
+
+// Salts separating the independent draw streams of the fault plan.
+constexpr uint64_t kSaltStraggler = 0x5354524147474c52ULL;
+constexpr uint64_t kSaltFailure = 0x4641494c55524553ULL;
+constexpr uint64_t kSaltDetect = 0x4445544543544954ULL;
+constexpr uint64_t kSaltSpeculative = 0x5350454355544956ULL;
+
+/// Deterministic uniform draw in [0, 1) keyed on the plan seed, the stage
+/// and task indices, the retry attempt, and a stream salt. Independent of
+/// execution order and thread count.
+double UnitDraw(uint64_t seed, uint64_t stage, uint64_t task, uint64_t attempt,
+                uint64_t salt) {
+  uint64_t z = Mix64(seed ^ Mix64(stage * 0x9e3779b97f4a7c15ULL + salt));
+  z = Mix64(z ^ Mix64(task * 0x2545f4914f6cdd1dULL + attempt));
+  return static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace
 
 Cluster::Cluster(ClusterConfig config) : config_(config) {
   MATRYOSHKA_CHECK(config_.num_machines >= 1);
@@ -14,6 +36,8 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
     unsigned hw = std::thread::hardware_concurrency();
     pool_ = std::make_unique<ThreadPool>(hw == 0 ? 4 : hw);
   }
+  loss_times_ = config_.faults.machine_loss_times_s;
+  std::sort(loss_times_.begin(), loss_times_.end());
 }
 
 Cluster::~Cluster() = default;
@@ -29,6 +53,10 @@ void Cluster::Fail(Status status) {
 void Cluster::Reset() {
   status_ = Status::OK();
   metrics_ = Metrics();
+  // Re-arm the fault plan: lost machines come back and machine-loss events
+  // fire again, so repeated runs on one cluster are bit-identical.
+  next_loss_event_ = 0;
+  lost_machines_ = 0;
 }
 
 void Cluster::BeginJob(const std::string& label) {
@@ -36,25 +64,165 @@ void Cluster::BeginJob(const std::string& label) {
   if (!ok()) return;
   metrics_.jobs += 1;
   metrics_.simulated_time_s += config_.job_launch_overhead_s;
+  if (config_.faults.active()) {
+    // Machine losses can fire between stages too; nothing is running, so
+    // there is no recompute, only permanently fewer slots.
+    ProcessMachineLossEvents(/*stage_cost_s=*/0.0, /*num_tasks=*/0,
+                             /*lineage_depth=*/1);
+  }
 }
 
-void Cluster::AccrueStage(const std::vector<double>& task_costs_s) {
+double Cluster::SimulateTaskAttempts(double base_cost_s, uint64_t stage_index,
+                                     uint64_t task_index, uint64_t copy_salt,
+                                     bool* exhausted) {
+  const FaultPlan& plan = config_.faults;
+  double duration = 0.0;
+  for (uint64_t attempt = 0;; ++attempt) {
+    double cost = base_cost_s;
+    if (plan.straggler_fraction > 0.0 &&
+        UnitDraw(plan.seed, stage_index, task_index, attempt,
+                 kSaltStraggler ^ copy_salt) < plan.straggler_fraction) {
+      cost *= plan.straggler_slowdown;
+    }
+    const bool fails =
+        plan.task_failure_prob > 0.0 &&
+        UnitDraw(plan.seed, stage_index, task_index, attempt,
+                 kSaltFailure ^ copy_salt) < plan.task_failure_prob;
+    if (!fails) return duration + cost;
+    // The failure is detected a deterministic fraction of the way through
+    // the attempt: that work is wasted and charged as recovery.
+    const double wasted =
+        cost * UnitDraw(plan.seed, stage_index, task_index, attempt,
+                        kSaltDetect ^ copy_salt);
+    duration += wasted;
+    metrics_.failed_tasks += 1;
+    metrics_.recovery_time_s += wasted;
+    if (static_cast<int>(attempt) >= plan.max_task_retries) {
+      *exhausted = true;
+      return duration;
+    }
+    const double backoff =
+        plan.retry_backoff_s * std::ldexp(1.0, static_cast<int>(attempt));
+    duration += backoff;
+    metrics_.task_retries += 1;
+    metrics_.recovery_time_s += backoff;
+  }
+}
+
+void Cluster::ProcessMachineLossEvents(double stage_cost_s, int64_t num_tasks,
+                                       int lineage_depth) {
+  while (next_loss_event_ < loss_times_.size() &&
+         loss_times_[next_loss_event_] <= metrics_.simulated_time_s) {
+    next_loss_event_ += 1;
+    // The last machine never dies (the driver runs somewhere).
+    if (lost_machines_ >= config_.num_machines - 1) continue;
+    const int machines_before = available_machines();
+    lost_machines_ += 1;
+    metrics_.machines_lost += 1;
+    if (stage_cost_s <= 0.0 && num_tasks <= 0) continue;
+    // The lost machine held ~1/machines of the running stage's partitions;
+    // regenerating them re-runs the upstream narrow chain (lineage_depth
+    // stages' worth of work) for that share, spread over surviving slots.
+    const double lost_fraction = 1.0 / static_cast<double>(machines_before);
+    const int surviving_slots = available_machines() * config_.cores_per_machine;
+    const double recompute =
+        static_cast<double>(lineage_depth) * lost_fraction *
+        (stage_cost_s +
+         static_cast<double>(num_tasks) * config_.task_overhead_s) /
+        static_cast<double>(surviving_slots);
+    metrics_.recovery_time_s += recompute;
+    metrics_.simulated_time_s += recompute;
+  }
+}
+
+void Cluster::AccrueStage(const std::vector<double>& task_costs_s,
+                          int lineage_depth) {
   if (!ok()) return;
+  const FaultPlan& plan = config_.faults;
+  if (!plan.active()) {
+    metrics_.stages += 1;
+    metrics_.tasks += static_cast<int64_t>(task_costs_s.size());
+    const int slots = config_.total_cores();
+    // Greedy list scheduling onto `slots` identical cores: each task goes to
+    // the currently least-loaded slot; the stage takes the resulting
+    // makespan. A min-heap over slot loads keeps this O(n log slots). Tasks
+    // smaller than the slot count finish in one "wave" of max task cost —
+    // exactly the effect that starves the outer-parallel workaround when
+    // there are fewer groups than cores.
+    std::priority_queue<double, std::vector<double>, std::greater<double>>
+        heap;
+    const int used_slots =
+        std::min<int64_t>(slots, static_cast<int64_t>(task_costs_s.size()));
+    for (int i = 0; i < used_slots; ++i) heap.push(0.0);
+    double makespan = 0.0;
+    for (double cost : task_costs_s) {
+      double load = heap.top();
+      heap.pop();
+      load += config_.task_overhead_s + cost;
+      makespan = std::max(makespan, load);
+      heap.push(load);
+    }
+    metrics_.simulated_time_s += makespan;
+    return;
+  }
+
   metrics_.stages += 1;
   metrics_.tasks += static_cast<int64_t>(task_costs_s.size());
-  const int slots = config_.total_cores();
-  // Greedy list scheduling onto `slots` identical cores: each task goes to
-  // the currently least-loaded slot; the stage takes the resulting makespan.
-  // A min-heap over slot loads keeps this O(n log slots). Tasks smaller than
-  // the slot count finish in one "wave" of max task cost — exactly the
-  // effect that starves the outer-parallel workaround when there are fewer
-  // groups than cores.
+  const uint64_t stage_index = static_cast<uint64_t>(metrics_.stages);
+
+  // 1. Perturb every task's slot time by straggler and failure/retry draws.
+  const std::size_t n = task_costs_s.size();
+  std::vector<double> durations(n);
+  std::vector<char> exhausted(n, 0);
+  double stage_cost_total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    stage_cost_total += task_costs_s[i];
+    bool ex = false;
+    durations[i] = SimulateTaskAttempts(task_costs_s[i], stage_index,
+                                        static_cast<uint64_t>(i),
+                                        /*copy_salt=*/0, &ex);
+    exhausted[i] = ex ? 1 : 0;
+  }
+
+  // 2. Speculative execution: duplicate the slowest k% of the tasks and let
+  // the earlier finisher win (a speculative copy can rescue a task whose
+  // original exhausted its retries). Both copies occupy a slot until the
+  // winner finishes.
+  std::vector<double> schedule = durations;
+  if (plan.speculative_execution && n > 0) {
+    const auto k = static_cast<std::size_t>(
+        static_cast<double>(n) * plan.speculation_fraction);
+    const std::size_t num_spec = std::max<std::size_t>(1, k);
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    // Deterministic slowest-first order; index breaks duration ties.
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (durations[a] != durations[b]) return durations[a] > durations[b];
+      return a < b;
+    });
+    for (std::size_t s = 0; s < std::min(num_spec, n); ++s) {
+      const std::size_t i = order[s];
+      bool spec_exhausted = false;
+      const double spec_duration = SimulateTaskAttempts(
+          task_costs_s[i], stage_index, static_cast<uint64_t>(i),
+          kSaltSpeculative, &spec_exhausted);
+      const double winner = std::min(durations[i], spec_duration);
+      if (exhausted[i] && !spec_exhausted) exhausted[i] = 0;
+      schedule[i] = winner;
+      schedule.push_back(winner);  // the duplicate's slot occupancy
+      metrics_.speculative_launches += 1;
+    }
+  }
+
+  // 3. Greedy list scheduling of the perturbed durations onto the slots of
+  // the machines still alive.
+  const int slots = available_machines() * config_.cores_per_machine;
   std::priority_queue<double, std::vector<double>, std::greater<double>> heap;
   const int used_slots =
-      std::min<int64_t>(slots, static_cast<int64_t>(task_costs_s.size()));
+      std::min<int64_t>(slots, static_cast<int64_t>(schedule.size()));
   for (int i = 0; i < used_slots; ++i) heap.push(0.0);
   double makespan = 0.0;
-  for (double cost : task_costs_s) {
+  for (double cost : schedule) {
     double load = heap.top();
     heap.pop();
     load += config_.task_overhead_s + cost;
@@ -62,6 +230,24 @@ void Cluster::AccrueStage(const std::vector<double>& task_costs_s) {
     heap.push(load);
   }
   metrics_.simulated_time_s += makespan;
+
+  // 4. Machine-loss events reached by the clock fire against this stage.
+  ProcessMachineLossEvents(stage_cost_total,
+                           static_cast<int64_t>(task_costs_s.size()),
+                           lineage_depth);
+
+  // 5. A task that exhausted its retries (and was not rescued by a
+  // speculative copy) kills the whole run: transient failures are
+  // recoverable, running out of the retry budget is not.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (exhausted[i]) {
+      Fail(Status::TaskFailed(
+          "task " + std::to_string(i) + " of stage " +
+          std::to_string(stage_index) + " failed after " +
+          std::to_string(plan.max_task_retries + 1) + " attempts"));
+      return;
+    }
+  }
 }
 
 void Cluster::AccrueUniformStage(int64_t num_tasks, double total_elements,

@@ -11,6 +11,57 @@
 
 namespace matryoshka::engine {
 
+/// Seeded, fully deterministic fault-injection plan for the simulated
+/// cluster. All draws derive from (seed, stage index, task index, attempt),
+/// so two runs of the same program with the same plan produce bit-identical
+/// metrics, and a plan with every knob at its default injects nothing (the
+/// cost model is then byte-for-byte the fault-free one).
+///
+/// Faults only perturb the *simulated* clock and the fault metrics: the
+/// engine still really executes every operator in-process, so computed
+/// results never change — exactly the lineage-recompute guarantee of the
+/// Spark-like engines the model stands in for.
+struct FaultPlan {
+  uint64_t seed = 2021;
+
+  /// Probability that one task attempt fails (transient executor fault).
+  /// Failed attempts are retried up to `max_task_retries` times with
+  /// exponential backoff; exhausting the budget fails the whole run with a
+  /// sticky TaskFailed status (distinct from the memory model's OOM).
+  double task_failure_prob = 0.0;
+  int max_task_retries = 3;
+  /// Backoff before retry attempt a is `retry_backoff_s * 2^a`, charged to
+  /// the failing task's slot on the simulated clock.
+  double retry_backoff_s = 0.5;
+
+  /// Each task attempt independently straggles with this probability, ...
+  double straggler_fraction = 0.0;
+  /// ... running `straggler_slowdown` times slower than its base cost.
+  double straggler_slowdown = 1.0;
+
+  /// Simulated timestamps (seconds) at which one machine is lost. Each
+  /// event fires once per run (Reset re-arms them): the cluster permanently
+  /// loses one machine's slots, and the stage running when the event fires
+  /// re-executes the lost machine's share of its work, multiplied by the
+  /// stage input's lineage depth (the narrow chain that must be recomputed
+  /// to regenerate the lost partitions).
+  std::vector<double> machine_loss_times_s;
+
+  /// If true, the scheduler launches a duplicate of the slowest
+  /// `speculation_fraction` of each stage's tasks and takes the earlier
+  /// finisher, occupying an extra slot for the duplicate's lifetime.
+  bool speculative_execution = false;
+  double speculation_fraction = 0.05;
+
+  /// True when any knob can perturb the cost model. Inactive plans take the
+  /// exact pre-fault accounting path.
+  bool active() const {
+    return task_failure_prob > 0.0 || !machine_loss_times_s.empty() ||
+           (straggler_fraction > 0.0 && straggler_slowdown != 1.0) ||
+           speculative_execution;
+  }
+};
+
 /// Static description of the (simulated) cluster a program runs on, plus the
 /// calibration constants of the cost model.
 ///
@@ -70,6 +121,9 @@ struct ClusterConfig {
   /// only real (not simulated) run time changes.
   bool execute_parallel = false;
 
+  /// Deterministic fault injection; the default plan injects nothing.
+  FaultPlan faults;
+
   int total_cores() const { return num_machines * cores_per_machine; }
   /// Memory budget of one task slot (machine memory divided across the
   /// concurrently running tasks of that machine).
@@ -91,6 +145,19 @@ struct Metrics {
   int64_t spill_events = 0;
   double peak_task_bytes = 0.0;
   double peak_machine_bytes = 0.0;
+  /// --- Fault injection / recovery (all zero when FaultPlan is inactive) ---
+  /// Task attempts that failed transiently (each either retried or, once the
+  /// retry budget is exhausted, fatal).
+  int64_t failed_tasks = 0;
+  /// Retry launches after transient task failures.
+  int64_t task_retries = 0;
+  /// Speculative duplicates launched for straggling tasks.
+  int64_t speculative_launches = 0;
+  /// Machine-loss events that fired.
+  int64_t machines_lost = 0;
+  /// Simulated seconds attributable to recovery: wasted work of failed
+  /// attempts, retry backoff, and lineage recomputation after machine loss.
+  double recovery_time_s = 0.0;
 };
 
 /// Execution context shared by every Bag of one program run: cost-model
@@ -130,7 +197,15 @@ class Cluster {
   /// single-core work each, already including any UDF weight). Simulates
   /// greedy list scheduling of the tasks onto the cluster's core slots and
   /// advances the clock by task overheads plus the resulting makespan.
-  void AccrueStage(const std::vector<double>& task_costs_s);
+  ///
+  /// Under an active FaultPlan the per-task durations are perturbed by
+  /// deterministic straggler/failure draws (retries with backoff occupy the
+  /// task's slot), the slowest tasks may be speculatively duplicated, and
+  /// machine-loss events that fire during the stage charge a lineage
+  /// recompute of `lineage_depth` upstream narrow stages for the lost
+  /// machine's share of the work.
+  void AccrueStage(const std::vector<double>& task_costs_s,
+                   int lineage_depth = 1);
 
   /// Convenience: a stage of `num_tasks` tasks uniformly covering
   /// `total_elements` real elements with `cost_weight` weight each.
@@ -167,11 +242,35 @@ class Cluster {
   /// Thread pool for real parallel execution, or nullptr when disabled.
   ThreadPool* pool() { return pool_.get(); }
 
+  /// Machines still alive (>= 1; machine-loss events permanently remove
+  /// machines until the next Reset).
+  int available_machines() const {
+    return config_.num_machines - lost_machines_;
+  }
+
  private:
+  /// Simulated duration one task copy occupies its slot: base cost perturbed
+  /// by straggler and failure/retry draws keyed on (stage, task, salt).
+  /// Sets *exhausted when the retry budget ran out.
+  double SimulateTaskAttempts(double base_cost_s, uint64_t stage_index,
+                              uint64_t task_index, uint64_t copy_salt,
+                              bool* exhausted);
+
+  /// Fires every machine-loss event reached by the simulated clock; a stage
+  /// whose execution window covers an event re-executes the lost machine's
+  /// share (`stage_cost_s` single-core seconds over `num_tasks` tasks) times
+  /// `lineage_depth`.
+  void ProcessMachineLossEvents(double stage_cost_s, int64_t num_tasks,
+                                int lineage_depth);
+
   ClusterConfig config_;
   Metrics metrics_;
   Status status_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Sorted copy of config_.faults.machine_loss_times_s.
+  std::vector<double> loss_times_;
+  std::size_t next_loss_event_ = 0;
+  int lost_machines_ = 0;
 };
 
 }  // namespace matryoshka::engine

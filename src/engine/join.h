@@ -129,7 +129,7 @@ Bag<std::pair<K, std::pair<V, W>>> BroadcastJoin(
     for (auto& cost : costs) cost += build_cost;
     c->mutable_metrics().elements_processed +=
         static_cast<int64_t>(left.RealSize());
-    c->AccrueStage(costs);
+    c->AccrueStage(costs, left.lineage_depth());
   }
   typename Bag<Out>::Partitions out(left.partitions().size());
   ParallelFor(c->pool(), left.partitions().size(), [&](std::size_t i) {
@@ -141,8 +141,10 @@ Bag<std::pair<K, std::pair<V, W>>> BroadcastJoin(
       }
     }
   });
-  // A broadcast join is map-side: the left layout (and partitioner) stays.
-  return Bag<Out>(c, std::move(out), out_scale, left.key_partitions());
+  // A broadcast join is map-side: the left layout (and partitioner) stays,
+  // and so does the left lineage chain (no stage boundary).
+  return Bag<Out>(c, std::move(out), out_scale, left.key_partitions(),
+                  left.lineage_depth() + 1);
 }
 
 /// Left outer equi-join (repartition implementation): every left element
@@ -264,7 +266,7 @@ Bag<std::pair<A, B>> Cartesian(const Bag<A>& left, const Bag<B>& right) {
     costs.push_back(c->ComputeCost(
         static_cast<double>(part.size() * rhs.size()) * out_scale, 0.5));
   }
-  c->AccrueStage(costs);
+  c->AccrueStage(costs, left.lineage_depth());
 
   typename Bag<Out>::Partitions out(left.partitions().size());
   ParallelFor(c->pool(), left.partitions().size(), [&](std::size_t i) {

@@ -47,7 +47,7 @@ void ChargeScanStage(const Bag<T>& bag, double weight) {
   if (!c->ok()) return;
   c->mutable_metrics().elements_processed +=
       static_cast<int64_t>(bag.RealSize());
-  c->AccrueStage(ScanCosts(bag, weight));
+  c->AccrueStage(ScanCosts(bag, weight), bag.lineage_depth());
 }
 
 }  // namespace internal
@@ -66,7 +66,7 @@ auto Map(const Bag<T>& bag, F f, double weight = 1.0)
     out[i].reserve(part.size());
     for (const auto& x : part) out[i].push_back(f(x));
   });
-  return Bag<U>(c, std::move(out), bag.scale());
+  return Bag<U>(c, std::move(out), bag.scale(), 0, bag.lineage_depth() + 1);
 }
 
 /// Keeps the elements for which `pred` returns true.
@@ -82,7 +82,8 @@ Bag<T> Filter(const Bag<T>& bag, P pred, double weight = 1.0) {
     }
   });
   // Filtering never moves elements: key partitioning survives.
-  return Bag<T>(c, std::move(out), bag.scale(), bag.key_partitions());
+  return Bag<T>(c, std::move(out), bag.scale(), bag.key_partitions(),
+                bag.lineage_depth() + 1);
 }
 
 /// Applies `f` to every element and concatenates the results.
@@ -100,7 +101,7 @@ auto FlatMap(const Bag<T>& bag, F f, double weight = 1.0)
       for (auto&& y : f(x)) out[i].push_back(std::move(y));
     }
   });
-  return Bag<U>(c, std::move(out), bag.scale());
+  return Bag<U>(c, std::move(out), bag.scale(), 0, bag.lineage_depth() + 1);
 }
 
 /// Transforms whole partitions. f: const std::vector<T>& -> std::vector<U>.
@@ -117,7 +118,7 @@ auto MapPartitions(const Bag<T>& bag, F f, double weight = 1.0)
   ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
     out[i] = f(bag.partitions()[i]);
   });
-  return Bag<U>(c, std::move(out), bag.scale());
+  return Bag<U>(c, std::move(out), bag.scale(), 0, bag.lineage_depth() + 1);
 }
 
 /// First components of a bag of pairs.
@@ -149,7 +150,8 @@ auto MapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0)
     out[i].reserve(part.size());
     for (const auto& [k, v] : part) out[i].emplace_back(k, f(v));
   });
-  return Bag<Out>(c, std::move(out), bag.scale(), bag.key_partitions());
+  return Bag<Out>(c, std::move(out), bag.scale(), bag.key_partitions(),
+                  bag.lineage_depth() + 1);
 }
 
 /// Applies `f` to the value of every pair and emits one output pair per
@@ -170,7 +172,8 @@ auto FlatMapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0)
       for (auto&& w : f(v)) out[i].emplace_back(k, std::move(w));
     }
   });
-  return Bag<Out>(c, std::move(out), bag.scale(), bag.key_partitions());
+  return Bag<Out>(c, std::move(out), bag.scale(), bag.key_partitions(),
+                  bag.lineage_depth() + 1);
 }
 
 /// Bag union (multiset semantics, like Spark's union): concatenates the two
@@ -185,6 +188,8 @@ Bag<T> Union(const Bag<T>& a, const Bag<T>& b) {
   Cluster* c = a.cluster();
   if (!c->ok()) return Bag<T>(c);
   const double scale = std::max(a.scale(), b.scale());
+  // Metadata-only: lineage is whichever input chain is deeper.
+  const int lineage = std::max(a.lineage_depth(), b.lineage_depth());
   if (a.key_partitions() > 0 && a.key_partitions() == b.key_partitions() &&
       a.num_partitions() == b.num_partitions()) {
     typename Bag<T>::Partitions out = a.partitions();
@@ -192,11 +197,11 @@ Bag<T> Union(const Bag<T>& a, const Bag<T>& b) {
       out[i].insert(out[i].end(), b.partitions()[i].begin(),
                     b.partitions()[i].end());
     }
-    return Bag<T>(c, std::move(out), scale, a.key_partitions());
+    return Bag<T>(c, std::move(out), scale, a.key_partitions(), lineage);
   }
   typename Bag<T>::Partitions out = a.partitions();
   for (const auto& p : b.partitions()) out.push_back(p);
-  return Bag<T>(c, std::move(out), scale);
+  return Bag<T>(c, std::move(out), scale, 0, lineage);
 }
 
 /// Pairs every element with a unique 64-bit id (narrow: ids are formed from
@@ -217,7 +222,8 @@ Bag<std::pair<uint64_t, T>> ZipWithUniqueId(const Bag<T>& bag) {
       out[i].emplace_back(static_cast<uint64_t>(j) * stride + i, part[j]);
     }
   });
-  return Bag<std::pair<uint64_t, T>>(c, std::move(out), bag.scale());
+  return Bag<std::pair<uint64_t, T>>(c, std::move(out), bag.scale(), 0,
+                                     bag.lineage_depth() + 1);
 }
 
 // --- Actions ---

@@ -22,6 +22,12 @@
 /// the tag bag's scale — when the operator collapses onto a fixed key space
 /// (e.g. per-(run, centroid) aggregates in lifted K-means), so the tiny
 /// combined intermediate is not billed as if it were data-sized.
+///
+/// Lineage semantics (fault model): a shuffle is a stage boundary, so every
+/// wide operator's output restarts at lineage depth 1 — after a machine
+/// loss, only the narrow chain since the last shuffle is recomputed. The
+/// co-partitioned ReduceByKey fast path is narrow and keeps growing the
+/// depth.
 namespace matryoshka::engine {
 
 namespace internal {
@@ -134,6 +140,7 @@ Bag<std::pair<K, V>> ReduceByKey(const Bag<std::pair<K, V>>& bag, F f,
 
   if (internal::AlreadyKeyPartitioned(bag, parts)) {
     // Co-partitioned input: the whole reduction is map-side; no shuffle.
+    // This path is narrow, so lineage keeps growing.
     internal::ChargeScanStage(bag, weight);
     typename Bag<KV>::Partitions out(bag.partitions().size());
     ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
@@ -146,7 +153,8 @@ Bag<std::pair<K, V>> ReduceByKey(const Bag<std::pair<K, V>>& bag, F f,
       out[i].reserve(acc.size());
       for (auto& [k, v] : acc) out[i].emplace_back(k, std::move(v));
     });
-    return Bag<KV>(c, std::move(out), out_scale, parts);
+    return Bag<KV>(c, std::move(out), out_scale, parts,
+                   bag.lineage_depth() + 1);
   }
 
   // Map side: per-partition combine at the input scale.

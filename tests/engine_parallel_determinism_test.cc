@@ -1,0 +1,217 @@
+// Locks down that the real thread pool (ClusterConfig::execute_parallel) is
+// invisible to everything but wall-clock time: the full operator suite must
+// produce identical results AND identical simulated metrics with the pool on
+// and off, including under an active fault plan. The cost model is charged
+// from the driver thread only, so nothing may depend on execution order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "engine/bag.h"
+#include "engine/extra_ops.h"
+#include "engine/join.h"
+#include "engine/ops.h"
+#include "engine/shuffle.h"
+
+namespace matryoshka::engine {
+namespace {
+
+constexpr uint64_t kSeed = 77;
+
+ClusterConfig Config(bool parallel) {
+  ClusterConfig cfg;
+  cfg.num_machines = 4;
+  cfg.cores_per_machine = 2;
+  cfg.default_parallelism = 8;
+  cfg.execute_parallel = parallel;
+  return cfg;
+}
+
+struct SuiteOutcome {
+  Metrics metrics;
+  bool ok = false;
+  // Sorted driver-side snapshots of every operator chain's output.
+  std::vector<int64_t> ints;
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  std::vector<int64_t> extras;
+  int64_t count = 0;
+  int64_t reduced = 0;
+};
+
+/// Runs one fixed program through every operator family and snapshots both
+/// the results and the complete metrics.
+SuiteOutcome RunSuite(ClusterConfig cfg) {
+  Cluster c(cfg);
+  SuiteOutcome out;
+
+  std::vector<std::pair<int64_t, int64_t>> kv;
+  for (int64_t i = 0; i < 3000; ++i) kv.emplace_back(i % 64, i % 11);
+  auto pairs = Parallelize(&c, kv, 8);
+
+  // Narrow chain.
+  auto mapped = Map(pairs, [](const std::pair<int64_t, int64_t>& p) {
+    return std::pair<int64_t, int64_t>(p.first, p.second + 1);
+  });
+  auto filtered =
+      Filter(mapped, [](const std::pair<int64_t, int64_t>& p) {
+        return p.second % 3 != 0;
+      });
+  auto flat = FlatMapValues(filtered, [](int64_t v) {
+    return std::vector<int64_t>{v, v * 2};
+  });
+  auto repartitioned = MapPartitions(
+      flat, [](const std::vector<std::pair<int64_t, int64_t>>& part) {
+        return part;
+      });
+  auto with_ids = ZipWithUniqueId(Values(repartitioned));
+  auto sampled = Sample(Keys(pairs), 0.5, kSeed);
+
+  // Wide operators.
+  auto reduced_bag = ReduceByKey(
+      repartitioned, [](int64_t a, int64_t b) { return a + b; }, 8);
+  auto grouped = GroupByKey(filtered, 8);
+  auto grouped_sizes = MapValues(grouped, [](const std::vector<int64_t>& g) {
+    return static_cast<int64_t>(g.size());
+  });
+  auto distinct = Distinct(Keys(filtered), 8);
+  auto aggregated = AggregateByKey(
+      filtered, int64_t{0}, [](int64_t a, int64_t v) { return a + v; },
+      [](int64_t a, int64_t b) { return a + b; }, 8);
+
+  // Joins.
+  auto joined = RepartitionJoin(reduced_bag, aggregated, 8);
+  auto joined_flat = MapValues(
+      joined, [](const std::pair<int64_t, int64_t>& vw) {
+        return vw.first + vw.second;
+      });
+  std::vector<std::pair<int64_t, int64_t>> small_kv;
+  for (int64_t i = 0; i < 16; ++i) small_kv.emplace_back(i, i * 10);
+  auto small = Parallelize(&c, small_kv, 2, /*scale=*/1.0);
+  auto bjoined = BroadcastJoin(reduced_bag, small);
+  auto louter = LeftOuterJoin(small, reduced_bag, 8);
+  auto cogrouped = CoGroup(reduced_bag, aggregated, 8);
+  auto cg_sizes = MapValues(
+      cogrouped,
+      [](const std::pair<std::vector<int64_t>, std::vector<int64_t>>& g) {
+        return static_cast<int64_t>(g.first.size() + 100 * g.second.size());
+      });
+  auto cart = Cartesian(distinct, Keys(small));
+  auto cart_sums = Map(cart, [](const std::pair<int64_t, int64_t>& p) {
+    return p.first * 1000 + p.second;
+  });
+
+  // Set ops.
+  auto sub = Subtract(Keys(filtered), distinct, 8);  // empty by construction
+  auto inter = Intersection(Keys(filtered), sampled, 8);
+  auto unioned = Union(distinct, inter);
+
+  // Actions.
+  out.count = Count(unioned);
+  out.reduced =
+      Reduce(Values(aggregated), [](int64_t a, int64_t b) { return a + b; })
+          .value_or(0);
+  auto top = TopK(Keys(pairs), 5, std::less<int64_t>());
+
+  auto snap_pairs = [](std::vector<std::pair<int64_t, int64_t>> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  auto snap_ints = [](std::vector<int64_t> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+
+  out.pairs = snap_pairs(Collect(joined_flat));
+  auto more_pairs = snap_pairs(Collect(grouped_sizes));
+  out.pairs.insert(out.pairs.end(), more_pairs.begin(), more_pairs.end());
+  auto bj = snap_pairs(Collect(MapValues(
+      bjoined, [](const std::pair<int64_t, int64_t>& vw) {
+        return vw.first - vw.second;
+      })));
+  out.pairs.insert(out.pairs.end(), bj.begin(), bj.end());
+  auto cg = snap_pairs(Collect(cg_sizes));
+  out.pairs.insert(out.pairs.end(), cg.begin(), cg.end());
+
+  out.ints = snap_ints(Collect(cart_sums));
+  auto extra1 = snap_ints(Collect(sub));
+  auto extra2 = snap_ints(Collect(unioned));
+  auto extra3 = snap_ints(Collect(Map(with_ids, [](const std::pair<uint64_t, int64_t>& p) {
+    return static_cast<int64_t>(p.first);
+  })));
+  out.extras = extra1;
+  out.extras.insert(out.extras.end(), extra2.begin(), extra2.end());
+  out.extras.insert(out.extras.end(), extra3.begin(), extra3.end());
+  out.extras.insert(out.extras.end(), top.begin(), top.end());
+  (void)NotEmpty(louter);
+
+  out.ok = c.ok();
+  out.metrics = c.metrics();
+  return out;
+}
+
+void ExpectSameOutcome(const SuiteOutcome& a, const SuiteOutcome& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.ints, b.ints);
+  EXPECT_EQ(a.pairs, b.pairs);
+  EXPECT_EQ(a.extras, b.extras);
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.reduced, b.reduced);
+  // The simulated cost model must be bit-identical: the pool may only change
+  // wall-clock time, never a single charged metric.
+  EXPECT_EQ(a.metrics.simulated_time_s, b.metrics.simulated_time_s);
+  EXPECT_EQ(a.metrics.jobs, b.metrics.jobs);
+  EXPECT_EQ(a.metrics.stages, b.metrics.stages);
+  EXPECT_EQ(a.metrics.tasks, b.metrics.tasks);
+  EXPECT_EQ(a.metrics.elements_processed, b.metrics.elements_processed);
+  EXPECT_EQ(a.metrics.shuffle_bytes, b.metrics.shuffle_bytes);
+  EXPECT_EQ(a.metrics.broadcast_bytes, b.metrics.broadcast_bytes);
+  EXPECT_EQ(a.metrics.spilled_bytes, b.metrics.spilled_bytes);
+  EXPECT_EQ(a.metrics.spill_events, b.metrics.spill_events);
+  EXPECT_EQ(a.metrics.peak_task_bytes, b.metrics.peak_task_bytes);
+  EXPECT_EQ(a.metrics.peak_machine_bytes, b.metrics.peak_machine_bytes);
+  EXPECT_EQ(a.metrics.failed_tasks, b.metrics.failed_tasks);
+  EXPECT_EQ(a.metrics.task_retries, b.metrics.task_retries);
+  EXPECT_EQ(a.metrics.speculative_launches, b.metrics.speculative_launches);
+  EXPECT_EQ(a.metrics.machines_lost, b.metrics.machines_lost);
+  EXPECT_EQ(a.metrics.recovery_time_s, b.metrics.recovery_time_s);
+}
+
+TEST(ParallelDeterminismTest, PoolDoesNotPerturbResultsOrCostModel) {
+  SuiteOutcome serial = RunSuite(Config(false));
+  SuiteOutcome parallel = RunSuite(Config(true));
+  ASSERT_TRUE(serial.ok);
+  EXPECT_GT(serial.count, 0);
+  ExpectSameOutcome(serial, parallel);
+}
+
+TEST(ParallelDeterminismTest, PoolIsRepeatableAcrossRuns) {
+  SuiteOutcome first = RunSuite(Config(true));
+  SuiteOutcome second = RunSuite(Config(true));
+  ExpectSameOutcome(first, second);
+}
+
+TEST(ParallelDeterminismTest, PoolDoesNotPerturbFaultInjection) {
+  // Fault draws are keyed on (seed, stage, task), not on execution order, so
+  // an active plan must stay bit-identical under the pool too.
+  ClusterConfig serial_cfg = Config(false);
+  ClusterConfig parallel_cfg = Config(true);
+  for (ClusterConfig* cfg : {&serial_cfg, &parallel_cfg}) {
+    cfg->faults.seed = 5;
+    cfg->faults.task_failure_prob = 0.05;
+    cfg->faults.straggler_fraction = 0.1;
+    cfg->faults.straggler_slowdown = 4.0;
+    cfg->faults.speculative_execution = true;
+  }
+  SuiteOutcome serial = RunSuite(serial_cfg);
+  SuiteOutcome parallel = RunSuite(parallel_cfg);
+  ASSERT_TRUE(serial.ok);
+  EXPECT_GT(serial.metrics.failed_tasks, 0);
+  ExpectSameOutcome(serial, parallel);
+}
+
+}  // namespace
+}  // namespace matryoshka::engine
