@@ -36,6 +36,9 @@ void BM_Ablation_PartitionTuning(benchmark::State& state) {
                 sizeof(std::pair<int64_t, datagen::Point>));
   auto data = datagen::GenerateGroupedPoints(kTotalPoints, groups, 3, kSeed);
   engine::Cluster cluster(cfg);
+  ObsAttach(&cluster,
+            tuned ? "ablation/tuned-partitions" : "ablation/default-parallelism",
+            {groups});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -57,4 +60,4 @@ BENCHMARK(BM_Ablation_PartitionTuning)->Apply(Args);
 }  // namespace
 }  // namespace matryoshka::bench
 
-BENCHMARK_MAIN();
+MATRYOSHKA_BENCH_MAIN();

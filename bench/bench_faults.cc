@@ -57,6 +57,10 @@ void RunVariant(benchmark::State& state, Variant variant) {
   const bool faults_on = state.range(1) != 0;
   auto data = datagen::GenerateGroupedPoints(kTotalPoints, configs, 3, kSeed);
   engine::Cluster cluster(Config(faults_on));
+  ObsAttach(&cluster,
+            variant == Variant::kInnerParallel ? "faults/inner-parallel"
+                                               : "faults/matryoshka",
+            {configs, faults_on ? 1 : 0});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -86,9 +90,11 @@ BENCHMARK(BM_Faults_Matryoshka)->FAULTS_ARGS;
 int main(int argc, char** argv) {
   matryoshka::bench::g_fault_prob =
       matryoshka::bench::ParseFaultsFlag(&argc, argv);
+  matryoshka::bench::ObsSession::Get().ParseFlags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  matryoshka::bench::ObsSession::Get().Finalize();
   return 0;
 }

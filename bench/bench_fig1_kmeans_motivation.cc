@@ -44,11 +44,23 @@ engine::ClusterConfig Config() {
   return cfg;
 }
 
+const char* VariantLabel(Variant variant) {
+  switch (variant) {
+    case Variant::kInnerParallel:
+      return "fig1/inner-parallel";
+    case Variant::kOuterParallel:
+      return "fig1/outer-parallel";
+    default:
+      return "fig1/matryoshka";
+  }
+}
+
 void RunVariant(benchmark::State& state, Variant variant) {
   const int64_t configs = state.range(0);
   auto data =
       datagen::GenerateGroupedPoints(kTotalPoints, configs, 3, kSeed);
   engine::Cluster cluster(Config());
+  ObsAttach(&cluster, VariantLabel(variant), {configs});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -72,6 +84,7 @@ void BM_Fig1_Matryoshka(benchmark::State& state) {
 void BM_Fig1_Ideal(benchmark::State& state) {
   auto data = datagen::GenerateGroupedPoints(kTotalPoints, 1, 3, kSeed);
   engine::Cluster cluster(Config());
+  ObsAttach(&cluster, "fig1/ideal", {state.range(0)});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -92,4 +105,4 @@ BENCHMARK(BM_Fig1_Matryoshka)->FIG1_ARGS;
 }  // namespace
 }  // namespace matryoshka::bench
 
-BENCHMARK_MAIN();
+MATRYOSHKA_BENCH_MAIN();

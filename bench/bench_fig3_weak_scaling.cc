@@ -54,6 +54,9 @@ void BM_Fig3_KMeans(benchmark::State& state) {
                 sizeof(std::pair<int64_t, datagen::Point>));
   auto data = datagen::GenerateGroupedPoints(kTotalPoints, groups, 3, kSeed);
   engine::Cluster cluster(cfg);
+  ObsAttach(&cluster,
+            std::string("fig3/kmeans/") + workloads::VariantName(variant),
+            {groups});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -79,6 +82,9 @@ void BM_Fig3_PageRank(benchmark::State& state) {
   auto data = datagen::GenerateGroupedEdges(kTotalEdges, groups,
                                             verts_per_group, 0.0, kSeed);
   engine::Cluster cluster(cfg);
+  ObsAttach(&cluster,
+            std::string("fig3/pagerank/") + workloads::VariantName(variant),
+            {groups});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -103,6 +109,10 @@ void BM_Fig3_AvgDistances(benchmark::State& state) {
   ScaleToTarget(&cfg, /*target_gb=*/1.0,
                 static_cast<int64_t>(data.size()), sizeof(datagen::Edge));
   engine::Cluster cluster(cfg);
+  ObsAttach(&cluster,
+            std::string("fig3/avg-distances/") +
+                workloads::VariantName(variant),
+            {comps});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -139,4 +149,4 @@ BENCHMARK(BM_Fig3_AvgDistances)->Apply(SweepArgsSmall);
 }  // namespace
 }  // namespace matryoshka::bench
 
-BENCHMARK_MAIN();
+MATRYOSHKA_BENCH_MAIN();

@@ -37,7 +37,7 @@ Variant VariantOf(int64_t i) {
 
 engine::ClusterConfig WithMachines(engine::ClusterConfig cfg, int machines) {
   cfg.num_machines = machines;
-  cfg.default_parallelism = 3 * machines * cfg.cores_per_machine;
+  // default_parallelism stays 0 = auto, rescaling with the machine count.
   return cfg;
 }
 
@@ -55,6 +55,9 @@ void BM_Fig4_KMeans(benchmark::State& state) {
   auto data = datagen::GenerateGroupedPoints(kTotalPoints,
                                              kInnerComputations, 3, kSeed);
   engine::Cluster cluster(cfg);
+  ObsAttach(&cluster,
+            std::string("fig4/kmeans/") + workloads::VariantName(variant),
+            {machines});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -76,6 +79,9 @@ void BM_Fig4_PageRank(benchmark::State& state) {
       kTotalEdges, kInnerComputations, (1 << 16) / kInnerComputations, 0.0,
       kSeed);
   engine::Cluster cluster(cfg);
+  ObsAttach(&cluster,
+            std::string("fig4/pagerank/") + workloads::VariantName(variant),
+            {machines});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -93,6 +99,9 @@ void BM_Fig4_BounceRate(benchmark::State& state) {
   auto data = datagen::GenerateVisits(kTotalVisits, kInnerComputations, 0.0,
                                       0.5, kSeed);
   engine::Cluster cluster(cfg);
+  ObsAttach(&cluster,
+            std::string("fig4/bounce-rate/") + workloads::VariantName(variant),
+            {machines});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -110,6 +119,10 @@ void BM_Fig4_AvgDistances(benchmark::State& state) {
   ScaleToTarget(&cfg, 1.0, static_cast<int64_t>(data.size()),
                 sizeof(datagen::Edge));
   engine::Cluster cluster(cfg);
+  ObsAttach(&cluster,
+            std::string("fig4/avg-distances/") +
+                workloads::VariantName(variant),
+            {machines});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -135,4 +148,4 @@ BENCHMARK(BM_Fig4_AvgDistances)->Apply(SweepArgs);
 }  // namespace
 }  // namespace matryoshka::bench
 
-BENCHMARK_MAIN();
+MATRYOSHKA_BENCH_MAIN();

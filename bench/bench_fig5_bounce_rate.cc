@@ -44,6 +44,9 @@ void BM_Fig5a_WeakScaling(benchmark::State& state) {
   ScaleToTarget(&cfg, kTargetGb, kTotalVisits, sizeof(datagen::Visit));
   auto data = datagen::GenerateVisits(kTotalVisits, days, 0.0, 0.5, kSeed);
   engine::Cluster cluster(cfg);
+  ObsAttach(&cluster,
+            std::string("fig5a/bounce-rate/") + workloads::VariantName(variant),
+            {days});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -57,10 +60,13 @@ void BM_Fig5b_ScaleOut(benchmark::State& state) {
   const Variant variant = VariantOf(state.range(1));
   engine::ClusterConfig cfg = PaperCluster();
   cfg.num_machines = machines;
-  cfg.default_parallelism = 3 * machines * cfg.cores_per_machine;
+  // default_parallelism stays 0 = auto, rescaling with the machine count.
   ScaleToTarget(&cfg, kTargetGb, kTotalVisits, sizeof(datagen::Visit));
   auto data = datagen::GenerateVisits(kTotalVisits, 256, 0.0, 0.5, kSeed);
   engine::Cluster cluster(cfg);
+  ObsAttach(&cluster,
+            std::string("fig5b/bounce-rate/") + workloads::VariantName(variant),
+            {machines});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -93,4 +99,4 @@ BENCHMARK(BM_Fig5b_ScaleOut)->Apply(ScaleOutArgs);
 }  // namespace
 }  // namespace matryoshka::bench
 
-BENCHMARK_MAIN();
+MATRYOSHKA_BENCH_MAIN();

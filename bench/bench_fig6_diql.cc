@@ -29,6 +29,9 @@ void BM_Fig6_DiqlComparison(benchmark::State& state) {
   ScaleToTarget(&cfg, kTargetGb, kTotalVisits, sizeof(datagen::Visit));
   auto data = datagen::GenerateVisits(kTotalVisits, days, 0.0, 0.5, kSeed);
   engine::Cluster cluster(cfg);
+  ObsAttach(&cluster,
+            std::string("fig6/bounce-rate/") + workloads::VariantName(variant),
+            {days});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -50,4 +53,4 @@ BENCHMARK(BM_Fig6_DiqlComparison)->Apply(Args);
 }  // namespace
 }  // namespace matryoshka::bench
 
-BENCHMARK_MAIN();
+MATRYOSHKA_BENCH_MAIN();

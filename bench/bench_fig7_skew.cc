@@ -46,6 +46,11 @@ void BM_Fig7_BounceRate(benchmark::State& state) {
   auto data = datagen::GenerateVisits(kTotalVisits, kGroups,
                                       skewed ? kZipf : 0.0, 0.5, kSeed);
   engine::Cluster cluster(cfg);
+  ObsAttach(&cluster,
+            std::string("fig7/bounce-rate/") +
+                workloads::VariantName(variant) +
+                (skewed ? "/zipf" : "/uniform"),
+            {});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -67,6 +72,10 @@ void BM_Fig7_PageRank(benchmark::State& state) {
   auto data = datagen::GenerateGroupedEdges(kTotalEdges, kGroups, 64,
                                             skewed ? kZipf : 0.0, kSeed);
   engine::Cluster cluster(cfg);
+  ObsAttach(&cluster,
+            std::string("fig7/pagerank/") + workloads::VariantName(variant) +
+                (skewed ? "/zipf" : "/uniform"),
+            {});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -91,4 +100,4 @@ BENCHMARK(BM_Fig7_PageRank)->Apply(Args);
 }  // namespace
 }  // namespace matryoshka::bench
 
-BENCHMARK_MAIN();
+MATRYOSHKA_BENCH_MAIN();

@@ -67,6 +67,8 @@ void BM_Fig8a_JoinStrategies(benchmark::State& state) {
       kTotalEdges, groups, std::max<int64_t>(16, (1 << 16) / groups), 0.0,
       kSeed);
   engine::Cluster cluster(cfg);
+  ObsAttach(&cluster, std::string("fig8a/join/") + JoinName(strategy),
+            {groups});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -96,6 +98,8 @@ void BM_Fig8b_HalfLiftedStrategies(benchmark::State& state) {
   ScaleToTarget(&cfg, 40.0, kTotalPoints, sizeof(datagen::Point));
   auto data = datagen::GeneratePoints(kTotalPoints, 4, kSeed);
   engine::Cluster cluster(cfg);
+  ObsAttach(&cluster, std::string("fig8b/cross/") + CrossName(strategy),
+            {runs});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -135,4 +139,4 @@ BENCHMARK(BM_Fig8b_HalfLiftedStrategies)->Apply(CrossArgs);
 }  // namespace
 }  // namespace matryoshka::bench
 
-BENCHMARK_MAIN();
+MATRYOSHKA_BENCH_MAIN();

@@ -45,6 +45,9 @@ void BM_Fig9_PageRank(benchmark::State& state) {
       kTotalEdges, groups, std::max<int64_t>(16, (1 << 16) / groups), 0.0,
       kSeed);
   engine::Cluster cluster(cfg);
+  ObsAttach(&cluster,
+            std::string("fig9/pagerank/") + workloads::VariantName(variant),
+            {groups});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -61,6 +64,9 @@ void BM_Fig9_BounceRate(benchmark::State& state) {
   ScaleToTarget(&cfg, 384.0, kTotalVisits, sizeof(datagen::Visit));
   auto data = datagen::GenerateVisits(kTotalVisits, days, 0.0, 0.5, kSeed);
   engine::Cluster cluster(cfg);
+  ObsAttach(&cluster,
+            std::string("fig9/bounce-rate/") + workloads::VariantName(variant),
+            {days});
   for (auto _ : state) {
     cluster.Reset();
     auto bag = engine::Parallelize(&cluster, data);
@@ -84,4 +90,4 @@ BENCHMARK(BM_Fig9_BounceRate)->Apply(Args);
 }  // namespace
 }  // namespace matryoshka::bench
 
-BENCHMARK_MAIN();
+MATRYOSHKA_BENCH_MAIN();

@@ -7,9 +7,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <initializer_list>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "engine/cluster.h"
+#include "obs/breakdown.h"
+#include "obs/chrome_trace.h"
+#include "obs/json_writer.h"
+#include "obs/trace_recorder.h"
 #include "workloads/workload.h"
 
 /// Shared setup for the per-figure benchmark binaries. Each binary
@@ -18,6 +26,14 @@
 /// cluster time as manual time, plus jobs / shuffle / OOM status as
 /// counters. Runs that the paper reports as failing (out of memory) are
 /// reported with counter oom=1 and time 0.
+///
+/// Observability: every binary built with MATRYOSHKA_BENCH_MAIN accepts
+///   --trace=FILE         Chrome/Perfetto trace_event JSON of all runs
+///   --metrics-json=FILE  machine-readable per-run metrics + breakdown
+/// (both stripped before benchmark::Initialize). Benchmarks opt runs in by
+/// calling ObsAttach(&cluster, "figN/variant", {args}) before the state
+/// loop; with neither flag present the cluster keeps a null trace sink and
+/// the cost model takes the exact zero-cost path.
 namespace matryoshka::bench {
 
 /// The paper's evaluation cluster (Sec. 9.1): 25 machines, 2x8 cores, 22 GB
@@ -31,7 +47,7 @@ inline engine::ClusterConfig PaperCluster() {
   cfg.job_launch_overhead_s = 0.1;
   cfg.task_overhead_s = 0.004;
   cfg.per_element_cost_s = 100e-9;
-  cfg.default_parallelism = 3 * 25 * 16;
+  // default_parallelism stays 0 = auto (3x total cores).
   return cfg;
 }
 
@@ -42,7 +58,6 @@ inline engine::ClusterConfig LargePaperCluster() {
   cfg.num_machines = 36;
   cfg.cores_per_machine = 40;
   cfg.memory_per_machine_bytes = 100.0 * (1ULL << 30);
-  cfg.default_parallelism = 3 * 36 * 40;
   return cfg;
 }
 
@@ -94,6 +109,152 @@ inline void ScaleToTarget(engine::ClusterConfig* cfg, double target_gb,
   cfg->data_scale = real_elements / static_cast<double>(synthetic_elements);
 }
 
+/// Process-wide observability session for one bench binary: owns the
+/// TraceRecorder behind the `--trace` / `--metrics-json` flags, collects one
+/// record per reported run, and writes both files at exit. With neither flag
+/// present it stays disabled and every hook is a no-op (clusters keep a null
+/// trace sink).
+class ObsSession {
+ public:
+  static ObsSession& Get() {
+    static ObsSession session;
+    return session;
+  }
+
+  /// Parses and strips `--trace=FILE` and `--metrics-json=FILE` (must run
+  /// before benchmark::Initialize, which rejects unknown flags).
+  void ParseFlags(int* argc, char** argv) {
+    if (*argc >= 1 && binary_.empty()) {
+      const char* slash = std::strrchr(argv[0], '/');
+      binary_ = slash != nullptr ? slash + 1 : argv[0];
+    }
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+        trace_path_ = argv[i] + 8;
+        continue;
+      }
+      if (std::strncmp(argv[i], "--metrics-json=", 15) == 0) {
+        metrics_path_ = argv[i] + 15;
+        continue;
+      }
+      argv[out++] = argv[i];
+    }
+    *argc = out;
+  }
+
+  bool enabled() const {
+    return !trace_path_.empty() || !metrics_path_.empty();
+  }
+
+  /// The recorder benches attach to clusters, or nullptr when disabled.
+  obs::TraceRecorder* recorder() { return enabled() ? &recorder_ : nullptr; }
+
+  /// Names the runs the attached cluster will record from here on
+  /// ("fig1/inner-parallel/64"); applies from the next Cluster::Reset.
+  void SetRunName(std::string name) {
+    if (enabled()) recorder_.SetRunNameHint(std::move(name));
+  }
+
+  /// Snapshots the finished current run (breakdown + engine metrics) into
+  /// the metrics report and marks it consumed.
+  void ReportRun(const engine::Metrics& metrics, bool ok,
+                 const std::string& status) {
+    if (!enabled()) return;
+    obs::RunTrace& run = recorder_.current();
+    run.reported = true;
+    RunRecord rec;
+    rec.name = run.name;
+    rec.ok = ok;
+    rec.status = status;
+    rec.metrics = metrics;
+    rec.breakdown = obs::ComputeBreakdown(run);
+    records_.push_back(std::move(rec));
+  }
+
+  /// Writes the requested files; call once after RunSpecifiedBenchmarks.
+  void Finalize() {
+    if (!trace_path_.empty()) {
+      std::ofstream os(trace_path_);
+      obs::WriteChromeTrace(recorder_, os);
+    }
+    if (!metrics_path_.empty()) {
+      std::ofstream os(metrics_path_);
+      WriteMetricsJson(os);
+    }
+  }
+
+ private:
+  struct RunRecord {
+    std::string name;
+    bool ok = true;
+    std::string status;
+    engine::Metrics metrics;
+    obs::Breakdown breakdown;
+  };
+
+  void WriteMetricsJson(std::ostream& os) const {
+    os << "{\n  \"schema\": \"matryoshka-bench-metrics-v1\",\n";
+    os << "  \"binary\": \"" << obs::JsonEscape(binary_) << "\",\n";
+    os << "  \"runs\": [";
+    bool first = true;
+    for (const RunRecord& rec : records_) {
+      if (!first) os << ",";
+      first = false;
+      const engine::Metrics& m = rec.metrics;
+      os << "\n    {\"name\": \"" << obs::JsonEscape(rec.name) << "\", ";
+      os << "\"ok\": " << (rec.ok ? "true" : "false") << ", ";
+      os << "\"status\": \"" << obs::JsonEscape(rec.status) << "\",\n";
+      os << "     \"metrics\": {";
+      os << "\"simulated_time_s\": " << obs::JsonDouble(m.simulated_time_s);
+      os << ", \"jobs\": " << m.jobs;
+      os << ", \"stages\": " << m.stages;
+      os << ", \"tasks\": " << m.tasks;
+      os << ", \"elements_processed\": " << m.elements_processed;
+      os << ", \"shuffle_bytes\": " << obs::JsonDouble(m.shuffle_bytes);
+      os << ", \"broadcast_bytes\": " << obs::JsonDouble(m.broadcast_bytes);
+      os << ", \"spilled_bytes\": " << obs::JsonDouble(m.spilled_bytes);
+      os << ", \"spill_events\": " << m.spill_events;
+      os << ", \"peak_task_bytes\": " << obs::JsonDouble(m.peak_task_bytes);
+      os << ", \"peak_machine_bytes\": "
+         << obs::JsonDouble(m.peak_machine_bytes);
+      os << ", \"failed_tasks\": " << m.failed_tasks;
+      os << ", \"task_retries\": " << m.task_retries;
+      os << ", \"speculative_launches\": " << m.speculative_launches;
+      os << ", \"machines_lost\": " << m.machines_lost;
+      os << ", \"recovery_time_s\": " << obs::JsonDouble(m.recovery_time_s);
+      os << "},\n     \"breakdown\": ";
+      obs::WriteBreakdownJson(rec.breakdown, os);
+      os << "}";
+    }
+    os << "\n  ]\n}\n";
+  }
+
+  obs::TraceRecorder recorder_;
+  std::string binary_;
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::vector<RunRecord> records_;
+};
+
+/// Attaches the session recorder (if any) to `cluster` and names its
+/// upcoming runs `label "/" arg0 "/" arg1 ...` — call once per benchmark
+/// invocation, before the state loop. Passing the args explicitly matches
+/// google-benchmark's name/arg/... convention without depending on
+/// State::name() (absent in older releases).
+inline void ObsAttach(engine::Cluster* cluster, const std::string& label,
+                      std::initializer_list<int64_t> args = {}) {
+  ObsSession& session = ObsSession::Get();
+  if (!session.enabled()) return;
+  std::string name = label;
+  for (int64_t arg : args) {
+    name += "/";
+    name += std::to_string(arg);
+  }
+  session.SetRunName(std::move(name));
+  cluster->set_trace(session.recorder());
+}
+
 /// Fills the benchmark state from a finished run: simulated time as manual
 /// time, plus diagnostic counters. OOM runs get time 0 and oom=1 (mirroring
 /// the "X" marks of the paper's figures).
@@ -112,6 +273,10 @@ void Report(benchmark::State& state,
   state.counters["stages"] = static_cast<double>(result.metrics.stages);
   state.counters["shuffle_gb"] =
       result.metrics.shuffle_bytes / (1ULL << 30);
+  state.counters["broadcast_gb"] =
+      result.metrics.broadcast_bytes / (1ULL << 30);
+  state.counters["peak_machine_gb"] =
+      result.metrics.peak_machine_bytes / (1ULL << 30);
   state.counters["spills"] = static_cast<double>(result.metrics.spill_events);
   if (result.metrics.failed_tasks > 0 || result.metrics.machines_lost > 0 ||
       result.metrics.speculative_launches > 0) {
@@ -121,8 +286,25 @@ void Report(benchmark::State& state,
         static_cast<double>(result.metrics.failed_tasks);
     state.counters["recovery_s"] = result.metrics.recovery_time_s;
   }
+  ObsSession::Get().ReportRun(result.metrics, result.ok(),
+                              result.status.ToString());
 }
 
 }  // namespace matryoshka::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that installs the observability
+/// flags (which must be stripped before benchmark::Initialize) and writes
+/// the requested trace/metrics files after the benchmarks ran.
+#define MATRYOSHKA_BENCH_MAIN()                                            \
+  int main(int argc, char** argv) {                                        \
+    ::matryoshka::bench::ObsSession::Get().ParseFlags(&argc, argv);        \
+    ::benchmark::Initialize(&argc, argv);                                  \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;    \
+    ::benchmark::RunSpecifiedBenchmarks();                                 \
+    ::benchmark::Shutdown();                                               \
+    ::matryoshka::bench::ObsSession::Get().Finalize();                     \
+    return 0;                                                              \
+  }                                                                        \
+  int main(int, char**)
 
 #endif  // MATRYOSHKA_BENCH_BENCH_UTIL_H_

@@ -3,6 +3,7 @@
 #   scripts/check.sh            # RelWithDebInfo build + full ctest
 #   scripts/check.sh asan       # ASan+UBSan build + full ctest
 #   scripts/check.sh faults     # RelWithDebInfo build + fault-suite only
+#   scripts/check.sh obs        # obs suite + end-to-end --trace/--metrics-json
 # Any extra arguments are forwarded to ctest.
 set -eu
 
@@ -18,11 +19,28 @@ case "$mode" in
     preset=asan; test_preset=asan ;;
   faults)
     preset=default; test_preset=faults ;;
+  obs)
+    preset=default; test_preset=obs ;;
   *)
-    echo "usage: scripts/check.sh [default|asan|faults] [ctest args...]" >&2
+    echo "usage: scripts/check.sh [default|asan|faults|obs] [ctest args...]" >&2
     exit 2 ;;
 esac
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)"
 ctest --preset "$test_preset" -j "$(nproc)" "$@"
+
+if [ "$mode" = obs ]; then
+  # End-to-end: one bench with the observability flags on, both outputs
+  # validated as JSON.
+  out_dir="build/obs-check"
+  mkdir -p "$out_dir"
+  build/bench/bench_ablation_partitions \
+    --trace="$out_dir/trace.json" \
+    --metrics-json="$out_dir/metrics.json" >/dev/null
+  for f in "$out_dir/trace.json" "$out_dir/metrics.json"; do
+    [ -s "$f" ] || { echo "missing $f" >&2; exit 1; }
+    python3 -m json.tool "$f" >/dev/null
+    echo "ok: $f"
+  done
+fi

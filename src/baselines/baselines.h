@@ -60,7 +60,8 @@ auto ProcessGroupsSequentially(
   }
   c->CheckTaskMemory(max_group_bytes * expansion, "outer-parallel group UDF");
   if (!c->ok()) return Out(c);
-  c->AccrueStage(task_costs);
+  c->AccrueStage(task_costs, /*lineage_depth=*/1,
+                 engine::StageContext{"outer-parallel[group-udf]"});
 
   typename Out::Partitions out(groups.partitions().size());
   ParallelFor(c->pool(), groups.partitions().size(), [&](std::size_t i) {

@@ -76,7 +76,8 @@ auto HalfLiftedMapWithClosure(const engine::Bag<E>& primary,
   if (strategy == CrossStrategy::kBroadcastScalar) {
     // Ship all (tag, closure-value) pairs to every machine; each primary
     // partition emits one output per (element, tag).
-    c->AccrueBroadcast(engine::RealBagBytes(closure.repr()) * 2.0);
+    c->AccrueBroadcast(engine::RealBagBytes(closure.repr()) * 2.0,
+                       "cross[scalar]");
     if (!c->ok()) return InnerBag<U>(ctx, Out(c));
     std::vector<std::pair<Tag, C>> clos = closure.repr().ToVector();
     std::vector<double> costs;
@@ -86,7 +87,8 @@ auto HalfLiftedMapWithClosure(const engine::Bag<E>& primary,
           static_cast<double>(part.size() * clos.size()) * out_scale,
           weight));
     }
-    c->AccrueStage(costs);
+    c->AccrueStage(costs, /*lineage_depth=*/1,
+                   engine::StageContext{"cross[probe-scalar]"});
     typename Out::Partitions out(primary.partitions().size());
     ParallelFor(c->pool(), primary.partitions().size(), [&](std::size_t i) {
       out[i].reserve(primary.partitions()[i].size() * clos.size());
@@ -99,7 +101,7 @@ auto HalfLiftedMapWithClosure(const engine::Bag<E>& primary,
 
   // kBroadcastPrimary: ship the primary bag everywhere; each closure
   // partition emits one output per (tag, element).
-  c->AccrueBroadcast(engine::RealBagBytes(primary) * 2.0);
+  c->AccrueBroadcast(engine::RealBagBytes(primary) * 2.0, "cross[primary]");
   if (!c->ok()) return InnerBag<U>(ctx, Out(c));
   std::vector<E> prim = primary.ToVector();
   std::vector<double> costs;
@@ -108,7 +110,8 @@ auto HalfLiftedMapWithClosure(const engine::Bag<E>& primary,
     costs.push_back(c->ComputeCost(
         static_cast<double>(part.size() * prim.size()) * out_scale, weight));
   }
-  c->AccrueStage(costs);
+  c->AccrueStage(costs, /*lineage_depth=*/1,
+                 engine::StageContext{"cross[probe-primary]"});
   typename Out::Partitions out(closure.repr().partitions().size());
   ParallelFor(c->pool(), closure.repr().partitions().size(),
               [&](std::size_t i) {

@@ -43,7 +43,8 @@ class LiftingContext {
   const OptimizerOptions& options() const { return options_; }
 
   Optimizer optimizer() const {
-    return Optimizer(&cluster_->config(), options_);
+    // The cluster's trace sink (if any) captures every lowering decision.
+    return Optimizer(&cluster_->config(), options_, cluster_->trace());
   }
 
   /// Partition count for InnerScalar-sized bags (Sec. 8.1).

@@ -2,8 +2,10 @@
 #define MATRYOSHKA_CORE_OPTIMIZER_H_
 
 #include <cstdint>
+#include <string>
 
 #include "engine/cluster.h"
+#include "obs/trace_recorder.h"
 
 namespace matryoshka::core {
 
@@ -45,11 +47,15 @@ struct OptimizerOptions {
 
 /// The lowering-phase optimizer (Sec. 8). Stateless: every decision is a
 /// pure function of the cluster shape, the options, and the runtime
-/// cardinalities tracked by the LiftingContext.
+/// cardinalities tracked by the LiftingContext. With a trace recorder
+/// attached, every decision is captured with its justifying cardinalities
+/// (dump with obs::WritePlanJson / WritePlanDot); the decisions themselves
+/// never change.
 class Optimizer {
  public:
-  Optimizer(const engine::ClusterConfig* config, OptimizerOptions options)
-      : config_(config), options_(options) {}
+  Optimizer(const engine::ClusterConfig* config, OptimizerOptions options,
+            obs::TraceRecorder* trace = nullptr)
+      : config_(config), options_(options), trace_(trace) {}
 
   const OptimizerOptions& options() const { return options_; }
 
@@ -57,11 +63,31 @@ class Optimizer {
   /// InnerScalar size (`num_tags` elements). Small InnerScalars get few
   /// partitions so per-partition overhead does not dominate.
   int64_t ScalarPartitions(int64_t num_tags) const {
-    if (!options_.tune_partitions) return config_->default_parallelism;
-    if (num_tags <= 0) return 1;
-    return num_tags < config_->default_parallelism
-               ? num_tags
-               : config_->default_parallelism;
+    int64_t parts;
+    const char* why;
+    if (!options_.tune_partitions) {
+      parts = config_->default_parallelism;
+      why = "partition tuning disabled: engine default";
+    } else if (num_tags <= 0) {
+      parts = 1;
+      why = "empty InnerScalar: one partition";
+    } else if (num_tags < config_->default_parallelism) {
+      parts = num_tags;
+      why = "one partition per tag (fewer tags than default parallelism)";
+    } else {
+      parts = config_->default_parallelism;
+      why = "tags exceed default parallelism: engine default";
+    }
+    if (trace_ != nullptr) {
+      obs::Decision d;
+      d.primitive = "scalarPartitions";
+      d.choice = std::to_string(parts);
+      d.rationale = why;
+      d.num_tags = num_tags;
+      d.partitions = parts;
+      trace_->AddDecision(d);
+    }
+    return parts;
   }
 
   /// Sec. 8.2: join between an InnerBag/InnerScalar and an InnerScalar of
@@ -69,11 +95,28 @@ class Optimizer {
   /// enough elements in the InnerScalar to give work to all CPU cores.
   /// Otherwise, we choose a broadcast join."
   JoinStrategy ChooseJoin(int64_t num_tags) const {
+    JoinStrategy chosen;
+    const char* why;
     if (options_.join_strategy != JoinStrategy::kAuto) {
-      return options_.join_strategy;
+      chosen = options_.join_strategy;
+      why = "forced by OptimizerOptions";
+    } else if (num_tags >= config_->total_cores()) {
+      chosen = JoinStrategy::kRepartition;
+      why = "enough tags to give work to all cores";
+    } else {
+      chosen = JoinStrategy::kBroadcast;
+      why = "fewer tags than cores: repartitioning would idle slots";
     }
-    return num_tags >= config_->total_cores() ? JoinStrategy::kRepartition
-                                              : JoinStrategy::kBroadcast;
+    if (trace_ != nullptr) {
+      obs::Decision d;
+      d.primitive = "tagJoin";
+      d.choice =
+          chosen == JoinStrategy::kRepartition ? "repartition" : "broadcast";
+      d.rationale = why;
+      d.num_tags = num_tags;
+      trace_->AddDecision(d);
+    }
+    return chosen;
   }
 
   /// Sec. 8.3: which side of a half-lifted cross product to broadcast.
@@ -81,19 +124,42 @@ class Optimizer {
   /// byte sizes are real (scale-adjusted) estimates.
   CrossStrategy ChooseCross(int64_t scalar_partitions, double scalar_bytes,
                             double primary_bytes) const {
+    CrossStrategy chosen;
+    const char* why;
     if (options_.cross_strategy != CrossStrategy::kAuto) {
-      return options_.cross_strategy;
+      chosen = options_.cross_strategy;
+      why = "forced by OptimizerOptions";
+    } else if (scalar_partitions <= 1) {
+      // Single-partition InnerScalars are the common case (thanks to
+      // ScalarPartitions) and are quick to check — broadcast them.
+      chosen = CrossStrategy::kBroadcastScalar;
+      why = "single-partition InnerScalar: broadcast it";
+    } else if (scalar_bytes <= primary_bytes) {
+      chosen = CrossStrategy::kBroadcastScalar;
+      why = "InnerScalar side is the smaller estimate";
+    } else {
+      chosen = CrossStrategy::kBroadcastPrimary;
+      why = "primary side is the smaller estimate";
     }
-    // Single-partition InnerScalars are the common case (thanks to
-    // ScalarPartitions) and are quick to check — broadcast them.
-    if (scalar_partitions <= 1) return CrossStrategy::kBroadcastScalar;
-    return scalar_bytes <= primary_bytes ? CrossStrategy::kBroadcastScalar
-                                         : CrossStrategy::kBroadcastPrimary;
+    if (trace_ != nullptr) {
+      obs::Decision d;
+      d.primitive = "halfLiftedCross";
+      d.choice = chosen == CrossStrategy::kBroadcastScalar
+                     ? "broadcast-scalar"
+                     : "broadcast-primary";
+      d.rationale = why;
+      d.partitions = scalar_partitions;
+      d.scalar_bytes = scalar_bytes;
+      d.primary_bytes = primary_bytes;
+      trace_->AddDecision(d);
+    }
+    return chosen;
   }
 
  private:
   const engine::ClusterConfig* config_;
   OptimizerOptions options_;
+  obs::TraceRecorder* trace_;
 };
 
 }  // namespace matryoshka::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
+#include <utility>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -32,6 +33,11 @@ double UnitDraw(uint64_t seed, uint64_t stage, uint64_t task, uint64_t attempt,
 Cluster::Cluster(ClusterConfig config) : config_(config) {
   MATRYOSHKA_CHECK(config_.num_machines >= 1);
   MATRYOSHKA_CHECK(config_.cores_per_machine >= 1);
+  // default_parallelism <= 0 means "auto": the paper's 3x total cores,
+  // resolved here so it tracks whatever cluster shape was configured.
+  if (config_.default_parallelism <= 0) {
+    config_.default_parallelism = 3 * config_.total_cores();
+  }
   if (config_.execute_parallel) {
     unsigned hw = std::thread::hardware_concurrency();
     pool_ = std::make_unique<ThreadPool>(hw == 0 ? 4 : hw);
@@ -46,6 +52,10 @@ void Cluster::Fail(Status status) {
   MATRYOSHKA_DCHECK(!status.ok());
   if (status_.ok()) {
     MATRYOSHKA_LOG(kInfo) << "cluster run failed: " << status.ToString();
+    if (trace_ != nullptr) {
+      trace_->AddInstant("run-failed", status.ToString(),
+                         metrics_.simulated_time_s);
+    }
     status_ = std::move(status);
   }
 }
@@ -57,13 +67,18 @@ void Cluster::Reset() {
   // fire again, so repeated runs on one cluster are bit-identical.
   next_loss_event_ = 0;
   lost_machines_ = 0;
+  // A Reset is a run boundary for the trace too.
+  if (trace_ != nullptr) trace_->StartRun();
 }
 
 void Cluster::BeginJob(const std::string& label) {
-  (void)label;
   if (!ok()) return;
   metrics_.jobs += 1;
+  const double t0 = metrics_.simulated_time_s;
   metrics_.simulated_time_s += config_.job_launch_overhead_s;
+  if (trace_ != nullptr) {
+    trace_->AddJob(label, t0, metrics_.simulated_time_s);
+  }
   if (config_.faults.active()) {
     // Machine losses can fire between stages too; nothing is running, so
     // there is no recompute, only permanently fewer slots.
@@ -74,7 +89,7 @@ void Cluster::BeginJob(const std::string& label) {
 
 double Cluster::SimulateTaskAttempts(double base_cost_s, uint64_t stage_index,
                                      uint64_t task_index, uint64_t copy_salt,
-                                     bool* exhausted) {
+                                     bool* exhausted, int* retries) {
   const FaultPlan& plan = config_.faults;
   double duration = 0.0;
   for (uint64_t attempt = 0;; ++attempt) {
@@ -105,6 +120,7 @@ double Cluster::SimulateTaskAttempts(double base_cost_s, uint64_t stage_index,
         plan.retry_backoff_s * std::ldexp(1.0, static_cast<int>(attempt));
     duration += backoff;
     metrics_.task_retries += 1;
+    *retries += 1;
     metrics_.recovery_time_s += backoff;
   }
 }
@@ -119,6 +135,12 @@ void Cluster::ProcessMachineLossEvents(double stage_cost_s, int64_t num_tasks,
     const int machines_before = available_machines();
     lost_machines_ += 1;
     metrics_.machines_lost += 1;
+    if (trace_ != nullptr) {
+      trace_->AddInstant(
+          "machine-lost",
+          std::to_string(available_machines()) + " machines left",
+          metrics_.simulated_time_s);
+    }
     if (stage_cost_s <= 0.0 && num_tasks <= 0) continue;
     // The lost machine held ~1/machines of the running stage's partitions;
     // regenerating them re-runs the upstream narrow chain (lineage_depth
@@ -130,57 +152,146 @@ void Cluster::ProcessMachineLossEvents(double stage_cost_s, int64_t num_tasks,
         (stage_cost_s +
          static_cast<double>(num_tasks) * config_.task_overhead_s) /
         static_cast<double>(surviving_slots);
+    const double t0 = metrics_.simulated_time_s;
     metrics_.recovery_time_s += recompute;
     metrics_.simulated_time_s += recompute;
+    if (trace_ != nullptr) {
+      trace_->AddDriverSpan(obs::Category::kRecovery, "machine-loss recompute",
+                            t0, metrics_.simulated_time_s, 0.0);
+    }
   }
 }
 
+double Cluster::ScheduleStage(const std::vector<ScheduledTask>& sched,
+                              int slots, double t0, int64_t trace_stage_id,
+                              const StageContext& stage_ctx) {
+  // Greedy list scheduling onto `slots` identical cores: each task goes to
+  // the currently least-loaded slot; the stage takes the resulting makespan.
+  // A min-heap over (load, slot) keeps this O(n log slots) and — since among
+  // equal loads only the slot index differs — charges bit-identical time to
+  // a heap over plain loads. Tasks smaller than the slot count finish in one
+  // "wave" of max task cost — exactly the effect that starves the
+  // outer-parallel workaround when there are fewer groups than cores.
+  using Slot = std::pair<double, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> heap;
+  const int used_slots =
+      std::min<int64_t>(slots, static_cast<int64_t>(sched.size()));
+  for (int i = 0; i < used_slots; ++i) heap.emplace(0.0, i);
+
+  const bool tracing = trace_ != nullptr;
+  const bool record_tasks =
+      tracing &&
+      trace_->ShouldRecordTasks(static_cast<int64_t>(sched.size()));
+  // Per-slot aggregates for the critical-path decomposition (trace only).
+  std::vector<double> slot_end, slot_compute, slot_overhead, slot_spill,
+      slot_fault;
+  if (tracing) {
+    slot_end.assign(static_cast<std::size_t>(used_slots), 0.0);
+    slot_compute.assign(static_cast<std::size_t>(used_slots), 0.0);
+    slot_overhead.assign(static_cast<std::size_t>(used_slots), 0.0);
+    slot_spill.assign(static_cast<std::size_t>(used_slots), 0.0);
+    slot_fault.assign(static_cast<std::size_t>(used_slots), 0.0);
+  }
+
+  double makespan = 0.0;
+  for (const ScheduledTask& task : sched) {
+    auto [load, slot] = heap.top();
+    heap.pop();
+    load += config_.task_overhead_s + task.duration_s;
+    makespan = std::max(makespan, load);
+    heap.emplace(load, slot);
+    if (tracing) {
+      const double factor = stage_ctx.spill_factor;
+      const double compute =
+          factor > 1.0 ? task.base_cost_s / factor : task.base_cost_s;
+      const std::size_t s = static_cast<std::size_t>(slot);
+      const double begin = slot_end[s];
+      slot_end[s] = load;
+      slot_overhead[s] += config_.task_overhead_s;
+      slot_compute[s] += compute;
+      slot_spill[s] += task.base_cost_s - compute;
+      slot_fault[s] += task.duration_s - task.base_cost_s;
+      if (record_tasks) {
+        obs::TaskSpan span;
+        span.stage_id = trace_stage_id;
+        span.task_index = task.task_index;
+        span.slot = slot;
+        span.begin_s = t0 + begin;
+        span.end_s = t0 + load;
+        span.overhead_s = config_.task_overhead_s;
+        span.base_cost_s = task.base_cost_s;
+        span.spill_s = task.base_cost_s - compute;
+        span.retries = task.retries;
+        span.speculative = task.speculative;
+        trace_->AddTask(span);
+      }
+    }
+  }
+
+  if (tracing) {
+    int64_t critical = -1;
+    for (int i = 0; i < used_slots; ++i) {
+      if (critical < 0 ||
+          slot_end[static_cast<std::size_t>(i)] >
+              slot_end[static_cast<std::size_t>(critical)]) {
+        critical = i;
+      }
+    }
+    const std::size_t c = static_cast<std::size_t>(std::max<int64_t>(0, critical));
+    trace_->EndStage(trace_stage_id, t0 + makespan, critical,
+                     critical >= 0 ? slot_compute[c] : 0.0,
+                     critical >= 0 ? slot_overhead[c] : 0.0,
+                     critical >= 0 ? slot_spill[c] : 0.0,
+                     critical >= 0 ? slot_fault[c] : 0.0);
+  }
+  return makespan;
+}
+
 void Cluster::AccrueStage(const std::vector<double>& task_costs_s,
-                          int lineage_depth) {
+                          int lineage_depth, const StageContext& stage_ctx) {
   if (!ok()) return;
   const FaultPlan& plan = config_.faults;
+  const std::size_t n = task_costs_s.size();
+
   if (!plan.active()) {
     metrics_.stages += 1;
-    metrics_.tasks += static_cast<int64_t>(task_costs_s.size());
-    const int slots = config_.total_cores();
-    // Greedy list scheduling onto `slots` identical cores: each task goes to
-    // the currently least-loaded slot; the stage takes the resulting
-    // makespan. A min-heap over slot loads keeps this O(n log slots). Tasks
-    // smaller than the slot count finish in one "wave" of max task cost —
-    // exactly the effect that starves the outer-parallel workaround when
-    // there are fewer groups than cores.
-    std::priority_queue<double, std::vector<double>, std::greater<double>>
-        heap;
-    const int used_slots =
-        std::min<int64_t>(slots, static_cast<int64_t>(task_costs_s.size()));
-    for (int i = 0; i < used_slots; ++i) heap.push(0.0);
-    double makespan = 0.0;
-    for (double cost : task_costs_s) {
-      double load = heap.top();
-      heap.pop();
-      load += config_.task_overhead_s + cost;
-      makespan = std::max(makespan, load);
-      heap.push(load);
+    metrics_.tasks += static_cast<int64_t>(n);
+    const double t0 = metrics_.simulated_time_s;
+    int64_t stage_id = 0;
+    if (trace_ != nullptr) {
+      stage_id = trace_->AddStage(stage_ctx.label, metrics_.jobs, t0,
+                                  static_cast<int64_t>(n), lineage_depth,
+                                  stage_ctx.spill_factor);
     }
-    metrics_.simulated_time_s += makespan;
+    std::vector<ScheduledTask> sched(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sched[i].duration_s = task_costs_s[i];
+      sched[i].base_cost_s = task_costs_s[i];
+      sched[i].task_index = static_cast<int64_t>(i);
+    }
+    metrics_.simulated_time_s +=
+        ScheduleStage(sched, config_.total_cores(), t0, stage_id, stage_ctx);
     return;
   }
 
   metrics_.stages += 1;
-  metrics_.tasks += static_cast<int64_t>(task_costs_s.size());
+  metrics_.tasks += static_cast<int64_t>(n);
   const uint64_t stage_index = static_cast<uint64_t>(metrics_.stages);
 
   // 1. Perturb every task's slot time by straggler and failure/retry draws.
-  const std::size_t n = task_costs_s.size();
-  std::vector<double> durations(n);
+  std::vector<ScheduledTask> sched(n);
   std::vector<char> exhausted(n, 0);
   double stage_cost_total = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     stage_cost_total += task_costs_s[i];
     bool ex = false;
-    durations[i] = SimulateTaskAttempts(task_costs_s[i], stage_index,
-                                        static_cast<uint64_t>(i),
-                                        /*copy_salt=*/0, &ex);
+    int retries = 0;
+    sched[i].duration_s = SimulateTaskAttempts(
+        task_costs_s[i], stage_index, static_cast<uint64_t>(i),
+        /*copy_salt=*/0, &ex, &retries);
+    sched[i].base_cost_s = task_costs_s[i];
+    sched[i].task_index = static_cast<int64_t>(i);
+    sched[i].retries = retries;
     exhausted[i] = ex ? 1 : 0;
   }
 
@@ -188,7 +299,6 @@ void Cluster::AccrueStage(const std::vector<double>& task_costs_s,
   // the earlier finisher win (a speculative copy can rescue a task whose
   // original exhausted its retries). Both copies occupy a slot until the
   // winner finishes.
-  std::vector<double> schedule = durations;
   if (plan.speculative_execution && n > 0) {
     const auto k = static_cast<std::size_t>(
         static_cast<double>(n) * plan.speculation_fraction);
@@ -197,43 +307,47 @@ void Cluster::AccrueStage(const std::vector<double>& task_costs_s,
     for (std::size_t i = 0; i < n; ++i) order[i] = i;
     // Deterministic slowest-first order; index breaks duration ties.
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      if (durations[a] != durations[b]) return durations[a] > durations[b];
+      if (sched[a].duration_s != sched[b].duration_s) {
+        return sched[a].duration_s > sched[b].duration_s;
+      }
       return a < b;
     });
     for (std::size_t s = 0; s < std::min(num_spec, n); ++s) {
       const std::size_t i = order[s];
       bool spec_exhausted = false;
+      int spec_retries = 0;
       const double spec_duration = SimulateTaskAttempts(
           task_costs_s[i], stage_index, static_cast<uint64_t>(i),
-          kSaltSpeculative, &spec_exhausted);
-      const double winner = std::min(durations[i], spec_duration);
+          kSaltSpeculative, &spec_exhausted, &spec_retries);
+      const double winner = std::min(sched[i].duration_s, spec_duration);
       if (exhausted[i] && !spec_exhausted) exhausted[i] = 0;
-      schedule[i] = winner;
-      schedule.push_back(winner);  // the duplicate's slot occupancy
+      sched[i].duration_s = winner;
+      ScheduledTask dup;  // the duplicate's slot occupancy
+      dup.duration_s = winner;
+      dup.base_cost_s = task_costs_s[i];
+      dup.task_index = static_cast<int64_t>(i);
+      dup.retries = spec_retries;
+      dup.speculative = true;
+      sched.push_back(dup);
       metrics_.speculative_launches += 1;
     }
   }
 
   // 3. Greedy list scheduling of the perturbed durations onto the slots of
   // the machines still alive.
-  const int slots = available_machines() * config_.cores_per_machine;
-  std::priority_queue<double, std::vector<double>, std::greater<double>> heap;
-  const int used_slots =
-      std::min<int64_t>(slots, static_cast<int64_t>(schedule.size()));
-  for (int i = 0; i < used_slots; ++i) heap.push(0.0);
-  double makespan = 0.0;
-  for (double cost : schedule) {
-    double load = heap.top();
-    heap.pop();
-    load += config_.task_overhead_s + cost;
-    makespan = std::max(makespan, load);
-    heap.push(load);
+  const double t0 = metrics_.simulated_time_s;
+  int64_t stage_id = 0;
+  if (trace_ != nullptr) {
+    stage_id = trace_->AddStage(stage_ctx.label, metrics_.jobs, t0,
+                                static_cast<int64_t>(n), lineage_depth,
+                                stage_ctx.spill_factor);
   }
-  metrics_.simulated_time_s += makespan;
+  const int slots = available_machines() * config_.cores_per_machine;
+  metrics_.simulated_time_s +=
+      ScheduleStage(sched, slots, t0, stage_id, stage_ctx);
 
   // 4. Machine-loss events reached by the clock fire against this stage.
-  ProcessMachineLossEvents(stage_cost_total,
-                           static_cast<int64_t>(task_costs_s.size()),
+  ProcessMachineLossEvents(stage_cost_total, static_cast<int64_t>(n),
                            lineage_depth);
 
   // 5. A task that exhausted its retries (and was not rescued by a
@@ -251,17 +365,18 @@ void Cluster::AccrueStage(const std::vector<double>& task_costs_s,
 }
 
 void Cluster::AccrueUniformStage(int64_t num_tasks, double total_elements,
-                                 double cost_weight) {
+                                 double cost_weight,
+                                 const StageContext& stage_ctx) {
   if (!ok()) return;
   MATRYOSHKA_DCHECK(num_tasks >= 1);
   metrics_.elements_processed += static_cast<int64_t>(total_elements);
   const double per_task =
       ComputeCost(total_elements, cost_weight) / static_cast<double>(num_tasks);
   std::vector<double> costs(static_cast<std::size_t>(num_tasks), per_task);
-  AccrueStage(costs);
+  AccrueStage(costs, /*lineage_depth=*/1, stage_ctx);
 }
 
-void Cluster::AccrueShuffle(double bytes) {
+void Cluster::AccrueShuffle(double bytes, const char* label) {
   if (!ok()) return;
   const double scaled = bytes;
   metrics_.shuffle_bytes += scaled;
@@ -272,10 +387,15 @@ void Cluster::AccrueShuffle(double bytes) {
       scaled * (1.0 - 1.0 / static_cast<double>(config_.num_machines));
   const double per_machine =
       crossing / static_cast<double>(config_.num_machines);
+  const double t0 = metrics_.simulated_time_s;
   metrics_.simulated_time_s += per_machine / config_.network_bytes_per_s;
+  if (trace_ != nullptr) {
+    trace_->AddDriverSpan(obs::Category::kShuffle, label, t0,
+                          metrics_.simulated_time_s, scaled);
+  }
 }
 
-void Cluster::AccrueBroadcast(double bytes) {
+void Cluster::AccrueBroadcast(double bytes, const char* label) {
   if (!ok()) return;
   const double scaled = bytes;
   metrics_.broadcast_bytes += scaled;
@@ -288,7 +408,22 @@ void Cluster::AccrueBroadcast(double bytes) {
   // Collect to the driver, then torrent-style redistribution (every machine
   // both uploads and downloads chunks, so distribution is ~one transfer of
   // the full payload at per-machine bandwidth, not num_machines transfers).
+  const double t0 = metrics_.simulated_time_s;
   metrics_.simulated_time_s += 2.0 * scaled / config_.network_bytes_per_s;
+  if (trace_ != nullptr) {
+    trace_->AddDriverSpan(obs::Category::kBroadcast, label, t0,
+                          metrics_.simulated_time_s, scaled);
+  }
+}
+
+void Cluster::AccrueCollect(double bytes, const char* label) {
+  if (!ok()) return;
+  const double t0 = metrics_.simulated_time_s;
+  metrics_.simulated_time_s += bytes / config_.network_bytes_per_s;
+  if (trace_ != nullptr) {
+    trace_->AddDriverSpan(obs::Category::kCollect, label, t0,
+                          metrics_.simulated_time_s, bytes);
+  }
 }
 
 void Cluster::CheckTaskMemory(double bytes, const std::string& what) {
@@ -315,6 +450,12 @@ double Cluster::SpillFactor(double per_machine_bytes) {
   const double excess_fraction = (scaled - budget) / scaled;
   metrics_.spill_events += 1;
   metrics_.spilled_bytes += scaled - budget;
+  if (trace_ != nullptr) {
+    trace_->AddInstant(
+        "spill",
+        std::to_string((scaled - budget) / (1 << 20)) + " MB over budget",
+        metrics_.simulated_time_s);
+  }
   return 1.0 + excess_fraction * (config_.spill_penalty - 1.0);
 }
 

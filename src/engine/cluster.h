@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "obs/trace_recorder.h"
 
 namespace matryoshka::engine {
 
@@ -93,8 +94,10 @@ struct ClusterConfig {
 
   /// Spark-style parallelism default: number of partitions produced by wide
   /// operators when the caller does not override it. The paper sets it to
-  /// 3x the total core count.
-  int default_parallelism = 3 * 25 * 16;
+  /// 3x the total core count; 0 (the default) means exactly that — "auto",
+  /// resolved to `3 * total_cores()` when the Cluster is constructed, so
+  /// changing num_machines / cores_per_machine rescales it automatically.
+  int default_parallelism = 0;
 
   /// Fraction of machine memory available to a single wide operator's
   /// build/aggregation structures before it starts spilling to disk
@@ -130,6 +133,17 @@ struct ClusterConfig {
   double task_memory_budget() const {
     return memory_per_machine_bytes / cores_per_machine;
   }
+};
+
+/// Per-stage annotations the operators pass to AccrueStage so the optional
+/// trace sink can label and decompose the stage. Cheap aggregate of
+/// literals; irrelevant to the cost model itself.
+struct StageContext {
+  /// Operator name ("map", "reduceByKey[merge]", ...).
+  const char* label = "stage";
+  /// Spill inflation already multiplied into the task costs (SpillFactor's
+  /// return value); lets the trace separate spill seconds from compute.
+  double spill_factor = 1.0;
 };
 
 /// Counters and the simulated clock accumulated over a program run.
@@ -184,8 +198,18 @@ class Cluster {
   bool ok() const { return status_.ok(); }
   /// Records the first failure; later calls keep the original status.
   void Fail(Status status);
-  /// Clears status and metrics (fresh run on the same cluster).
+  /// Clears status and metrics (fresh run on the same cluster). With a
+  /// trace sink attached, also archives the current trace run and starts a
+  /// new one.
   void Reset();
+
+  /// Optional observability sink. Null (the default) is the zero-cost path:
+  /// the cost model is byte-identical to a build without tracing. With a
+  /// recorder attached every job/stage/task interval, network transfer,
+  /// spill, fault event, and optimizer decision is recorded on the
+  /// simulated clock; metrics stay bit-identical either way.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+  obs::TraceRecorder* trace() const { return trace_; }
 
   // --- Cost-model accounting (called by operators) ---
 
@@ -204,23 +228,32 @@ class Cluster {
   /// machine-loss events that fire during the stage charge a lineage
   /// recompute of `lineage_depth` upstream narrow stages for the lost
   /// machine's share of the work.
+  ///
+  /// `stage_ctx` labels the stage for the trace sink and carries the spill
+  /// inflation the caller multiplied into the costs; it never affects the
+  /// cost model.
   void AccrueStage(const std::vector<double>& task_costs_s,
-                   int lineage_depth = 1);
+                   int lineage_depth = 1, const StageContext& stage_ctx = {});
 
   /// Convenience: a stage of `num_tasks` tasks uniformly covering
   /// `total_elements` real elements with `cost_weight` weight each.
   void AccrueUniformStage(int64_t num_tasks, double total_elements,
-                          double cost_weight);
+                          double cost_weight,
+                          const StageContext& stage_ctx = {});
 
   /// Charges moving `bytes` (real, i.e. already multiplied by the source
   /// bag's scale) across the shuffle: each machine sends/receives its share
   /// at the configured bandwidth.
-  void AccrueShuffle(double bytes);
+  void AccrueShuffle(double bytes, const char* label = "shuffle");
 
   /// Charges collecting `bytes` (real) to the driver and re-distributing
   /// them to every machine. Fails with OutOfMemory if the broadcast data
   /// does not fit into a single machine's memory.
-  void AccrueBroadcast(double bytes);
+  void AccrueBroadcast(double bytes, const char* label = "broadcast");
+
+  /// Charges transferring `bytes` (real) to the driver (the network half of
+  /// a collect action).
+  void AccrueCollect(double bytes, const char* label = "collect");
 
   /// Verifies that one task holding `bytes` of live data (real bytes, e.g.
   /// one materialized group in a groupByKey times the workload's expansion
@@ -249,12 +282,32 @@ class Cluster {
   }
 
  private:
+  /// One entry of a stage's scheduled task list: the slot time of one task
+  /// copy plus its trace annotations.
+  struct ScheduledTask {
+    double duration_s = 0.0;
+    int64_t task_index = 0;
+    /// Fault-free slot time (the caller-provided cost, incl. spill).
+    double base_cost_s = 0.0;
+    int retries = 0;
+    bool speculative = false;
+  };
+
+  /// Greedy list scheduling of `sched` onto `slots` identical cores.
+  /// Returns the makespan; when a trace sink is attached, records the
+  /// per-slot task spans and the critical-slot decomposition for the stage
+  /// opened as `trace_stage_id` starting at simulated time `t0`.
+  double ScheduleStage(const std::vector<ScheduledTask>& sched, int slots,
+                       double t0, int64_t trace_stage_id,
+                       const StageContext& stage_ctx);
+
   /// Simulated duration one task copy occupies its slot: base cost perturbed
   /// by straggler and failure/retry draws keyed on (stage, task, salt).
-  /// Sets *exhausted when the retry budget ran out.
+  /// Sets *exhausted when the retry budget ran out and counts the retry
+  /// launches into *retries.
   double SimulateTaskAttempts(double base_cost_s, uint64_t stage_index,
                               uint64_t task_index, uint64_t copy_salt,
-                              bool* exhausted);
+                              bool* exhausted, int* retries);
 
   /// Fires every machine-loss event reached by the simulated clock; a stage
   /// whose execution window covers an event re-executes the lost machine's
@@ -266,6 +319,7 @@ class Cluster {
   ClusterConfig config_;
   Metrics metrics_;
   Status status_;
+  obs::TraceRecorder* trace_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
   /// Sorted copy of config_.faults.machine_loss_times_s.
   std::vector<double> loss_times_;

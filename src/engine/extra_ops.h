@@ -27,7 +27,7 @@ template <typename T>
 Bag<T> Sample(const Bag<T>& bag, double fraction, uint64_t seed) {
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<T>(c);
-  internal::ChargeScanStage(bag, 0.25);
+  internal::ChargeScanStage(bag, 0.25, "sample");
   const auto threshold = static_cast<uint64_t>(
       fraction >= 1.0 ? ~uint64_t{0}
                       : fraction * static_cast<double>(~uint64_t{0}));
@@ -56,10 +56,10 @@ Bag<T> Subtract(const Bag<T>& a, const Bag<T>& b,
   const int64_t parts = internal::ResolveParallelism(c, num_partitions);
   auto as = internal::ShuffleBy(
       a, parts, [&](const T& x) { return internal::PartitionOfKey(x, parts); },
-      0.25);
+      0.25, "subtract[left]");
   auto bs = internal::ShuffleBy(
       b, parts, [&](const T& x) { return internal::PartitionOfKey(x, parts); },
-      0.25);
+      0.25, "subtract[right]");
   std::vector<double> costs(static_cast<std::size_t>(parts));
   for (int64_t i = 0; i < parts; ++i) {
     costs[static_cast<std::size_t>(i)] =
@@ -67,7 +67,7 @@ Bag<T> Subtract(const Bag<T>& a, const Bag<T>& b,
                            static_cast<double>(bs[i].size()) * b.scale(),
                        0.5);
   }
-  c->AccrueStage(costs);
+  c->AccrueStage(costs, /*lineage_depth=*/1, StageContext{"subtract"});
   typename Bag<T>::Partitions out(static_cast<std::size_t>(parts));
   ParallelFor(c->pool(), static_cast<std::size_t>(parts), [&](std::size_t i) {
     std::unordered_set<T, Hasher> exclude(bs[i].begin(), bs[i].end());
@@ -89,10 +89,10 @@ Bag<T> Intersection(const Bag<T>& a, const Bag<T>& b,
   const int64_t parts = internal::ResolveParallelism(c, num_partitions);
   auto as = internal::ShuffleBy(
       a, parts, [&](const T& x) { return internal::PartitionOfKey(x, parts); },
-      0.25);
+      0.25, "intersection[left]");
   auto bs = internal::ShuffleBy(
       b, parts, [&](const T& x) { return internal::PartitionOfKey(x, parts); },
-      0.25);
+      0.25, "intersection[right]");
   std::vector<double> costs(static_cast<std::size_t>(parts));
   for (int64_t i = 0; i < parts; ++i) {
     costs[static_cast<std::size_t>(i)] =
@@ -100,7 +100,7 @@ Bag<T> Intersection(const Bag<T>& a, const Bag<T>& b,
                            static_cast<double>(bs[i].size()) * b.scale(),
                        0.5);
   }
-  c->AccrueStage(costs);
+  c->AccrueStage(costs, /*lineage_depth=*/1, StageContext{"intersection"});
   typename Bag<T>::Partitions out(static_cast<std::size_t>(parts));
   ParallelFor(c->pool(), static_cast<std::size_t>(parts), [&](std::size_t i) {
     std::unordered_set<T, Hasher> right(bs[i].begin(), bs[i].end());
@@ -151,7 +151,7 @@ std::vector<T> TopK(const Bag<T>& bag, std::size_t k, Cmp cmp) {
   Cluster* c = bag.cluster();
   if (!c->ok() || k == 0) return {};
   c->BeginJob("top");
-  internal::ChargeScanStage(bag, 0.5);
+  internal::ChargeScanStage(bag, 0.5, "top");
   std::vector<T> heap;
   for (const auto& part : bag.partitions()) {
     for (const auto& x : part) {

@@ -39,15 +39,16 @@ int64_t ResolveJoinParallelism(Cluster* c, int64_t requested, const Bag<L>& l,
 /// co-partitioned.
 template <typename K, typename V>
 typename Bag<std::pair<K, V>>::Partitions JoinSide(
-    const Bag<std::pair<K, V>>& side, int64_t parts) {
+    const Bag<std::pair<K, V>>& side, int64_t parts,
+    const char* label = "join[side]") {
   if (AlreadyKeyPartitioned(side, parts)) {
-    ChargeScanStage(side, 0.25);
+    ChargeScanStage(side, 0.25, label);
     return side.partitions();
   }
   return ShuffleBy(
       side, parts,
       [&](const std::pair<K, V>& x) { return PartitionOfKey(x.first, parts); },
-      0.25);
+      0.25, label);
 }
 
 }  // namespace internal
@@ -67,8 +68,8 @@ Bag<std::pair<K, std::pair<V, W>>> RepartitionJoin(
       internal::ResolveJoinParallelism(c, num_partitions, left, right);
   const double out_scale = std::max(left.scale(), right.scale());
 
-  auto ls = internal::JoinSide(left, parts);
-  auto rs = internal::JoinSide(right, parts);
+  auto ls = internal::JoinSide(left, parts, "join[left]");
+  auto rs = internal::JoinSide(right, parts, "join[right]");
   const double build_bytes =
       RealBagBytes(right) / static_cast<double>(c->config().num_machines);
   const double spill = c->SpillFactor(build_bytes);
@@ -82,7 +83,8 @@ Bag<std::pair<K, std::pair<V, W>>> RepartitionJoin(
                                        right.scale(),
                                1.0);
   }
-  c->AccrueStage(costs);
+  c->AccrueStage(costs, /*lineage_depth=*/1,
+                 StageContext{"repartitionJoin", spill});
 
   typename Bag<Out>::Partitions out(static_cast<std::size_t>(parts));
   ParallelFor(c->pool(), static_cast<std::size_t>(parts), [&](std::size_t i) {
@@ -113,7 +115,7 @@ Bag<std::pair<K, std::pair<V, W>>> BroadcastJoin(
 
   // Hash tables over the broadcast data cost noticeably more than the raw
   // payload; 2x is a conservative stand-in for JVM object overhead.
-  c->AccrueBroadcast(RealBagBytes(right) * 2.0);
+  c->AccrueBroadcast(RealBagBytes(right) * 2.0, "broadcastJoin");
   if (!c->ok()) return Bag<Out>(c);
 
   std::unordered_map<K, std::vector<W>, Hasher> build;
@@ -129,7 +131,8 @@ Bag<std::pair<K, std::pair<V, W>>> BroadcastJoin(
     for (auto& cost : costs) cost += build_cost;
     c->mutable_metrics().elements_processed +=
         static_cast<int64_t>(left.RealSize());
-    c->AccrueStage(costs, left.lineage_depth());
+    c->AccrueStage(costs, left.lineage_depth(),
+                   StageContext{"broadcastJoin[probe]"});
   }
   typename Bag<Out>::Partitions out(left.partitions().size());
   ParallelFor(c->pool(), left.partitions().size(), [&](std::size_t i) {
@@ -163,8 +166,8 @@ Bag<std::pair<K, std::pair<V, std::optional<W>>>> LeftOuterJoin(
       internal::ResolveJoinParallelism(c, num_partitions, left, right);
   const double out_scale = std::max(left.scale(), right.scale());
 
-  auto ls = internal::JoinSide(left, parts);
-  auto rs = internal::JoinSide(right, parts);
+  auto ls = internal::JoinSide(left, parts, "leftOuterJoin[left]");
+  auto rs = internal::JoinSide(right, parts, "leftOuterJoin[right]");
   std::vector<double> costs(static_cast<std::size_t>(parts));
   for (int64_t i = 0; i < parts; ++i) {
     costs[static_cast<std::size_t>(i)] = c->ComputeCost(
@@ -172,7 +175,7 @@ Bag<std::pair<K, std::pair<V, std::optional<W>>>> LeftOuterJoin(
             static_cast<double>(rs[i].size()) * right.scale(),
         1.0);
   }
-  c->AccrueStage(costs);
+  c->AccrueStage(costs, /*lineage_depth=*/1, StageContext{"leftOuterJoin"});
 
   typename Bag<Out>::Partitions out(static_cast<std::size_t>(parts));
   ParallelFor(c->pool(), static_cast<std::size_t>(parts), [&](std::size_t i) {
@@ -207,8 +210,8 @@ Bag<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
       internal::ResolveJoinParallelism(c, num_partitions, left, right);
   const double out_scale = std::max(left.scale(), right.scale());
 
-  auto ls = internal::JoinSide(left, parts);
-  auto rs = internal::JoinSide(right, parts);
+  auto ls = internal::JoinSide(left, parts, "cogroup[left]");
+  auto rs = internal::JoinSide(right, parts, "cogroup[right]");
   std::vector<double> costs(static_cast<std::size_t>(parts));
   for (int64_t i = 0; i < parts; ++i) {
     costs[static_cast<std::size_t>(i)] = c->ComputeCost(
@@ -216,7 +219,7 @@ Bag<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
             static_cast<double>(rs[i].size()) * right.scale(),
         0.5);
   }
-  c->AccrueStage(costs);
+  c->AccrueStage(costs, /*lineage_depth=*/1, StageContext{"cogroup"});
 
   typename Bag<Out>::Partitions out(static_cast<std::size_t>(parts));
   double max_group_bytes = 0.0;
@@ -256,7 +259,7 @@ Bag<std::pair<A, B>> Cartesian(const Bag<A>& left, const Bag<B>& right) {
   Cluster* c = left.cluster();
   if (!c->ok()) return Bag<Out>(c);
   const double out_scale = left.scale() * right.scale();
-  c->AccrueBroadcast(RealBagBytes(right));
+  c->AccrueBroadcast(RealBagBytes(right), "cartesian");
   if (!c->ok()) return Bag<Out>(c);
 
   std::vector<B> rhs = right.ToVector();
@@ -266,7 +269,7 @@ Bag<std::pair<A, B>> Cartesian(const Bag<A>& left, const Bag<B>& right) {
     costs.push_back(c->ComputeCost(
         static_cast<double>(part.size() * rhs.size()) * out_scale, 0.5));
   }
-  c->AccrueStage(costs, left.lineage_depth());
+  c->AccrueStage(costs, left.lineage_depth(), StageContext{"cartesian"});
 
   typename Bag<Out>::Partitions out(left.partitions().size());
   ParallelFor(c->pool(), left.partitions().size(), [&](std::size_t i) {

@@ -42,12 +42,14 @@ std::vector<double> ScanCosts(const Bag<T>& bag, double weight) {
 }
 
 template <typename T>
-void ChargeScanStage(const Bag<T>& bag, double weight) {
+void ChargeScanStage(const Bag<T>& bag, double weight,
+                     const char* label = "scan") {
   Cluster* c = bag.cluster();
   if (!c->ok()) return;
   c->mutable_metrics().elements_processed +=
       static_cast<int64_t>(bag.RealSize());
-  c->AccrueStage(ScanCosts(bag, weight), bag.lineage_depth());
+  c->AccrueStage(ScanCosts(bag, weight), bag.lineage_depth(),
+                 StageContext{label});
 }
 
 }  // namespace internal
@@ -59,7 +61,7 @@ auto Map(const Bag<T>& bag, F f, double weight = 1.0)
   using U = std::decay_t<decltype(f(std::declval<const T&>()))>;
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<U>(c);
-  internal::ChargeScanStage(bag, weight);
+  internal::ChargeScanStage(bag, weight, "map");
   typename Bag<U>::Partitions out(bag.partitions().size());
   ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
     const auto& part = bag.partitions()[i];
@@ -74,7 +76,7 @@ template <typename T, typename P>
 Bag<T> Filter(const Bag<T>& bag, P pred, double weight = 1.0) {
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<T>(c);
-  internal::ChargeScanStage(bag, weight);
+  internal::ChargeScanStage(bag, weight, "filter");
   typename Bag<T>::Partitions out(bag.partitions().size());
   ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
     for (const auto& x : bag.partitions()[i]) {
@@ -94,7 +96,7 @@ auto FlatMap(const Bag<T>& bag, F f, double weight = 1.0)
   using U = std::decay_t<decltype(*std::begin(f(std::declval<const T&>())))>;
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<U>(c);
-  internal::ChargeScanStage(bag, weight);
+  internal::ChargeScanStage(bag, weight, "flatMap");
   typename Bag<U>::Partitions out(bag.partitions().size());
   ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
     for (const auto& x : bag.partitions()[i]) {
@@ -113,7 +115,7 @@ auto MapPartitions(const Bag<T>& bag, F f, double weight = 1.0)
       decltype(f(std::declval<const std::vector<T>&>()))>::value_type;
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<U>(c);
-  internal::ChargeScanStage(bag, weight);
+  internal::ChargeScanStage(bag, weight, "mapPartitions");
   typename Bag<U>::Partitions out(bag.partitions().size());
   ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
     out[i] = f(bag.partitions()[i]);
@@ -143,7 +145,7 @@ auto MapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0)
   using Out = std::pair<K, W>;
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<Out>(c);
-  internal::ChargeScanStage(bag, weight);
+  internal::ChargeScanStage(bag, weight, "mapValues");
   typename Bag<Out>::Partitions out(bag.partitions().size());
   ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
     const auto& part = bag.partitions()[i];
@@ -165,7 +167,7 @@ auto FlatMapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0)
   using Out = std::pair<K, W>;
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<Out>(c);
-  internal::ChargeScanStage(bag, weight);
+  internal::ChargeScanStage(bag, weight, "flatMapValues");
   typename Bag<Out>::Partitions out(bag.partitions().size());
   ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
     for (const auto& [k, v] : bag.partitions()[i]) {
@@ -211,7 +213,7 @@ template <typename T>
 Bag<std::pair<uint64_t, T>> ZipWithUniqueId(const Bag<T>& bag) {
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<std::pair<uint64_t, T>>(c);
-  internal::ChargeScanStage(bag, 1.0);
+  internal::ChargeScanStage(bag, 1.0, "zipWithUniqueId");
   const uint64_t stride =
       static_cast<uint64_t>(std::max<int64_t>(1, bag.num_partitions()));
   typename Bag<std::pair<uint64_t, T>>::Partitions out(bag.partitions().size());
@@ -234,7 +236,7 @@ int64_t Count(const Bag<T>& bag) {
   Cluster* c = bag.cluster();
   if (!c->ok()) return 0;
   c->BeginJob("count");
-  internal::ChargeScanStage(bag, 0.25);
+  internal::ChargeScanStage(bag, 0.25, "count");
   return bag.Size();
 }
 
@@ -245,7 +247,7 @@ bool NotEmpty(const Bag<T>& bag) {
   Cluster* c = bag.cluster();
   if (!c->ok()) return false;
   c->BeginJob("notEmpty");
-  internal::ChargeScanStage(bag, 0.05);
+  internal::ChargeScanStage(bag, 0.05, "notEmpty");
   return bag.Size() > 0;
 }
 
@@ -256,7 +258,7 @@ std::optional<T> Reduce(const Bag<T>& bag, F f, double weight = 1.0) {
   Cluster* c = bag.cluster();
   if (!c->ok()) return std::nullopt;
   c->BeginJob("reduce");
-  internal::ChargeScanStage(bag, weight);
+  internal::ChargeScanStage(bag, weight, "reduce");
   std::optional<T> acc;
   for (const auto& part : bag.partitions()) {
     for (const auto& x : part) {
@@ -278,14 +280,13 @@ std::vector<T> Collect(const Bag<T>& bag) {
   Cluster* c = bag.cluster();
   if (!c->ok()) return {};
   c->BeginJob("collect");
-  internal::ChargeScanStage(bag, 0.25);
+  internal::ChargeScanStage(bag, 0.25, "collect");
   const double bytes = RealBagBytes(bag);
   if (bytes > c->config().memory_per_machine_bytes) {
     c->Fail(Status::OutOfMemory("collect result does not fit on the driver"));
     return {};
   }
-  c->mutable_metrics().simulated_time_s +=
-      bytes / c->config().network_bytes_per_s;
+  c->AccrueCollect(bytes);
   return bag.ToVector();
 }
 

@@ -51,12 +51,13 @@ bool AlreadyKeyPartitioned(const Bag<T>& bag, int64_t parts) {
 /// Charges the map-side scan and the network shuffle, not the reduce side.
 template <typename T, typename PartOf>
 typename Bag<T>::Partitions ShuffleBy(const Bag<T>& bag, int64_t num_parts,
-                                      PartOf part_of, double map_weight) {
+                                      PartOf part_of, double map_weight,
+                                      const char* label = "shuffle") {
   Cluster* c = bag.cluster();
   typename Bag<T>::Partitions out(static_cast<std::size_t>(num_parts));
   if (!c->ok()) return out;
-  ChargeScanStage(bag, map_weight);
-  c->AccrueShuffle(RealBagBytes(bag));
+  ChargeScanStage(bag, map_weight, label);
+  c->AccrueShuffle(RealBagBytes(bag), label);
   for (const auto& part : bag.partitions()) {
     for (const auto& x : part) {
       out[part_of(x)].push_back(x);
@@ -97,8 +98,10 @@ Bag<T> Repartition(const Bag<T>& bag, int64_t num_partitions = -1) {
   const int64_t parts = internal::ResolveParallelism(c, num_partitions);
   auto out = internal::ShuffleBy(
       bag, parts,
-      [&](const T& x) { return internal::PartitionOfKey(x, parts); }, 0.25);
-  c->AccrueStage(internal::PartitionCosts(c, out, 0.1, bag.scale()));
+      [&](const T& x) { return internal::PartitionOfKey(x, parts); }, 0.25,
+      "repartition");
+  c->AccrueStage(internal::PartitionCosts(c, out, 0.1, bag.scale()),
+                 /*lineage_depth=*/1, StageContext{"repartition[reduce]"});
   return Bag<T>(c, std::move(out), bag.scale());
 }
 
@@ -116,8 +119,9 @@ Bag<std::pair<K, V>> PartitionByKey(const Bag<std::pair<K, V>>& bag,
       [&](const std::pair<K, V>& x) {
         return internal::PartitionOfKey(x.first, parts);
       },
-      0.25);
-  c->AccrueStage(internal::PartitionCosts(c, out, 0.1, bag.scale()));
+      0.25, "partitionByKey");
+  c->AccrueStage(internal::PartitionCosts(c, out, 0.1, bag.scale()),
+                 /*lineage_depth=*/1, StageContext{"partitionByKey[reduce]"});
   return Bag<std::pair<K, V>>(c, std::move(out), bag.scale(), parts);
 }
 
@@ -141,7 +145,7 @@ Bag<std::pair<K, V>> ReduceByKey(const Bag<std::pair<K, V>>& bag, F f,
   if (internal::AlreadyKeyPartitioned(bag, parts)) {
     // Co-partitioned input: the whole reduction is map-side; no shuffle.
     // This path is narrow, so lineage keeps growing.
-    internal::ChargeScanStage(bag, weight);
+    internal::ChargeScanStage(bag, weight, "reduceByKey[narrow]");
     typename Bag<KV>::Partitions out(bag.partitions().size());
     ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
       std::unordered_map<K, V, Hasher> acc;
@@ -158,7 +162,7 @@ Bag<std::pair<K, V>> ReduceByKey(const Bag<std::pair<K, V>>& bag, F f,
   }
 
   // Map side: per-partition combine at the input scale.
-  internal::ChargeScanStage(bag, weight);
+  internal::ChargeScanStage(bag, weight, "reduceByKey[combine]");
   typename Bag<KV>::Partitions combined(bag.partitions().size());
   ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
     std::unordered_map<K, V, Hasher> acc;
@@ -175,7 +179,7 @@ Bag<std::pair<K, V>> ReduceByKey(const Bag<std::pair<K, V>>& bag, F f,
   Bag<KV> combined_bag(c, std::move(combined), out_scale);
 
   // Shuffle the combined data, then reduce-side merge.
-  c->AccrueShuffle(RealBagBytes(combined_bag));
+  c->AccrueShuffle(RealBagBytes(combined_bag), "reduceByKey");
   typename Bag<KV>::Partitions shuffled(static_cast<std::size_t>(parts));
   for (const auto& part : combined_bag.partitions()) {
     for (const auto& kv : part) {
@@ -187,7 +191,8 @@ Bag<std::pair<K, V>> ReduceByKey(const Bag<std::pair<K, V>>& bag, F f,
                      static_cast<double>(c->config().num_machines));
   auto costs = internal::PartitionCosts(c, shuffled, weight, out_scale);
   for (auto& cost : costs) cost *= spill;
-  c->AccrueStage(costs);
+  c->AccrueStage(costs, /*lineage_depth=*/1,
+                 StageContext{"reduceByKey[merge]", spill});
 
   typename Bag<KV>::Partitions out(static_cast<std::size_t>(parts));
   ParallelFor(c->pool(), shuffled.size(), [&](std::size_t i) {
@@ -227,12 +232,13 @@ Bag<std::pair<K, std::vector<V>>> GroupByKey(const Bag<std::pair<K, V>>& bag,
       [&](const std::pair<K, V>& x) {
         return internal::PartitionOfKey(x.first, parts);
       },
-      0.25);
+      0.25, "groupByKey");
   const double spill = c->SpillFactor(
       RealBagBytes(bag) / static_cast<double>(c->config().num_machines));
   auto costs = internal::PartitionCosts(c, shuffled, 0.5, bag.scale());
   for (auto& cost : costs) cost *= spill;
-  c->AccrueStage(costs);
+  c->AccrueStage(costs, /*lineage_depth=*/1,
+                 StageContext{"groupByKey[group]", spill});
 
   typename Bag<KG>::Partitions out(static_cast<std::size_t>(parts));
   double max_group_bytes = 0.0;
@@ -272,7 +278,7 @@ Bag<T> Distinct(const Bag<T>& bag, int64_t num_partitions = -1,
 
   // Map-side pre-dedup keeps the shuffle volume at one copy per distinct
   // value per partition (Spark implements distinct via reduceByKey).
-  internal::ChargeScanStage(bag, 0.5);
+  internal::ChargeScanStage(bag, 0.5, "distinct[pre]");
   typename Bag<T>::Partitions pre(bag.partitions().size());
   ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
     std::unordered_set<T, Hasher> seen;
@@ -283,7 +289,7 @@ Bag<T> Distinct(const Bag<T>& bag, int64_t num_partitions = -1,
   });
   Bag<T> pre_bag(c, std::move(pre), out_scale);
 
-  c->AccrueShuffle(RealBagBytes(pre_bag));
+  c->AccrueShuffle(RealBagBytes(pre_bag), "distinct");
   typename Bag<T>::Partitions shuffled(static_cast<std::size_t>(parts));
   for (const auto& part : pre_bag.partitions()) {
     for (const auto& x : part) {
@@ -295,7 +301,8 @@ Bag<T> Distinct(const Bag<T>& bag, int64_t num_partitions = -1,
                      static_cast<double>(c->config().num_machines));
   auto costs = internal::PartitionCosts(c, shuffled, 0.5, out_scale);
   for (auto& cost : costs) cost *= spill;
-  c->AccrueStage(costs);
+  c->AccrueStage(costs, /*lineage_depth=*/1,
+                 StageContext{"distinct[dedup]", spill});
 
   typename Bag<T>::Partitions out(static_cast<std::size_t>(parts));
   ParallelFor(c->pool(), shuffled.size(), [&](std::size_t i) {

@@ -1,0 +1,130 @@
+#include "obs/breakdown.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json_writer.h"
+
+namespace matryoshka::obs {
+
+Breakdown ComputeBreakdown(const RunTrace& run) {
+  Breakdown b;
+  for (const JobSpan& job : run.jobs) {
+    b.job_launch_s += job.end_s - job.begin_s;
+  }
+  for (const StageSpan& stage : run.stages) {
+    b.compute_s += stage.compute_s;
+    b.task_overhead_s += stage.overhead_s;
+    b.spill_s += stage.spill_s;
+    b.recovery_s += stage.fault_s;
+  }
+  for (const DriverSpan& span : run.driver) {
+    const double dt = span.end_s - span.begin_s;
+    switch (span.category) {
+      case Category::kShuffle:
+        b.shuffle_s += dt;
+        break;
+      case Category::kBroadcast:
+        b.broadcast_s += dt;
+        break;
+      case Category::kCollect:
+        b.collect_s += dt;
+        break;
+      case Category::kRecovery:
+        b.recovery_s += dt;
+        break;
+      default:
+        // Job launch arrives via JobSpan, compute via StageSpan; any other
+        // driver interval would be a new category — count it as compute so
+        // the total still covers the clock.
+        b.compute_s += dt;
+        break;
+    }
+  }
+  return b;
+}
+
+std::vector<CriticalStage> CriticalPath(const RunTrace& run) {
+  std::vector<CriticalStage> chain;
+  chain.reserve(run.stages.size());
+  for (const StageSpan& stage : run.stages) {
+    CriticalStage link;
+    link.stage_id = stage.id;
+    link.label = stage.label;
+    link.begin_s = stage.begin_s;
+    link.duration_s = stage.end_s - stage.begin_s;
+    link.num_tasks = stage.num_tasks;
+    link.critical_slot = stage.critical_slot;
+    chain.push_back(std::move(link));
+  }
+  return chain;
+}
+
+namespace {
+
+void AppendRow(std::string* out, const char* name, double seconds,
+               double total) {
+  char buf[128];
+  const double pct = total > 0.0 ? 100.0 * seconds / total : 0.0;
+  std::snprintf(buf, sizeof(buf), "  %-14s %12.4f s  %5.1f%%\n", name,
+                seconds, pct);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string FormatBreakdown(const RunTrace& run, int top_stages) {
+  const Breakdown b = ComputeBreakdown(run);
+  const double total = b.total();
+  std::string out;
+  out += "breakdown";
+  if (!run.name.empty()) out += " of " + run.name;
+  out += ":\n";
+  AppendRow(&out, "job-launch", b.job_launch_s, total);
+  AppendRow(&out, "compute", b.compute_s, total);
+  AppendRow(&out, "task-overhead", b.task_overhead_s, total);
+  AppendRow(&out, "spill", b.spill_s, total);
+  AppendRow(&out, "shuffle", b.shuffle_s, total);
+  AppendRow(&out, "broadcast", b.broadcast_s, total);
+  AppendRow(&out, "collect", b.collect_s, total);
+  AppendRow(&out, "recovery", b.recovery_s, total);
+  AppendRow(&out, "total", total, total);
+
+  std::vector<CriticalStage> chain = CriticalPath(run);
+  std::sort(chain.begin(), chain.end(),
+            [](const CriticalStage& a, const CriticalStage& b2) {
+              if (a.duration_s != b2.duration_s) {
+                return a.duration_s > b2.duration_s;
+              }
+              return a.stage_id < b2.stage_id;
+            });
+  const std::size_t n =
+      std::min<std::size_t>(chain.size(), static_cast<std::size_t>(
+                                              std::max(0, top_stages)));
+  if (n > 0) out += "top stages by makespan:\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  #%-5lld %-24s %10.4f s  (%lld tasks, slot %lld)\n",
+                  static_cast<long long>(chain[i].stage_id),
+                  chain[i].label.c_str(), chain[i].duration_s,
+                  static_cast<long long>(chain[i].num_tasks),
+                  static_cast<long long>(chain[i].critical_slot));
+    out += buf;
+  }
+  return out;
+}
+
+void WriteBreakdownJson(const Breakdown& b, std::ostream& os) {
+  os << "{\"job_launch_s\":" << JsonDouble(b.job_launch_s)
+     << ",\"compute_s\":" << JsonDouble(b.compute_s)
+     << ",\"task_overhead_s\":" << JsonDouble(b.task_overhead_s)
+     << ",\"spill_s\":" << JsonDouble(b.spill_s)
+     << ",\"shuffle_s\":" << JsonDouble(b.shuffle_s)
+     << ",\"broadcast_s\":" << JsonDouble(b.broadcast_s)
+     << ",\"collect_s\":" << JsonDouble(b.collect_s)
+     << ",\"recovery_s\":" << JsonDouble(b.recovery_s)
+     << ",\"total_s\":" << JsonDouble(b.total()) << "}";
+}
+
+}  // namespace matryoshka::obs

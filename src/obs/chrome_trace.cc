@@ -1,0 +1,140 @@
+#include "obs/chrome_trace.h"
+
+#include <sstream>
+
+#include "obs/breakdown.h"
+#include "obs/json_writer.h"
+#include "obs/plan_capture.h"
+
+namespace matryoshka::obs {
+
+namespace {
+
+/// Emits one complete event ("ph":"X"). `tid` 0 is the driver lane; slot s
+/// maps to tid s+1.
+void EmitComplete(std::ostream& os, bool* first, int pid, int64_t tid,
+                  const std::string& name, const char* cat, double begin_s,
+                  double end_s, const std::string& args_json) {
+  if (!*first) os << ",\n";
+  *first = false;
+  os << "{\"name\":\"" << JsonEscape(name) << "\",\"cat\":\"" << cat
+     << "\",\"ph\":\"X\",\"ts\":" << JsonMicros(begin_s)
+     << ",\"dur\":" << JsonMicros(end_s - begin_s) << ",\"pid\":" << pid
+     << ",\"tid\":" << tid;
+  if (!args_json.empty()) os << ",\"args\":" << args_json;
+  os << "}";
+}
+
+void EmitInstant(std::ostream& os, bool* first, int pid, int64_t tid,
+                 const std::string& name, double t_s,
+                 const std::string& args_json) {
+  if (!*first) os << ",\n";
+  *first = false;
+  os << "{\"name\":\"" << JsonEscape(name)
+     << "\",\"cat\":\"instant\",\"ph\":\"i\",\"s\":\"p\",\"ts\":"
+     << JsonMicros(t_s) << ",\"pid\":" << pid << ",\"tid\":" << tid;
+  if (!args_json.empty()) os << ",\"args\":" << args_json;
+  os << "}";
+}
+
+void EmitMetadata(std::ostream& os, bool* first, int pid, int64_t tid,
+                  const char* what, const std::string& value) {
+  if (!*first) os << ",\n";
+  *first = false;
+  os << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << pid;
+  if (tid >= 0) os << ",\"tid\":" << tid;
+  os << ",\"args\":{\"name\":\"" << JsonEscape(value) << "\"}}";
+}
+
+void EmitRun(std::ostream& os, bool* first, const RunTrace& run, int pid) {
+  const std::string run_name =
+      run.name.empty() ? "run " + std::to_string(pid) : run.name;
+  EmitMetadata(os, first, pid, -1, "process_name", run_name);
+  EmitMetadata(os, first, pid, 0, "thread_name", "driver");
+  for (int64_t s = 0; s <= run.max_slot; ++s) {
+    EmitMetadata(os, first, pid, s + 1, "thread_name",
+                 "slot " + std::to_string(s));
+  }
+
+  for (const JobSpan& job : run.jobs) {
+    EmitComplete(os, first, pid, 0, "job:" + job.label, "job_launch",
+                 job.begin_s, job.end_s,
+                 "{\"job\":" + std::to_string(job.id) + "}");
+  }
+  for (const StageSpan& stage : run.stages) {
+    std::string args = "{\"stage\":" + std::to_string(stage.id) +
+                       ",\"job\":" + std::to_string(stage.job_id) +
+                       ",\"tasks\":" + std::to_string(stage.num_tasks) +
+                       ",\"lineage_depth\":" +
+                       std::to_string(stage.lineage_depth) +
+                       ",\"critical_slot\":" +
+                       std::to_string(stage.critical_slot) +
+                       ",\"spill_factor\":" + JsonDouble(stage.spill_factor) +
+                       ",\"compute_s\":" + JsonDouble(stage.compute_s) +
+                       ",\"overhead_s\":" + JsonDouble(stage.overhead_s) +
+                       ",\"fault_s\":" + JsonDouble(stage.fault_s) + "}";
+    EmitComplete(os, first, pid, 0, "stage:" + stage.label, "stage",
+                 stage.begin_s, stage.end_s, args);
+  }
+  for (const DriverSpan& span : run.driver) {
+    EmitComplete(os, first, pid, 0, span.label, CategoryName(span.category),
+                 span.begin_s, span.end_s,
+                 "{\"bytes\":" + JsonDouble(span.bytes) + "}");
+  }
+  for (const TaskSpan& task : run.tasks) {
+    std::string args = "{\"stage\":" + std::to_string(task.stage_id) +
+                       ",\"task\":" + std::to_string(task.task_index) +
+                       ",\"base_cost_s\":" + JsonDouble(task.base_cost_s);
+    if (task.retries > 0) {
+      args += ",\"retries\":" + std::to_string(task.retries);
+    }
+    if (task.speculative) args += ",\"speculative\":true";
+    args += "}";
+    const StageSpan& stage =
+        run.stages[static_cast<std::size_t>(task.stage_id - 1)];
+    std::string name = stage.label + "#" + std::to_string(task.task_index);
+    if (task.speculative) name += "*";
+    EmitComplete(os, first, pid, task.slot + 1, name,
+                 task.speculative ? "speculative" : "task", task.begin_s,
+                 task.end_s, args);
+  }
+  for (const InstantEvent& event : run.instants) {
+    EmitInstant(os, first, pid, 0, event.name, event.t_s,
+                event.detail.empty()
+                    ? ""
+                    : "{\"detail\":\"" + JsonEscape(event.detail) + "\"}");
+  }
+}
+
+}  // namespace
+
+void WriteChromeTrace(const TraceRecorder& recorder, std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n";
+  bool first = true;
+  int pid = 0;
+  for (const RunTrace& run : recorder.runs()) {
+    if (run.IsEmpty()) continue;
+    EmitRun(os, &first, run, ++pid);
+  }
+  os << "\n],\n\"matryoshkaBreakdown\":[";
+  bool first_run = true;
+  for (const RunTrace& run : recorder.runs()) {
+    if (run.IsEmpty()) continue;
+    if (!first_run) os << ",";
+    first_run = false;
+    os << "\n{\"run\":\"" << JsonEscape(run.name) << "\",\"breakdown\":";
+    WriteBreakdownJson(ComputeBreakdown(run), os);
+    os << "}";
+  }
+  os << "\n],\n\"matryoshkaPlan\":";
+  WritePlanJson(recorder, os);
+  os << "}\n";
+}
+
+std::string ChromeTraceToString(const TraceRecorder& recorder) {
+  std::ostringstream os;
+  WriteChromeTrace(recorder, os);
+  return os.str();
+}
+
+}  // namespace matryoshka::obs

@@ -1,0 +1,32 @@
+#ifndef MATRYOSHKA_OBS_CHROME_TRACE_H_
+#define MATRYOSHKA_OBS_CHROME_TRACE_H_
+
+#include <ostream>
+#include <string>
+
+#include "obs/trace_recorder.h"
+
+/// Chrome/Perfetto `trace_event` JSON export. Open the file in
+/// chrome://tracing or https://ui.perfetto.dev.
+///
+/// Layout: one "process" per recorded run, one "thread" per simulated core
+/// slot (tid 1..slots; tid 0 is the driver lane carrying job-launch, stage,
+/// network, and recovery spans). Idle gaps on the slot lanes are the
+/// capped-parallelism / launch-overhead effects of the paper's Fig. 1,
+/// rendered literally.
+///
+/// Besides the standard "traceEvents" array the top-level object carries two
+/// Matryoshka extensions (ignored by the viewers): "matryoshkaBreakdown"
+/// (per-run time buckets, breakdown.h) and "matryoshkaPlan" (per-run
+/// lowering decisions, plan_capture.h).
+namespace matryoshka::obs {
+
+/// Serializes all archived runs of `recorder`.
+void WriteChromeTrace(const TraceRecorder& recorder, std::ostream& os);
+
+/// Convenience: the trace as a string (used by tests for byte-identity).
+std::string ChromeTraceToString(const TraceRecorder& recorder);
+
+}  // namespace matryoshka::obs
+
+#endif  // MATRYOSHKA_OBS_CHROME_TRACE_H_

@@ -1,0 +1,69 @@
+#ifndef MATRYOSHKA_OBS_JSON_WRITER_H_
+#define MATRYOSHKA_OBS_JSON_WRITER_H_
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+/// Tiny JSON formatting helpers shared by the trace / plan / metrics
+/// exporters. Output is deterministic (fixed formats, no locale), which is
+/// what lets tests compare whole trace files byte-for-byte.
+namespace matryoshka::obs {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+inline std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Round-trippable double formatting ("%.17g" is enough to reproduce any
+/// IEEE double exactly). NaN/inf have no JSON spelling; emit null.
+inline std::string JsonDouble(double v) {
+  if (v != v || v > 1.7976931348623157e308 || v < -1.7976931348623157e308) {
+    return "null";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Fixed-point microseconds for Chrome trace timestamps: simulated seconds
+/// to microseconds with nanosecond resolution.
+inline std::string JsonMicros(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+}  // namespace matryoshka::obs
+
+#endif  // MATRYOSHKA_OBS_JSON_WRITER_H_

@@ -1,0 +1,91 @@
+#include "obs/plan_capture.h"
+
+#include <string>
+
+#include "obs/json_writer.h"
+
+namespace matryoshka::obs {
+
+namespace {
+
+void WriteDecisionJson(const Decision& d, std::ostream& os) {
+  os << "{\"primitive\":\"" << JsonEscape(d.primitive) << "\",\"choice\":\""
+     << JsonEscape(d.choice) << "\"";
+  if (d.num_tags >= 0) os << ",\"num_tags\":" << d.num_tags;
+  if (d.partitions >= 0) os << ",\"partitions\":" << d.partitions;
+  if (d.scalar_bytes >= 0.0) {
+    os << ",\"scalar_bytes\":" << JsonDouble(d.scalar_bytes);
+  }
+  if (d.primary_bytes >= 0.0) {
+    os << ",\"primary_bytes\":" << JsonDouble(d.primary_bytes);
+  }
+  os << ",\"rationale\":\"" << JsonEscape(d.rationale) << "\"}";
+}
+
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void WritePlanJson(const TraceRecorder& recorder, std::ostream& os) {
+  os << "[";
+  bool first_run = true;
+  for (const RunTrace& run : recorder.runs()) {
+    if (run.IsEmpty()) continue;
+    if (!first_run) os << ",";
+    first_run = false;
+    os << "\n{\"run\":\"" << JsonEscape(run.name) << "\",\"decisions\":[";
+    bool first = true;
+    for (const Decision& d : run.decisions) {
+      if (!first) os << ",";
+      first = false;
+      os << "\n";
+      WriteDecisionJson(d, os);
+    }
+    os << "]}";
+  }
+  os << "\n]";
+}
+
+void WritePlanDot(const TraceRecorder& recorder, std::ostream& os) {
+  os << "digraph matryoshka_plan {\n"
+     << "  rankdir=TB;\n"
+     << "  node [shape=box, fontname=\"monospace\", fontsize=9];\n";
+  int run_index = 0;
+  for (const RunTrace& run : recorder.runs()) {
+    if (run.IsEmpty()) continue;
+    ++run_index;
+    os << "  subgraph cluster_run" << run_index << " {\n"
+       << "    label=\"" << DotEscape(run.name) << "\";\n";
+    std::string prev;
+    for (std::size_t i = 0; i < run.decisions.size(); ++i) {
+      const Decision& d = run.decisions[i];
+      std::string node =
+          "d" + std::to_string(run_index) + "_" + std::to_string(i);
+      // "\\n" is DOT's in-label line break; escape each fragment separately
+      // so the breaks survive DotEscape.
+      std::string label = DotEscape(d.primitive + " -> " + d.choice);
+      if (d.num_tags >= 0) {
+        label += "\\nnum_tags=" + std::to_string(d.num_tags);
+      }
+      if (d.partitions >= 0) {
+        label += "\\npartitions=" + std::to_string(d.partitions);
+      }
+      label += "\\n" + DotEscape(d.rationale);
+      os << "    " << node << " [label=\"" << label << "\"];\n";
+      if (!prev.empty()) os << "    " << prev << " -> " << node << ";\n";
+      prev = node;
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace matryoshka::obs

@@ -1,0 +1,26 @@
+#ifndef MATRYOSHKA_OBS_PLAN_CAPTURE_H_
+#define MATRYOSHKA_OBS_PLAN_CAPTURE_H_
+
+#include <ostream>
+
+#include "obs/trace_recorder.h"
+
+/// Plan / decision capture: the Matryoshka optimizer (Sec. 8) records every
+/// lowering decision — broadcast vs. repartition tag join, chosen partition
+/// count for InnerScalar-sized bags, which side of a half-lifted cross
+/// product to broadcast — together with the runtime cardinalities that
+/// justified it. These exporters dump the decision log next to the trace.
+namespace matryoshka::obs {
+
+/// All runs' decisions as a JSON array of
+/// {"run": ..., "decisions": [{...}]} objects.
+void WritePlanJson(const TraceRecorder& recorder, std::ostream& os);
+
+/// The decision chains as a Graphviz digraph: one subgraph per run, one node
+/// per decision (in recording order), labeled with the choice and its
+/// justifying cardinalities. Render with `dot -Tsvg plan.dot`.
+void WritePlanDot(const TraceRecorder& recorder, std::ostream& os);
+
+}  // namespace matryoshka::obs
+
+#endif  // MATRYOSHKA_OBS_PLAN_CAPTURE_H_

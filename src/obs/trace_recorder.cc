@@ -1,0 +1,120 @@
+#include "obs/trace_recorder.h"
+
+#include <cassert>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace matryoshka::obs {
+
+const char* CategoryName(Category category) {
+  switch (category) {
+    case Category::kJobLaunch:
+      return "job_launch";
+    case Category::kCompute:
+      return "compute";
+    case Category::kTaskOverhead:
+      return "task_overhead";
+    case Category::kSpill:
+      return "spill";
+    case Category::kShuffle:
+      return "shuffle";
+    case Category::kBroadcast:
+      return "broadcast";
+    case Category::kCollect:
+      return "collect";
+    case Category::kRecovery:
+      return "recovery";
+  }
+  return "?";
+}
+
+void TraceRecorder::StartRun() {
+  if (!runs_.empty() && runs_.back().IsEmpty() && !runs_.back().reported) {
+    runs_.back().name = name_hint_;
+    return;
+  }
+  runs_.emplace_back();
+  runs_.back().name = name_hint_;
+}
+
+RunTrace& TraceRecorder::current() {
+  if (runs_.empty()) StartRun();
+  return runs_.back();
+}
+
+void TraceRecorder::AddJob(const std::string& label, double begin_s,
+                           double end_s) {
+  RunTrace& run = current();
+  JobSpan job;
+  job.id = static_cast<int64_t>(run.jobs.size()) + 1;
+  job.label = label;
+  job.begin_s = begin_s;
+  job.end_s = end_s;
+  run.jobs.push_back(std::move(job));
+}
+
+int64_t TraceRecorder::AddStage(const char* label, int64_t job_id,
+                                double begin_s, int64_t num_tasks,
+                                int lineage_depth, double spill_factor) {
+  RunTrace& run = current();
+  StageSpan stage;
+  stage.id = static_cast<int64_t>(run.stages.size()) + 1;
+  stage.job_id = job_id;
+  stage.label = label;
+  stage.begin_s = begin_s;
+  stage.end_s = begin_s;
+  stage.num_tasks = num_tasks;
+  stage.lineage_depth = lineage_depth;
+  stage.spill_factor = spill_factor;
+  run.stages.push_back(std::move(stage));
+  return run.stages.back().id;
+}
+
+void TraceRecorder::AddTask(TaskSpan span) {
+  RunTrace& run = current();
+  if (span.slot > run.max_slot) run.max_slot = span.slot;
+  run.tasks.push_back(std::move(span));
+}
+
+void TraceRecorder::EndStage(int64_t stage_id, double end_s,
+                             int64_t critical_slot, double compute_s,
+                             double overhead_s, double spill_s,
+                             double fault_s) {
+  RunTrace& run = current();
+  MATRYOSHKA_DCHECK(stage_id >= 1 &&
+                    stage_id <= static_cast<int64_t>(run.stages.size()));
+  StageSpan& stage = run.stages[static_cast<std::size_t>(stage_id - 1)];
+  stage.end_s = end_s;
+  stage.critical_slot = critical_slot;
+  stage.compute_s = compute_s;
+  stage.overhead_s = overhead_s;
+  stage.spill_s = spill_s;
+  stage.fault_s = fault_s;
+}
+
+void TraceRecorder::AddDriverSpan(Category category, const char* label,
+                                  double begin_s, double end_s, double bytes) {
+  DriverSpan span;
+  span.category = category;
+  span.label = label;
+  span.begin_s = begin_s;
+  span.end_s = end_s;
+  span.bytes = bytes;
+  current().driver.push_back(std::move(span));
+}
+
+void TraceRecorder::AddInstant(const char* name, std::string detail,
+                               double t_s) {
+  InstantEvent event;
+  event.name = name;
+  event.detail = std::move(detail);
+  event.t_s = t_s;
+  current().instants.push_back(std::move(event));
+}
+
+void TraceRecorder::AddDecision(Decision decision) {
+  current().decisions.push_back(std::move(decision));
+}
+
+}  // namespace matryoshka::obs

@@ -275,7 +275,8 @@ KMeansResult KMeansOuterParallel(Cluster* cluster,
       out[i].emplace_back(run, std::move(model));
     }
   }
-  cluster->AccrueStage(task_costs);
+  cluster->AccrueStage(task_costs, /*lineage_depth=*/1,
+                       engine::StageContext{"kmeans[sequential-per-run]"});
   Bag<std::pair<int64_t, KMeansModel>> models(cluster, std::move(out));
   auto collected = engine::Collect(models);
   return FinishRun<int64_t, KMeansModel>(cluster, std::move(collected));

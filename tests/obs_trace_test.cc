@@ -1,0 +1,413 @@
+// Observability tests: the TraceRecorder sink must be invisible to the cost
+// model (null sink and attached sink charge bit-identical metrics), spans
+// must be monotone on the simulated clock and decompose the simulated time
+// exactly (the breakdown buckets sum to simulated_time_s), the Chrome-trace
+// export must be well-formed JSON and byte-identical across repeated runs,
+// with the thread pool on or off, and under an active FaultPlan, and the
+// optimizer must capture every lowering decision with its justifying
+// cardinalities. Also locks down the default_parallelism=0 auto-resolve.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/optimizer.h"
+#include "engine/bag.h"
+#include "engine/join.h"
+#include "engine/ops.h"
+#include "engine/shuffle.h"
+#include "obs/breakdown.h"
+#include "obs/chrome_trace.h"
+#include "obs/plan_capture.h"
+#include "obs/trace_recorder.h"
+
+namespace matryoshka {
+namespace {
+
+using engine::Cluster;
+using engine::ClusterConfig;
+using engine::FaultPlan;
+using engine::Metrics;
+
+ClusterConfig SmallConfig() {
+  ClusterConfig cfg;
+  cfg.num_machines = 4;
+  cfg.cores_per_machine = 2;
+  cfg.default_parallelism = 8;
+  cfg.job_launch_overhead_s = 0.1;
+  cfg.task_overhead_s = 0.01;
+  cfg.per_element_cost_s = 1e-6;
+  cfg.memory_object_overhead = 1.0;
+  return cfg;
+}
+
+FaultPlan NoisyPlan(uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.task_failure_prob = 0.1;
+  plan.max_task_retries = 8;
+  plan.retry_backoff_s = 0.25;
+  plan.straggler_fraction = 0.1;
+  plan.straggler_slowdown = 3.0;
+  plan.speculative_execution = true;
+  plan.speculation_fraction = 0.1;
+  return plan;
+}
+
+/// A fixed program touching every driver-span category: narrow stages, a
+/// shuffle, a broadcast join, and collect/count actions.
+std::vector<std::pair<int64_t, int64_t>> RunPipeline(Cluster* c) {
+  std::vector<std::pair<int64_t, int64_t>> kv;
+  for (int64_t i = 0; i < 2000; ++i) kv.emplace_back(i % 32, 1);
+  auto bag = Parallelize(c, kv, 8);
+  auto mapped = MapValues(bag, [](int64_t v) { return v * 2; });
+  auto filtered =
+      Filter(mapped, [](const std::pair<int64_t, int64_t>& p) {
+        return p.first % 7 != 3;
+      });
+  auto reduced = ReduceByKey(
+      filtered, [](int64_t a, int64_t b) { return a + b; }, 8);
+  std::vector<std::pair<int64_t, int64_t>> small_kv;
+  for (int64_t i = 0; i < 8; ++i) small_kv.emplace_back(i, i * 10);
+  auto small = Parallelize(c, small_kv, 2, /*scale=*/1.0);
+  auto joined = BroadcastJoin(reduced, small);
+  Count(joined);
+  auto out = Collect(reduced);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ExpectMetricsEq(const Metrics& a, const Metrics& b) {
+  EXPECT_EQ(a.simulated_time_s, b.simulated_time_s);
+  EXPECT_EQ(a.jobs, b.jobs);
+  EXPECT_EQ(a.stages, b.stages);
+  EXPECT_EQ(a.tasks, b.tasks);
+  EXPECT_EQ(a.elements_processed, b.elements_processed);
+  EXPECT_EQ(a.shuffle_bytes, b.shuffle_bytes);
+  EXPECT_EQ(a.broadcast_bytes, b.broadcast_bytes);
+  EXPECT_EQ(a.spilled_bytes, b.spilled_bytes);
+  EXPECT_EQ(a.spill_events, b.spill_events);
+  EXPECT_EQ(a.peak_task_bytes, b.peak_task_bytes);
+  EXPECT_EQ(a.peak_machine_bytes, b.peak_machine_bytes);
+  EXPECT_EQ(a.failed_tasks, b.failed_tasks);
+  EXPECT_EQ(a.task_retries, b.task_retries);
+  EXPECT_EQ(a.speculative_launches, b.speculative_launches);
+  EXPECT_EQ(a.machines_lost, b.machines_lost);
+  EXPECT_EQ(a.recovery_time_s, b.recovery_time_s);
+}
+
+/// Minimal JSON well-formedness check: balanced structure outside strings,
+/// string escapes honored. (scripts/check.sh obs additionally validates the
+/// emitted files with python3 -m json.tool.)
+bool JsonWellFormed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+// --- Null-sink identity ---
+
+TEST(ObsTraceTest, AttachedRecorderLeavesCostModelBitIdentical) {
+  Cluster plain(SmallConfig());
+  Cluster traced(SmallConfig());
+  obs::TraceRecorder rec;
+  traced.set_trace(&rec);
+  auto r1 = RunPipeline(&plain);
+  auto r2 = RunPipeline(&traced);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(traced.ok());
+  EXPECT_EQ(r1, r2);
+  ExpectMetricsEq(plain.metrics(), traced.metrics());
+  EXPECT_FALSE(rec.current().IsEmpty());
+}
+
+TEST(ObsTraceTest, AttachedRecorderLeavesFaultModelBitIdentical) {
+  ClusterConfig cfg = SmallConfig();
+  cfg.faults = NoisyPlan(5);
+  Cluster plain(cfg);
+  Cluster traced(cfg);
+  obs::TraceRecorder rec;
+  traced.set_trace(&rec);
+  auto r1 = RunPipeline(&plain);
+  auto r2 = RunPipeline(&traced);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(r1, r2);
+  EXPECT_GT(plain.metrics().failed_tasks, 0);
+  ExpectMetricsEq(plain.metrics(), traced.metrics());
+}
+
+// --- Span geometry and the time decomposition ---
+
+TEST(ObsTraceTest, SpansAreMonotoneOnTheSimulatedClock) {
+  Cluster c(SmallConfig());
+  obs::TraceRecorder rec;
+  c.set_trace(&rec);
+  RunPipeline(&c);
+  ASSERT_TRUE(c.ok());
+  const obs::RunTrace& run = rec.current();
+  ASSERT_FALSE(run.stages.empty());
+  ASSERT_FALSE(run.jobs.empty());
+  ASSERT_FALSE(run.tasks.empty());
+
+  // The driver clock is serial: stages, jobs, and driver spans are recorded
+  // in time order and never overlap the next record's begin.
+  double prev_end = 0.0;
+  for (const obs::StageSpan& s : run.stages) {
+    EXPECT_LE(s.begin_s, s.end_s);
+    EXPECT_GE(s.begin_s, prev_end - 1e-12);
+    prev_end = s.end_s;
+    EXPECT_GE(s.critical_slot, 0);
+    EXPECT_GT(s.num_tasks, 0);
+  }
+  for (const obs::JobSpan& j : run.jobs) EXPECT_LE(j.begin_s, j.end_s);
+  for (const obs::DriverSpan& d : run.driver) EXPECT_LE(d.begin_s, d.end_s);
+
+  // Task spans nest inside their stage and carry consistent slots.
+  std::vector<const obs::StageSpan*> by_id(run.stages.size() + 1, nullptr);
+  for (const obs::StageSpan& s : run.stages)
+    by_id[static_cast<std::size_t>(s.id)] = &s;
+  for (const obs::TaskSpan& t : run.tasks) {
+    ASSERT_LT(static_cast<std::size_t>(t.stage_id), by_id.size());
+    const obs::StageSpan* s = by_id[static_cast<std::size_t>(t.stage_id)];
+    ASSERT_NE(s, nullptr);
+    EXPECT_GE(t.begin_s, s->begin_s - 1e-12);
+    EXPECT_LE(t.end_s, s->end_s + 1e-12);
+    EXPECT_GE(t.slot, 0);
+    EXPECT_LE(t.slot, run.max_slot);
+  }
+}
+
+/// Recovery seconds charged outside any stage (machine-loss recompute
+/// driver spans) — subtracted when comparing stage makespans to buckets.
+double RecoveryOutsideStages(const obs::RunTrace& run) {
+  double s = 0.0;
+  for (const obs::DriverSpan& d : run.driver)
+    if (d.category == obs::Category::kRecovery) s += d.end_s - d.begin_s;
+  return s;
+}
+
+TEST(ObsTraceTest, BreakdownBucketsSumToSimulatedTime) {
+  for (bool faulty : {false, true}) {
+    ClusterConfig cfg = SmallConfig();
+    if (faulty) cfg.faults = NoisyPlan(5);
+    Cluster c(cfg);
+    obs::TraceRecorder rec;
+    c.set_trace(&rec);
+    RunPipeline(&c);
+    ASSERT_TRUE(c.ok());
+    const double t = c.metrics().simulated_time_s;
+    const obs::Breakdown b = obs::ComputeBreakdown(rec.current());
+    EXPECT_NEAR(b.total(), t, 1e-9 * std::max(1.0, t))
+        << "faulty=" << faulty;
+    EXPECT_GT(b.job_launch_s, 0.0);
+    EXPECT_GT(b.compute_s, 0.0);
+    EXPECT_GT(b.task_overhead_s, 0.0);
+    EXPECT_GT(b.shuffle_s, 0.0);
+    EXPECT_GT(b.broadcast_s, 0.0);
+    EXPECT_GT(b.collect_s, 0.0);
+    EXPECT_EQ(b.recovery_s > 0.0, faulty);
+
+    // The critical-path chain is the stages in time order and covers the
+    // whole stage share of the run.
+    auto path = obs::CriticalPath(rec.current());
+    ASSERT_EQ(path.size(), rec.current().stages.size());
+    double stage_sum = 0.0;
+    double prev = 0.0;
+    for (const obs::CriticalStage& s : path) {
+      EXPECT_GE(s.begin_s, prev - 1e-12);
+      prev = s.begin_s + s.duration_s;
+      stage_sum += s.duration_s;
+    }
+    EXPECT_NEAR(stage_sum,
+                b.compute_s + b.task_overhead_s + b.spill_s + b.recovery_s -
+                    RecoveryOutsideStages(rec.current()),
+                1e-9 * std::max(1.0, t));
+  }
+}
+
+// --- Fault annotations ---
+
+TEST(ObsTraceTest, FaultAnnotationsAreRecorded) {
+  ClusterConfig cfg = SmallConfig();
+  cfg.faults = NoisyPlan(5);
+  Cluster c(cfg);
+  obs::TraceRecorder rec;
+  c.set_trace(&rec);
+  RunPipeline(&c);
+  ASSERT_TRUE(c.ok());
+  ASSERT_GT(c.metrics().task_retries, 0);
+  const obs::RunTrace& run = rec.current();
+  int retried = 0;
+  int speculative = 0;
+  for (const obs::TaskSpan& t : run.tasks) {
+    retried += t.retries > 0 ? 1 : 0;
+    speculative += t.speculative ? 1 : 0;
+  }
+  EXPECT_GT(retried, 0);
+  if (c.metrics().speculative_launches > 0) {
+    EXPECT_GT(speculative, 0);
+  }
+  double fault_s = 0.0;
+  for (const obs::StageSpan& s : run.stages) fault_s += s.fault_s;
+  EXPECT_GT(fault_s, 0.0);
+}
+
+// --- Export: well-formed and bit-identical ---
+
+TEST(ObsTraceTest, ChromeTraceIsWellFormedJson) {
+  Cluster c(SmallConfig());
+  obs::TraceRecorder rec;
+  rec.SetRunNameHint("pipeline");
+  c.set_trace(&rec);
+  RunPipeline(&c);
+  ASSERT_TRUE(c.ok());
+  const std::string json = obs::ChromeTraceToString(rec);
+  EXPECT_TRUE(JsonWellFormed(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"matryoshkaBreakdown\""), std::string::npos);
+  EXPECT_NE(json.find("\"matryoshkaPlan\""), std::string::npos);
+  EXPECT_NE(json.find("\"pipeline\""), std::string::npos);
+  EXPECT_NE(json.find("reduceByKey"), std::string::npos);
+  EXPECT_NE(json.find("broadcastJoin"), std::string::npos);
+}
+
+std::string TraceFor(ClusterConfig cfg) {
+  Cluster c(cfg);
+  obs::TraceRecorder rec;
+  rec.SetRunNameHint("suite");
+  c.set_trace(&rec);
+  RunPipeline(&c);
+  EXPECT_TRUE(c.ok());
+  return obs::ChromeTraceToString(rec);
+}
+
+TEST(ObsTraceTest, TraceIsByteIdenticalAcrossRunsPoolAndFaults) {
+  // Repeatability.
+  EXPECT_EQ(TraceFor(SmallConfig()), TraceFor(SmallConfig()));
+
+  // The thread pool may only change wall-clock time, never a trace byte.
+  ClusterConfig serial = SmallConfig();
+  ClusterConfig parallel = SmallConfig();
+  parallel.execute_parallel = true;
+  EXPECT_EQ(TraceFor(serial), TraceFor(parallel));
+
+  // Same under an active fault plan: draws are keyed on (seed, stage,
+  // task), not execution order.
+  serial.faults = NoisyPlan(7);
+  parallel.faults = NoisyPlan(7);
+  EXPECT_EQ(TraceFor(serial), TraceFor(parallel));
+}
+
+// --- Plan capture ---
+
+TEST(ObsTraceTest, OptimizerDecisionsAreCaptured) {
+  ClusterConfig cfg = SmallConfig();
+  obs::TraceRecorder rec;
+  core::Optimizer opt(&cfg, core::OptimizerOptions{}, &rec);
+
+  // Fewer tags than the 8 cores: broadcast; more: repartition.
+  EXPECT_EQ(opt.ChooseJoin(4), core::JoinStrategy::kBroadcast);
+  EXPECT_EQ(opt.ChooseJoin(64), core::JoinStrategy::kRepartition);
+  EXPECT_EQ(opt.ScalarPartitions(4), 4);
+  EXPECT_EQ(opt.ChooseCross(1, 100.0, 1e9),
+            core::CrossStrategy::kBroadcastScalar);
+  EXPECT_EQ(opt.ChooseCross(4, 1e9, 100.0),
+            core::CrossStrategy::kBroadcastPrimary);
+
+  const auto& ds = rec.current().decisions;
+  ASSERT_EQ(ds.size(), 5u);
+  EXPECT_EQ(ds[0].primitive, "tagJoin");
+  EXPECT_EQ(ds[0].choice, "broadcast");
+  EXPECT_EQ(ds[0].num_tags, 4);
+  EXPECT_FALSE(ds[0].rationale.empty());
+  EXPECT_EQ(ds[1].choice, "repartition");
+  EXPECT_EQ(ds[2].primitive, "scalarPartitions");
+  EXPECT_EQ(ds[2].partitions, 4);
+  EXPECT_EQ(ds[3].primitive, "halfLiftedCross");
+  EXPECT_EQ(ds[3].choice, "broadcast-scalar");
+  EXPECT_EQ(ds[4].choice, "broadcast-primary");
+  EXPECT_EQ(ds[4].scalar_bytes, 1e9);
+
+  std::ostringstream json;
+  obs::WritePlanJson(rec, json);
+  EXPECT_TRUE(JsonWellFormed(json.str()));
+  EXPECT_NE(json.str().find("\"tagJoin\""), std::string::npos);
+  std::ostringstream dot;
+  obs::WritePlanDot(rec, dot);
+  EXPECT_NE(dot.str().find("digraph"), std::string::npos);
+  EXPECT_NE(dot.str().find("halfLiftedCross"), std::string::npos);
+}
+
+// --- default_parallelism auto-resolve (satellite) ---
+
+TEST(ObsTraceTest, DefaultParallelismAutoResolvesToThreeTimesCores) {
+  ClusterConfig cfg = SmallConfig();
+  cfg.default_parallelism = 0;  // auto
+  Cluster c(cfg);
+  EXPECT_EQ(c.config().default_parallelism, 3 * cfg.total_cores());
+  ClusterConfig fixed = SmallConfig();
+  Cluster c2(fixed);
+  EXPECT_EQ(c2.config().default_parallelism, 8);
+}
+
+// --- Run lifecycle ---
+
+TEST(ObsTraceTest, ResetArchivesRunsAndRecyclesEmptyOnes) {
+  Cluster c(SmallConfig());
+  obs::TraceRecorder rec;
+  rec.SetRunNameHint("first");
+  c.set_trace(&rec);
+  c.Reset();  // opens (recycles) the first, still-empty run
+  RunPipeline(&c);
+  rec.SetRunNameHint("second");
+  c.Reset();
+  RunPipeline(&c);
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(rec.runs().size(), 2u);
+  EXPECT_EQ(rec.runs()[0].name, "first");
+  EXPECT_EQ(rec.runs()[1].name, "second");
+  EXPECT_FALSE(rec.runs()[0].IsEmpty());
+  // The two runs recorded the same program: identical span counts.
+  EXPECT_EQ(rec.runs()[0].stages.size(), rec.runs()[1].stages.size());
+  EXPECT_EQ(rec.runs()[0].jobs.size(), rec.runs()[1].jobs.size());
+}
+
+}  // namespace
+}  // namespace matryoshka
