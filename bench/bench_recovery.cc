@@ -1,0 +1,112 @@
+// Recovery A/B: the Fig. 1 K-means setup run under the StandardFaultPlan
+// (transient failures + one machine lost mid-run), with and without the
+// recovery subsystem (auto-checkpointing + driver-level retry + degraded
+// re-planning), for the inner-parallel workaround and Matryoshka.
+//
+// The quantitative claim on top of bench_faults: recovery *work* follows the
+// job count. The inner-parallel workaround re-pays retry backoff and loss
+// recompute once per inner computation, so its recovery_s counter grows
+// linearly with the configurations axis, while checkpointed Matryoshka's
+// stays flat — its stage count (and hence its exposure to the fault regime)
+// is independent of the group count, and auto-checkpointing bounds the
+// lineage any machine loss has to recompute.
+//
+// x-axis: args are (configurations, recovery_on). Compare recovery_on=1
+// against recovery_on=0 of the same variant; sweep configurations to see the
+// scaling. Pass --faults=<prob> to override the injected task failure
+// probability (default 0.01).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "datagen/datagen.h"
+#include "engine/bag.h"
+#include "engine/recovery.h"
+#include "workloads/kmeans.h"
+
+namespace matryoshka::bench {
+namespace {
+
+using workloads::KMeansParams;
+using workloads::Variant;
+
+constexpr int64_t kTotalPoints = 1 << 18;
+constexpr double kTargetGb = 8.0;
+constexpr uint64_t kSeed = 2021;
+
+double g_fault_prob = 0.01;  // set from --faults in main()
+
+KMeansParams Params() {
+  KMeansParams p;
+  p.k = 4;
+  p.max_iterations = 10;
+  p.epsilon = 0.0;  // fixed work per run, like Fig. 1
+  return p;
+}
+
+engine::ClusterConfig Config(bool recovery_on) {
+  engine::ClusterConfig cfg = PaperCluster();
+  ScaleToTarget(&cfg, kTargetGb, kTotalPoints,
+                sizeof(std::pair<int64_t, datagen::Point>));
+  cfg.faults = StandardFaultPlan(kSeed);
+  cfg.faults.task_failure_prob = g_fault_prob;
+  if (recovery_on) cfg.recovery = StandardRecoveryPolicy();
+  return cfg;
+}
+
+void RunVariant(benchmark::State& state, Variant variant) {
+  const int64_t configs = state.range(0);
+  const bool recovery_on = state.range(1) != 0;
+  auto data = datagen::GenerateGroupedPoints(kTotalPoints, configs, 3, kSeed);
+  engine::Cluster cluster(Config(recovery_on));
+  ObsAttach(&cluster,
+            variant == Variant::kInnerParallel ? "recovery/inner-parallel"
+                                               : "recovery/matryoshka",
+            {configs, recovery_on ? 1 : 0});
+  for (auto _ : state) {
+    cluster.Reset();
+    auto bag = engine::Parallelize(&cluster, data);
+    workloads::KMeansResult result;
+    if (recovery_on) {
+      // Driver-level retry: a run killed by task-retry exhaustion restarts
+      // from the parallelized input (its lineage is depth 1 — the
+      // checkpoint) instead of surfacing the sticky failure.
+      engine::RunWithRecovery(&cluster, [&](int) {
+        result = workloads::RunKMeans(&cluster, bag, Params(), variant);
+      });
+    } else {
+      result = workloads::RunKMeans(&cluster, bag, Params(), variant);
+    }
+    Report(state, result);
+  }
+  state.counters["recovery_on"] = recovery_on ? 1 : 0;
+}
+
+void BM_Recovery_InnerParallel(benchmark::State& state) {
+  RunVariant(state, Variant::kInnerParallel);
+}
+void BM_Recovery_Matryoshka(benchmark::State& state) {
+  RunVariant(state, Variant::kMatryoshka);
+}
+
+#define RECOVERY_ARGS                                                   \
+  ArgsProduct({{64, 256}, {0, 1}})                                      \
+      ->UseManualTime()->Unit(benchmark::kSecond)->Iterations(1)
+
+BENCHMARK(BM_Recovery_InnerParallel)->RECOVERY_ARGS;
+BENCHMARK(BM_Recovery_Matryoshka)->RECOVERY_ARGS;
+
+}  // namespace
+}  // namespace matryoshka::bench
+
+int main(int argc, char** argv) {
+  matryoshka::bench::g_fault_prob =
+      matryoshka::bench::ParseFaultsFlag(&argc, argv);
+  matryoshka::bench::ObsSession::Get().ParseFlags(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  matryoshka::bench::ObsSession::Get().Finalize();
+  return 0;
+}

@@ -78,6 +78,21 @@ inline engine::FaultPlan StandardFaultPlan(uint64_t seed = 2021) {
   return plan;
 }
 
+/// The reference recovery policy for checkpointed A/B arms: a generous
+/// driver-retry budget with auto-checkpointing and degraded re-planning on.
+/// Checkpoint bandwidth matches the 1 Gb network of PaperCluster.
+inline engine::RecoveryPolicy StandardRecoveryPolicy() {
+  engine::RecoveryPolicy policy;
+  policy.max_driver_retries = 8;
+  policy.driver_backoff_s = 2.0;
+  policy.auto_checkpoint = true;
+  policy.min_checkpoint_lineage = 4;
+  policy.checkpoint_bytes_per_s = 125e6;
+  policy.checkpoint_replicas = 2;
+  policy.degraded_replanning = true;
+  return policy;
+}
+
 /// Parses and strips a `--faults[=prob]` flag (must precede
 /// benchmark::Initialize, which rejects unknown flags). Returns the task
 /// failure probability to use for the fault-on arms: the StandardFaultPlan
@@ -223,6 +238,10 @@ class ObsSession {
       os << ", \"speculative_launches\": " << m.speculative_launches;
       os << ", \"machines_lost\": " << m.machines_lost;
       os << ", \"recovery_time_s\": " << obs::JsonDouble(m.recovery_time_s);
+      os << ", \"checkpoints_written\": " << m.checkpoints_written;
+      os << ", \"checkpoint_bytes\": " << obs::JsonDouble(m.checkpoint_bytes);
+      os << ", \"driver_retries\": " << m.driver_retries;
+      os << ", \"plan_fallbacks\": " << m.plan_fallbacks;
       os << "},\n     \"breakdown\": ";
       obs::WriteBreakdownJson(rec.breakdown, os);
       os << "}";
@@ -285,6 +304,17 @@ void Report(benchmark::State& state,
     state.counters["failed_tasks"] =
         static_cast<double>(result.metrics.failed_tasks);
     state.counters["recovery_s"] = result.metrics.recovery_time_s;
+  }
+  if (result.metrics.checkpoints_written > 0 ||
+      result.metrics.driver_retries > 0 || result.metrics.plan_fallbacks > 0) {
+    state.counters["checkpoints"] =
+        static_cast<double>(result.metrics.checkpoints_written);
+    state.counters["checkpoint_gb"] =
+        result.metrics.checkpoint_bytes / (1ULL << 30);
+    state.counters["driver_retries"] =
+        static_cast<double>(result.metrics.driver_retries);
+    state.counters["plan_fallbacks"] =
+        static_cast<double>(result.metrics.plan_fallbacks);
   }
   ObsSession::Get().ReportRun(result.metrics, result.ok(),
                               result.status.ToString());

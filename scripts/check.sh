@@ -4,6 +4,8 @@
 #   scripts/check.sh asan       # ASan+UBSan build + full ctest
 #   scripts/check.sh faults     # RelWithDebInfo build + fault-suite only
 #   scripts/check.sh obs        # obs suite + end-to-end --trace/--metrics-json
+#   scripts/check.sh recovery   # faults+recovery suites under default AND
+#                               # asan, + bench_recovery metrics round-trip
 # Any extra arguments are forwarded to ctest.
 set -eu
 
@@ -21,14 +23,45 @@ case "$mode" in
     preset=default; test_preset=faults ;;
   obs)
     preset=default; test_preset=obs ;;
+  recovery)
+    preset=default; test_preset=recovery ;;
   *)
-    echo "usage: scripts/check.sh [default|asan|faults|obs] [ctest args...]" >&2
+    echo "usage: scripts/check.sh [default|asan|faults|obs|recovery]" \
+         "[ctest args...]" >&2
     exit 2 ;;
 esac
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)"
 ctest --preset "$test_preset" -j "$(nproc)" "$@"
+
+if [ "$mode" = recovery ]; then
+  # The recovery contract must also hold under the sanitizers.
+  cmake --preset asan
+  cmake --build --preset asan -j "$(nproc)"
+  ctest --preset recovery-asan -j "$(nproc)" "$@"
+  # End-to-end: the recovery A/B bench with --metrics-json on, validated as
+  # JSON and carrying the matryoshka-bench-metrics-v1 schema with the
+  # recovery counters present.
+  out_dir="build/recovery-check"
+  mkdir -p "$out_dir"
+  build/bench/bench_recovery \
+    --benchmark_min_warmup_time=0 \
+    --metrics-json="$out_dir/metrics.json" >/dev/null
+  python3 - "$out_dir/metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "matryoshka-bench-metrics-v1", doc["schema"]
+assert doc["runs"], "no runs recorded"
+for run in doc["runs"]:
+    m = run["metrics"]
+    for key in ("checkpoints_written", "checkpoint_bytes", "driver_retries",
+                "plan_fallbacks", "recovery_time_s"):
+        assert key in m, f"missing {key} in {run['name']}"
+print("ok:", sys.argv[1])
+EOF
+fi
 
 if [ "$mode" = obs ]; then
   # End-to-end: one bench with the observability flags on, both outputs

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kTaskFailed:
       return "Task failed";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
 }

@@ -24,6 +24,10 @@ enum class StatusCode {
   /// from kOutOfMemory so callers can tell recoverable-but-exhausted task
   /// failures apart from deterministic memory-model failures.
   kTaskFailed,
+  /// A run blew the RecoveryPolicy's per-attempt deadline on the simulated
+  /// clock. Like kTaskFailed it is retryable at the driver level
+  /// (engine::RetryableForDriver), unlike the deterministic memory failures.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -74,6 +78,9 @@ class Status {
   static Status TaskFailed(std::string msg) {
     return Status(StatusCode::kTaskFailed, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
@@ -85,6 +92,9 @@ class Status {
     return code_ == StatusCode::kNotImplemented;
   }
   bool IsTaskFailed() const { return code_ == StatusCode::kTaskFailed; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   StatusCode code() const { return code_; }
   /// The error message; empty for OK statuses.

@@ -43,8 +43,9 @@ class LiftingContext {
   const OptimizerOptions& options() const { return options_; }
 
   Optimizer optimizer() const {
-    // The cluster's trace sink (if any) captures every lowering decision.
-    return Optimizer(&cluster_->config(), options_, cluster_->trace());
+    // Cluster-aware so degraded re-planning sees the live machine count;
+    // the cluster's trace sink (if any) captures every lowering decision.
+    return Optimizer(cluster_, options_, cluster_->trace());
   }
 
   /// Partition count for InnerScalar-sized bags (Sec. 8.1).

@@ -53,9 +53,23 @@ struct OptimizerOptions {
 /// never change.
 class Optimizer {
  public:
+  /// Static planning over a cluster description (unit tests, tooling).
+  /// Degraded-mode re-planning needs live cluster state — prefer the
+  /// Cluster overload whenever a Cluster exists.
   Optimizer(const engine::ClusterConfig* config, OptimizerOptions options,
             obs::TraceRecorder* trace = nullptr)
       : config_(config), options_(options), trace_(trace) {}
+
+  /// Cluster-aware planning: when the RecoveryPolicy enables degraded
+  /// re-planning, partition counts, the repartition-vs-broadcast core
+  /// threshold, and the broadcast memory budget follow the machines still
+  /// alive after loss events instead of the static config.
+  Optimizer(const engine::Cluster* cluster, OptimizerOptions options,
+            obs::TraceRecorder* trace = nullptr)
+      : cluster_(cluster),
+        config_(&cluster->config()),
+        options_(options),
+        trace_(trace) {}
 
   const OptimizerOptions& options() const { return options_; }
 
@@ -66,16 +80,16 @@ class Optimizer {
     int64_t parts;
     const char* why;
     if (!options_.tune_partitions) {
-      parts = config_->default_parallelism;
+      parts = planning_parallelism();
       why = "partition tuning disabled: engine default";
     } else if (num_tags <= 0) {
       parts = 1;
       why = "empty InnerScalar: one partition";
-    } else if (num_tags < config_->default_parallelism) {
+    } else if (num_tags < planning_parallelism()) {
       parts = num_tags;
       why = "one partition per tag (fewer tags than default parallelism)";
     } else {
-      parts = config_->default_parallelism;
+      parts = planning_parallelism();
       why = "tags exceed default parallelism: engine default";
     }
     if (trace_ != nullptr) {
@@ -94,15 +108,27 @@ class Optimizer {
   /// `num_tags` elements. "We choose a repartition join when there are
   /// enough elements in the InnerScalar to give work to all CPU cores.
   /// Otherwise, we choose a broadcast join."
-  JoinStrategy ChooseJoin(int64_t num_tags) const {
+  ///
+  /// `broadcast_build_bytes` (optional, real bytes of the would-be broadcast
+  /// build table) enables the degraded-mode fallback: under degraded
+  /// re-planning a broadcast pick whose build no longer fits the shrunken
+  /// broadcast memory budget is demoted to a repartition join at *planning*
+  /// time (the engine's BroadcastJoin still has an execution-time fallback).
+  JoinStrategy ChooseJoin(int64_t num_tags,
+                          double broadcast_build_bytes = -1.0) const {
     JoinStrategy chosen;
     const char* why;
     if (options_.join_strategy != JoinStrategy::kAuto) {
       chosen = options_.join_strategy;
       why = "forced by OptimizerOptions";
-    } else if (num_tags >= config_->total_cores()) {
+    } else if (num_tags >= planning_cores()) {
       chosen = JoinStrategy::kRepartition;
       why = "enough tags to give work to all cores";
+    } else if (degraded_replanning() && broadcast_build_bytes >= 0.0 &&
+               broadcast_build_bytes > broadcast_budget()) {
+      chosen = JoinStrategy::kRepartition;
+      why = "degraded fallback: broadcast build no longer fits the "
+            "shrunken cluster";
     } else {
       chosen = JoinStrategy::kBroadcast;
       why = "fewer tags than cores: repartitioning would idle slots";
@@ -114,6 +140,7 @@ class Optimizer {
           chosen == JoinStrategy::kRepartition ? "repartition" : "broadcast";
       d.rationale = why;
       d.num_tags = num_tags;
+      if (broadcast_build_bytes >= 0.0) d.scalar_bytes = broadcast_build_bytes;
       trace_->AddDecision(d);
     }
     return chosen;
@@ -157,6 +184,26 @@ class Optimizer {
   }
 
  private:
+  // Degraded-aware planning inputs: with a live Cluster these follow the
+  // machines still alive (when its policy opts in); config-only optimizers
+  // and default policies see the static values.
+  int64_t planning_parallelism() const {
+    return cluster_ != nullptr ? cluster_->effective_parallelism()
+                               : config_->default_parallelism;
+  }
+  int planning_cores() const {
+    return cluster_ != nullptr ? cluster_->planning_cores()
+                               : config_->total_cores();
+  }
+  double broadcast_budget() const {
+    return cluster_ != nullptr ? cluster_->broadcast_memory_budget()
+                               : config_->memory_per_machine_bytes;
+  }
+  bool degraded_replanning() const {
+    return cluster_ != nullptr && config_->recovery.degraded_replanning;
+  }
+
+  const engine::Cluster* cluster_ = nullptr;
   const engine::ClusterConfig* config_;
   OptimizerOptions options_;
   obs::TraceRecorder* trace_;

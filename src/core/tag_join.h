@@ -20,7 +20,16 @@ template <typename A, typename B>
 engine::Bag<std::pair<Tag, std::pair<A, B>>> TagJoin(
     const LiftingContext& ctx, const engine::Bag<std::pair<Tag, A>>& left,
     const engine::Bag<std::pair<Tag, B>>& right) {
-  if (ctx.optimizer().ChooseJoin(ctx.num_tags()) ==
+  // Under degraded re-planning, the build-side byte estimate (same 2x
+  // object overhead BroadcastJoin charges) lets the optimizer demote a
+  // broadcast that no longer fits the shrunken cluster to a repartition
+  // join at planning time. Default policies pass no estimate, keeping the
+  // captured decision records identical to the pre-recovery engine.
+  const double build_bytes =
+      ctx.cluster()->config().recovery.degraded_replanning
+          ? engine::RealBagBytes(right) * 2.0
+          : -1.0;
+  if (ctx.optimizer().ChooseJoin(ctx.num_tags(), build_bytes) ==
       JoinStrategy::kBroadcast) {
     return engine::BroadcastJoin(left, right);
   }

@@ -79,6 +79,15 @@ class Bag {
   /// Real element count under the cost model.
   double RealSize() const { return static_cast<double>(Size()) * scale_; }
 
+  /// The same data (partitions shared) with a different lineage depth.
+  /// Used by engine::Checkpoint, which truncates lineage to 1 after the
+  /// replicated write; cost-free metadata operation.
+  Bag<T> WithLineageDepth(int depth) const {
+    Bag<T> out = *this;
+    out.lineage_depth_ = depth;
+    return out;
+  }
+
   /// All elements concatenated, for tests and driver-side logic. Does not
   /// charge the cost model (see ops.h Collect for the action).
   std::vector<T> ToVector() const {
@@ -106,7 +115,10 @@ Bag<T> Parallelize(Cluster* cluster, std::vector<T> data,
                    int64_t num_partitions = -1, double scale = -1.0) {
   MATRYOSHKA_CHECK(cluster != nullptr);
   if (num_partitions <= 0) {
-    num_partitions = cluster->config().default_parallelism;
+    // Degraded-aware: after machine loss (with degraded re-planning on) new
+    // bags are cut for the machines still alive, not the construction-time
+    // cluster shape.
+    num_partitions = cluster->effective_parallelism();
   }
   if (scale < 0) scale = cluster->config().data_scale;
   num_partitions = std::max<int64_t>(1, num_partitions);

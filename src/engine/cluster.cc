@@ -64,11 +64,63 @@ void Cluster::Reset() {
   status_ = Status::OK();
   metrics_ = Metrics();
   // Re-arm the fault plan: lost machines come back and machine-loss events
-  // fire again, so repeated runs on one cluster are bit-identical.
+  // fire again, so repeated runs on one cluster are bit-identical. The
+  // recovery state (driver-retry counters, checkpoint tallies, the deadline
+  // window) lives in metrics_ / attempt_start_s_ and re-arms with them.
   next_loss_event_ = 0;
   lost_machines_ = 0;
+  attempt_start_s_ = 0.0;
   // A Reset is a run boundary for the trace too.
   if (trace_ != nullptr) trace_->StartRun();
+}
+
+void Cluster::CheckDeadline() {
+  const double deadline = config_.recovery.run_deadline_s;
+  if (deadline <= 0.0 || !ok()) return;
+  const double elapsed = metrics_.simulated_time_s - attempt_start_s_;
+  if (elapsed > deadline) {
+    Fail(Status::DeadlineExceeded(
+        "run attempt exceeded its deadline of " + std::to_string(deadline) +
+        " s (" + std::to_string(elapsed) + " s elapsed)"));
+  }
+}
+
+void Cluster::BeginDriverRetry(double backoff_s, const std::string& why) {
+  if (ok()) return;
+  status_ = Status::OK();
+  metrics_.driver_retries += 1;
+  const double t0 = metrics_.simulated_time_s;
+  metrics_.simulated_time_s += backoff_s;
+  metrics_.recovery_time_s += backoff_s;
+  ArmRunDeadline();
+  if (trace_ != nullptr) {
+    trace_->AddInstant("driver-retry", why, t0);
+    trace_->AddDriverSpan(obs::Category::kRecovery, "driver-retry backoff",
+                          t0, metrics_.simulated_time_s, 0.0);
+  }
+}
+
+void Cluster::NotePlanFallback(const char* what) {
+  if (!ok()) return;
+  metrics_.plan_fallbacks += 1;
+  if (trace_ != nullptr) {
+    trace_->AddInstant("plan-fallback", what, metrics_.simulated_time_s);
+  }
+}
+
+void Cluster::AccrueCheckpoint(double bytes, const char* label) {
+  if (!ok()) return;
+  const auto replicas =
+      static_cast<double>(std::max(1, config_.recovery.checkpoint_replicas));
+  metrics_.checkpoints_written += 1;
+  metrics_.checkpoint_bytes += bytes * replicas;
+  const double t0 = metrics_.simulated_time_s;
+  metrics_.simulated_time_s += CheckpointWriteSeconds(bytes);
+  if (trace_ != nullptr) {
+    trace_->AddDriverSpan(obs::Category::kCheckpoint, label, t0,
+                          metrics_.simulated_time_s, bytes * replicas);
+  }
+  CheckDeadline();
 }
 
 void Cluster::BeginJob(const std::string& label) {
@@ -85,6 +137,7 @@ void Cluster::BeginJob(const std::string& label) {
     ProcessMachineLossEvents(/*stage_cost_s=*/0.0, /*num_tasks=*/0,
                              /*lineage_depth=*/1);
   }
+  CheckDeadline();
 }
 
 double Cluster::SimulateTaskAttempts(double base_cost_s, uint64_t stage_index,
@@ -271,6 +324,7 @@ void Cluster::AccrueStage(const std::vector<double>& task_costs_s,
     }
     metrics_.simulated_time_s +=
         ScheduleStage(sched, config_.total_cores(), t0, stage_id, stage_ctx);
+    CheckDeadline();
     return;
   }
 
@@ -352,7 +406,8 @@ void Cluster::AccrueStage(const std::vector<double>& task_costs_s,
 
   // 5. A task that exhausted its retries (and was not rescued by a
   // speculative copy) kills the whole run: transient failures are
-  // recoverable, running out of the retry budget is not.
+  // recoverable at task level, running out of the retry budget fails the run
+  // (the *driver* may still retry the whole program, see RunWithRecovery).
   for (std::size_t i = 0; i < n; ++i) {
     if (exhausted[i]) {
       Fail(Status::TaskFailed(
@@ -362,6 +417,7 @@ void Cluster::AccrueStage(const std::vector<double>& task_costs_s,
       return;
     }
   }
+  CheckDeadline();
 }
 
 void Cluster::AccrueUniformStage(int64_t num_tasks, double total_elements,
@@ -382,38 +438,63 @@ void Cluster::AccrueShuffle(double bytes, const char* label) {
   metrics_.shuffle_bytes += scaled;
   // With hash partitioning, a fraction (1 - 1/machines) of the data crosses
   // machine boundaries; every machine sends and receives its share in
-  // parallel at the configured per-machine bandwidth.
+  // parallel at the configured per-machine bandwidth. Degraded re-planning
+  // spreads the shuffle over the machines still alive.
+  const int machines = planning_machines();
   const double crossing =
-      scaled * (1.0 - 1.0 / static_cast<double>(config_.num_machines));
-  const double per_machine =
-      crossing / static_cast<double>(config_.num_machines);
+      scaled * (1.0 - 1.0 / static_cast<double>(machines));
+  const double per_machine = crossing / static_cast<double>(machines);
   const double t0 = metrics_.simulated_time_s;
   metrics_.simulated_time_s += per_machine / config_.network_bytes_per_s;
   if (trace_ != nullptr) {
     trace_->AddDriverSpan(obs::Category::kShuffle, label, t0,
                           metrics_.simulated_time_s, scaled);
   }
+  CheckDeadline();
+}
+
+void Cluster::ChargeBroadcastTransfer(double bytes, const char* label) {
+  // Collect to the driver, then torrent-style redistribution (every machine
+  // both uploads and downloads chunks, so distribution is ~one transfer of
+  // the full payload at per-machine bandwidth, not num_machines transfers).
+  const double t0 = metrics_.simulated_time_s;
+  metrics_.simulated_time_s += 2.0 * bytes / config_.network_bytes_per_s;
+  if (trace_ != nullptr) {
+    trace_->AddDriverSpan(obs::Category::kBroadcast, label, t0,
+                          metrics_.simulated_time_s, bytes);
+  }
+  CheckDeadline();
 }
 
 void Cluster::AccrueBroadcast(double bytes, const char* label) {
   if (!ok()) return;
   const double scaled = bytes;
+  // Accounting order predates the fit check on purpose: an attempted
+  // broadcast counts its bytes and peak even when it OOMs.
   metrics_.broadcast_bytes += scaled;
   metrics_.peak_machine_bytes = std::max(metrics_.peak_machine_bytes, scaled);
-  if (scaled > config_.memory_per_machine_bytes) {
+  if (scaled > broadcast_memory_budget()) {
     Fail(Status::OutOfMemory(
         "broadcast data does not fit on a single machine"));
     return;
   }
-  // Collect to the driver, then torrent-style redistribution (every machine
-  // both uploads and downloads chunks, so distribution is ~one transfer of
-  // the full payload at per-machine bandwidth, not num_machines transfers).
-  const double t0 = metrics_.simulated_time_s;
-  metrics_.simulated_time_s += 2.0 * scaled / config_.network_bytes_per_s;
-  if (trace_ != nullptr) {
-    trace_->AddDriverSpan(obs::Category::kBroadcast, label, t0,
-                          metrics_.simulated_time_s, scaled);
+  ChargeBroadcastTransfer(scaled, label);
+}
+
+Status Cluster::TryAccrueBroadcast(double bytes, const char* label) {
+  if (!ok()) return status_;
+  if (bytes > broadcast_memory_budget()) {
+    // Typed and catchable: the caller decides whether to fall back to a
+    // shuffle-based plan or Fail() the cluster. No bytes are accounted for
+    // the broadcast that did not happen.
+    return Status::OutOfMemory(
+        std::string(label) +
+        ": broadcast data does not fit on a single machine");
   }
+  metrics_.broadcast_bytes += bytes;
+  metrics_.peak_machine_bytes = std::max(metrics_.peak_machine_bytes, bytes);
+  ChargeBroadcastTransfer(bytes, label);
+  return Status::OK();
 }
 
 void Cluster::AccrueCollect(double bytes, const char* label) {
@@ -424,6 +505,7 @@ void Cluster::AccrueCollect(double bytes, const char* label) {
     trace_->AddDriverSpan(obs::Category::kCollect, label, t0,
                           metrics_.simulated_time_s, bytes);
   }
+  CheckDeadline();
 }
 
 void Cluster::CheckTaskMemory(double bytes, const std::string& what) {

@@ -1,6 +1,7 @@
 #ifndef MATRYOSHKA_ENGINE_CLUSTER_H_
 #define MATRYOSHKA_ENGINE_CLUSTER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -60,6 +61,54 @@ struct FaultPlan {
     return task_failure_prob > 0.0 || !machine_loss_times_s.empty() ||
            (straggler_fraction > 0.0 && straggler_slowdown != 1.0) ||
            speculative_execution;
+  }
+};
+
+/// Driver-side recovery policy: checkpointing, driver-level retry, and
+/// degraded-mode re-planning after machine loss. Everything here defaults
+/// *off*: a default-constructed policy leaves metrics and traces
+/// byte-identical to an engine without the recovery subsystem, even under an
+/// active FaultPlan (locked down by engine_recovery_test).
+struct RecoveryPolicy {
+  /// Driver-level retry budget: when a program run fails with a
+  /// driver-retryable status (kTaskFailed, kDeadlineExceeded),
+  /// RunWithRecovery re-runs it up to this many times instead of letting the
+  /// sticky status poison the program. 0 disables driver retries.
+  int max_driver_retries = 0;
+  /// Backoff before driver retry attempt a is `driver_backoff_s * 2^a`
+  /// simulated seconds, charged to the clock and to recovery_time_s.
+  double driver_backoff_s = 2.0;
+  /// Per-attempt deadline on the simulated clock: an attempt (measured from
+  /// Reset / RunWithRecovery entry / the last driver retry) that runs longer
+  /// fails with kDeadlineExceeded, which is itself driver-retryable.
+  /// 0 disables the deadline.
+  double run_deadline_s = 0.0;
+
+  /// Cost-based auto-checkpointing: narrow operators checkpoint their output
+  /// when its lineage depth has reached `min_checkpoint_lineage` AND the
+  /// expected machine-loss recompute of the chain (depth x lost-machine
+  /// share of the bag's compute, over the surviving slots) exceeds the
+  /// checkpoint write cost — so machine-loss recompute is bounded by the
+  /// checkpoint interval instead of growing with the narrow chain.
+  bool auto_checkpoint = false;
+  int min_checkpoint_lineage = 4;
+  /// Write bandwidth per machine to the simulated replicated store.
+  double checkpoint_bytes_per_s = 250e6;
+  /// Copies written per checkpoint (HDFS-style replication).
+  int checkpoint_replicas = 2;
+
+  /// Degraded-mode re-planning: after machine loss, partition-count
+  /// resolution, per-machine shuffle/spill shares, the optimizer's
+  /// broadcast-vs-repartition choice, and the broadcast memory budget all
+  /// consult available_machines() instead of the static config — and a
+  /// broadcast join that no longer fits the shrunken cluster falls back to a
+  /// repartition join instead of failing with a sticky OOM.
+  bool degraded_replanning = false;
+
+  /// True when any knob departs from the byte-identical default behavior.
+  bool active() const {
+    return max_driver_retries > 0 || run_deadline_s > 0.0 ||
+           auto_checkpoint || degraded_replanning;
   }
 };
 
@@ -127,6 +176,9 @@ struct ClusterConfig {
   /// Deterministic fault injection; the default plan injects nothing.
   FaultPlan faults;
 
+  /// Driver-side recovery; the default policy changes nothing.
+  RecoveryPolicy recovery;
+
   int total_cores() const { return num_machines * cores_per_machine; }
   /// Memory budget of one task slot (machine memory divided across the
   /// concurrently running tasks of that machine).
@@ -170,8 +222,20 @@ struct Metrics {
   /// Machine-loss events that fired.
   int64_t machines_lost = 0;
   /// Simulated seconds attributable to recovery: wasted work of failed
-  /// attempts, retry backoff, and lineage recomputation after machine loss.
+  /// attempts, retry backoff, lineage recomputation after machine loss, and
+  /// driver-retry backoff.
   double recovery_time_s = 0.0;
+  /// --- Recovery subsystem (all zero when RecoveryPolicy is defaulted and
+  /// no explicit Checkpoint() is called) ---
+  /// Checkpoints written (explicit Checkpoint() calls + auto-checkpoints).
+  int64_t checkpoints_written = 0;
+  /// Bytes written to the simulated replicated store, replication included.
+  double checkpoint_bytes = 0.0;
+  /// Driver-level re-runs after retryable failures (RunWithRecovery).
+  int64_t driver_retries = 0;
+  /// Degraded-mode plan fallbacks (e.g. broadcast join -> repartition join
+  /// after machine loss shrank the broadcast memory budget).
+  int64_t plan_fallbacks = 0;
 };
 
 /// Execution context shared by every Bag of one program run: cost-model
@@ -251,6 +315,45 @@ class Cluster {
   /// does not fit into a single machine's memory.
   void AccrueBroadcast(double bytes, const char* label = "broadcast");
 
+  /// Non-failing variant of AccrueBroadcast: returns OutOfMemory (without
+  /// poisoning the cluster) when the data does not fit the broadcast memory
+  /// budget, so degraded-mode planners can intercept and fall back to a
+  /// repartition join; charges the transfer and returns OK otherwise.
+  Status TryAccrueBroadcast(double bytes, const char* label = "broadcast");
+
+  /// Charges writing `bytes` (real, pre-replication) to the simulated
+  /// replicated store: every live machine writes its share of
+  /// `bytes * checkpoint_replicas` in parallel at the policy's bandwidth.
+  /// Counted in checkpoints_written / checkpoint_bytes and traced as a
+  /// kCheckpoint driver span — NOT as a stage, so checkpointing never shifts
+  /// stage indices (fault draws stay comparable across A/B runs).
+  void AccrueCheckpoint(double bytes, const char* label = "checkpoint");
+
+  /// Seconds one checkpoint of `bytes` (real, pre-replication) would take;
+  /// used by the auto-checkpoint policy's cost comparison.
+  double CheckpointWriteSeconds(double bytes) const {
+    const auto replicas =
+        static_cast<double>(std::max(1, config_.recovery.checkpoint_replicas));
+    return bytes * replicas /
+           (static_cast<double>(available_machines()) *
+            config_.recovery.checkpoint_bytes_per_s);
+  }
+
+  /// Clears a driver-retryable sticky failure so the driver can re-run the
+  /// program: charges `backoff_s` to the clock and recovery_time_s, counts
+  /// driver_retries, and re-arms the per-attempt deadline. Metrics otherwise
+  /// keep accumulating — the failed attempt's simulated time really passed.
+  /// No-op when the cluster is OK. (Use engine::RunWithRecovery instead of
+  /// calling this directly.)
+  void BeginDriverRetry(double backoff_s, const std::string& why);
+
+  /// Starts a deadline window at the current simulated time (RunWithRecovery
+  /// calls this on entry; Reset and BeginDriverRetry re-arm it too).
+  void ArmRunDeadline() { attempt_start_s_ = metrics_.simulated_time_s; }
+
+  /// Counts a degraded-mode plan fallback (broadcast -> repartition, ...).
+  void NotePlanFallback(const char* what);
+
   /// Charges transferring `bytes` (real) to the driver (the network half of
   /// a collect action).
   void AccrueCollect(double bytes, const char* label = "collect");
@@ -279,6 +382,50 @@ class Cluster {
   /// machines until the next Reset).
   int available_machines() const {
     return config_.num_machines - lost_machines_;
+  }
+
+  /// Core slots on the machines still alive.
+  int available_cores() const {
+    return available_machines() * config_.cores_per_machine;
+  }
+
+  // --- Degraded-aware planning accessors. With degraded_replanning off (the
+  // default) these return the static config values, byte-identically to the
+  // pre-recovery engine; with it on they track available_machines(). ---
+
+  /// Machine count planners should divide per-machine shares by.
+  int planning_machines() const {
+    return config_.recovery.degraded_replanning ? available_machines()
+                                                : config_.num_machines;
+  }
+
+  /// Core count planners should size repartition-vs-broadcast choices by.
+  int planning_cores() const {
+    return config_.recovery.degraded_replanning ? available_cores()
+                                                : config_.total_cores();
+  }
+
+  /// Default wide-operator partition count, scaled down with the cluster
+  /// when degraded re-planning is on (never below 1).
+  int64_t effective_parallelism() const {
+    const auto base = static_cast<int64_t>(config_.default_parallelism);
+    if (!config_.recovery.degraded_replanning || lost_machines_ == 0) {
+      return base;
+    }
+    return std::max<int64_t>(
+        1, base * available_machines() / config_.num_machines);
+  }
+
+  /// Memory a broadcast must fit into. Degraded mode shrinks it with the
+  /// lost machines' share: the survivors also hold the dead machines'
+  /// re-replicated partitions, so broadcast headroom shrinks proportionally.
+  double broadcast_memory_budget() const {
+    if (!config_.recovery.degraded_replanning || lost_machines_ == 0) {
+      return config_.memory_per_machine_bytes;
+    }
+    return config_.memory_per_machine_bytes *
+           static_cast<double>(available_machines()) /
+           static_cast<double>(config_.num_machines);
   }
 
  private:
@@ -316,6 +463,13 @@ class Cluster {
   void ProcessMachineLossEvents(double stage_cost_s, int64_t num_tasks,
                                 int lineage_depth);
 
+  /// Fails with kDeadlineExceeded when the current attempt has outrun the
+  /// policy's run_deadline_s. No-op with the deadline off (the default).
+  void CheckDeadline();
+
+  /// The network transfer + trace span of a fitting broadcast.
+  void ChargeBroadcastTransfer(double bytes, const char* label);
+
   ClusterConfig config_;
   Metrics metrics_;
   Status status_;
@@ -325,6 +479,8 @@ class Cluster {
   std::vector<double> loss_times_;
   std::size_t next_loss_event_ = 0;
   int lost_machines_ = 0;
+  /// Simulated time the current driver attempt started (deadline window).
+  double attempt_start_s_ = 0.0;
 };
 
 }  // namespace matryoshka::engine

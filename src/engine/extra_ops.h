@@ -40,8 +40,9 @@ Bag<T> Sample(const Bag<T>& bag, double fraction, uint64_t seed) {
       if (r <= threshold) out[i].push_back(x);
     }
   });
-  return Bag<T>(c, std::move(out), bag.scale(), bag.key_partitions(),
-                bag.lineage_depth() + 1);
+  return internal::MaybeAutoCheckpoint(Bag<T>(
+      c, std::move(out), bag.scale(), bag.key_partitions(),
+      bag.lineage_depth() + 1));
 }
 
 /// Multiset difference with set semantics on the right (Spark's subtract):

@@ -31,7 +31,7 @@ int64_t ResolveJoinParallelism(Cluster* c, int64_t requested, const Bag<L>& l,
   if (requested > 0) return requested;
   if (l.key_partitions() > 0) return l.key_partitions();
   if (r.key_partitions() > 0) return r.key_partitions();
-  return c->config().default_parallelism;
+  return c->effective_parallelism();
 }
 
 /// Shuffles one join input onto `parts` key partitions, or reuses its
@@ -71,7 +71,7 @@ Bag<std::pair<K, std::pair<V, W>>> RepartitionJoin(
   auto ls = internal::JoinSide(left, parts, "join[left]");
   auto rs = internal::JoinSide(right, parts, "join[right]");
   const double build_bytes =
-      RealBagBytes(right) / static_cast<double>(c->config().num_machines);
+      RealBagBytes(right) / static_cast<double>(c->planning_machines());
   const double spill = c->SpillFactor(build_bytes);
 
   std::vector<double> costs(static_cast<std::size_t>(parts));
@@ -103,7 +103,10 @@ Bag<std::pair<K, std::pair<V, W>>> RepartitionJoin(
 
 /// Inner equi-join that broadcasts the (small) right side to every machine
 /// and probes it from the left side without any shuffle. Fails with
-/// OutOfMemory when the broadcast build table does not fit on one machine.
+/// OutOfMemory when the broadcast build table does not fit on one machine —
+/// unless degraded re-planning is on, in which case a build side that no
+/// longer fits the (possibly shrunken) broadcast budget falls back to a
+/// repartition join instead of poisoning the run.
 template <typename K, typename V, typename W>
 Bag<std::pair<K, std::pair<V, W>>> BroadcastJoin(
     const Bag<std::pair<K, V>>& left, const Bag<std::pair<K, W>>& right) {
@@ -115,8 +118,18 @@ Bag<std::pair<K, std::pair<V, W>>> BroadcastJoin(
 
   // Hash tables over the broadcast data cost noticeably more than the raw
   // payload; 2x is a conservative stand-in for JVM object overhead.
-  c->AccrueBroadcast(RealBagBytes(right) * 2.0, "broadcastJoin");
-  if (!c->ok()) return Bag<Out>(c);
+  const double build_bytes = RealBagBytes(right) * 2.0;
+  if (c->config().recovery.degraded_replanning) {
+    Status st = c->TryAccrueBroadcast(build_bytes, "broadcastJoin");
+    if (st.IsOutOfMemory()) {
+      c->NotePlanFallback("broadcastJoin -> repartitionJoin");
+      return RepartitionJoin(left, right);
+    }
+    if (!c->ok()) return Bag<Out>(c);
+  } else {
+    c->AccrueBroadcast(build_bytes, "broadcastJoin");
+    if (!c->ok()) return Bag<Out>(c);
+  }
 
   std::unordered_map<K, std::vector<W>, Hasher> build;
   for (const auto& part : right.partitions()) {
@@ -146,8 +159,9 @@ Bag<std::pair<K, std::pair<V, W>>> BroadcastJoin(
   });
   // A broadcast join is map-side: the left layout (and partitioner) stays,
   // and so does the left lineage chain (no stage boundary).
-  return Bag<Out>(c, std::move(out), out_scale, left.key_partitions(),
-                  left.lineage_depth() + 1);
+  return internal::MaybeAutoCheckpoint(Bag<Out>(
+      c, std::move(out), out_scale, left.key_partitions(),
+      left.lineage_depth() + 1));
 }
 
 /// Left outer equi-join (repartition implementation): every left element

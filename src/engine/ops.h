@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "engine/bag.h"
 #include "engine/cluster.h"
+#include "engine/recovery.h"
 
 /// Narrow (pipelined) transformations and actions of the flat dataflow
 /// engine. Wide (shuffling) operators live in shuffle.h and join.h.
@@ -68,7 +69,8 @@ auto Map(const Bag<T>& bag, F f, double weight = 1.0)
     out[i].reserve(part.size());
     for (const auto& x : part) out[i].push_back(f(x));
   });
-  return Bag<U>(c, std::move(out), bag.scale(), 0, bag.lineage_depth() + 1);
+  return internal::MaybeAutoCheckpoint(
+      Bag<U>(c, std::move(out), bag.scale(), 0, bag.lineage_depth() + 1));
 }
 
 /// Keeps the elements for which `pred` returns true.
@@ -84,8 +86,9 @@ Bag<T> Filter(const Bag<T>& bag, P pred, double weight = 1.0) {
     }
   });
   // Filtering never moves elements: key partitioning survives.
-  return Bag<T>(c, std::move(out), bag.scale(), bag.key_partitions(),
-                bag.lineage_depth() + 1);
+  return internal::MaybeAutoCheckpoint(Bag<T>(
+      c, std::move(out), bag.scale(), bag.key_partitions(),
+      bag.lineage_depth() + 1));
 }
 
 /// Applies `f` to every element and concatenates the results.
@@ -103,7 +106,8 @@ auto FlatMap(const Bag<T>& bag, F f, double weight = 1.0)
       for (auto&& y : f(x)) out[i].push_back(std::move(y));
     }
   });
-  return Bag<U>(c, std::move(out), bag.scale(), 0, bag.lineage_depth() + 1);
+  return internal::MaybeAutoCheckpoint(
+      Bag<U>(c, std::move(out), bag.scale(), 0, bag.lineage_depth() + 1));
 }
 
 /// Transforms whole partitions. f: const std::vector<T>& -> std::vector<U>.
@@ -120,7 +124,8 @@ auto MapPartitions(const Bag<T>& bag, F f, double weight = 1.0)
   ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
     out[i] = f(bag.partitions()[i]);
   });
-  return Bag<U>(c, std::move(out), bag.scale(), 0, bag.lineage_depth() + 1);
+  return internal::MaybeAutoCheckpoint(
+      Bag<U>(c, std::move(out), bag.scale(), 0, bag.lineage_depth() + 1));
 }
 
 /// First components of a bag of pairs.
@@ -152,8 +157,9 @@ auto MapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0)
     out[i].reserve(part.size());
     for (const auto& [k, v] : part) out[i].emplace_back(k, f(v));
   });
-  return Bag<Out>(c, std::move(out), bag.scale(), bag.key_partitions(),
-                  bag.lineage_depth() + 1);
+  return internal::MaybeAutoCheckpoint(Bag<Out>(
+      c, std::move(out), bag.scale(), bag.key_partitions(),
+      bag.lineage_depth() + 1));
 }
 
 /// Applies `f` to the value of every pair and emits one output pair per
@@ -174,8 +180,9 @@ auto FlatMapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0)
       for (auto&& w : f(v)) out[i].emplace_back(k, std::move(w));
     }
   });
-  return Bag<Out>(c, std::move(out), bag.scale(), bag.key_partitions(),
-                  bag.lineage_depth() + 1);
+  return internal::MaybeAutoCheckpoint(Bag<Out>(
+      c, std::move(out), bag.scale(), bag.key_partitions(),
+      bag.lineage_depth() + 1));
 }
 
 /// Bag union (multiset semantics, like Spark's union): concatenates the two
@@ -224,8 +231,8 @@ Bag<std::pair<uint64_t, T>> ZipWithUniqueId(const Bag<T>& bag) {
       out[i].emplace_back(static_cast<uint64_t>(j) * stride + i, part[j]);
     }
   });
-  return Bag<std::pair<uint64_t, T>>(c, std::move(out), bag.scale(), 0,
-                                     bag.lineage_depth() + 1);
+  return internal::MaybeAutoCheckpoint(Bag<std::pair<uint64_t, T>>(
+      c, std::move(out), bag.scale(), 0, bag.lineage_depth() + 1));
 }
 
 // --- Actions ---

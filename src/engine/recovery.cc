@@ -1,0 +1,30 @@
+#include "engine/recovery.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/logging.h"
+
+namespace matryoshka::engine::internal {
+
+Status RunWithRecoveryImpl(Cluster* cluster,
+                           const std::function<void(int)>& body,
+                           const char* label) {
+  const RecoveryPolicy& policy = cluster->config().recovery;
+  cluster->ArmRunDeadline();
+  for (int attempt = 0;; ++attempt) {
+    body(attempt);
+    if (cluster->ok()) return Status::OK();
+    Status failure = cluster->status();
+    if (!RetryableForDriver(failure) || attempt >= policy.max_driver_retries) {
+      return failure;
+    }
+    const double backoff = policy.driver_backoff_s * std::ldexp(1.0, attempt);
+    MATRYOSHKA_LOG(kInfo) << "driver retry " << (attempt + 1) << "/"
+                          << policy.max_driver_retries << " of " << label
+                          << " after: " << failure.ToString();
+    cluster->BeginDriverRetry(backoff, failure.ToString());
+  }
+}
+
+}  // namespace matryoshka::engine::internal

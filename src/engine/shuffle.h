@@ -33,7 +33,9 @@ namespace matryoshka::engine {
 namespace internal {
 
 inline int64_t ResolveParallelism(Cluster* c, int64_t requested) {
-  return requested > 0 ? requested : c->config().default_parallelism;
+  // effective_parallelism == config default_parallelism until machine loss
+  // with degraded re-planning on, which scales it to the surviving machines.
+  return requested > 0 ? requested : c->effective_parallelism();
 }
 
 inline double ResolveScale(double requested, double input_scale) {
@@ -157,8 +159,8 @@ Bag<std::pair<K, V>> ReduceByKey(const Bag<std::pair<K, V>>& bag, F f,
       out[i].reserve(acc.size());
       for (auto& [k, v] : acc) out[i].emplace_back(k, std::move(v));
     });
-    return Bag<KV>(c, std::move(out), out_scale, parts,
-                   bag.lineage_depth() + 1);
+    return internal::MaybeAutoCheckpoint(
+        Bag<KV>(c, std::move(out), out_scale, parts, bag.lineage_depth() + 1));
   }
 
   // Map side: per-partition combine at the input scale.
@@ -188,7 +190,7 @@ Bag<std::pair<K, V>> ReduceByKey(const Bag<std::pair<K, V>>& bag, F f,
   }
   const double spill =
       c->SpillFactor(RealBagBytes(combined_bag) /
-                     static_cast<double>(c->config().num_machines));
+                     static_cast<double>(c->planning_machines()));
   auto costs = internal::PartitionCosts(c, shuffled, weight, out_scale);
   for (auto& cost : costs) cost *= spill;
   c->AccrueStage(costs, /*lineage_depth=*/1,
@@ -234,7 +236,7 @@ Bag<std::pair<K, std::vector<V>>> GroupByKey(const Bag<std::pair<K, V>>& bag,
       },
       0.25, "groupByKey");
   const double spill = c->SpillFactor(
-      RealBagBytes(bag) / static_cast<double>(c->config().num_machines));
+      RealBagBytes(bag) / static_cast<double>(c->planning_machines()));
   auto costs = internal::PartitionCosts(c, shuffled, 0.5, bag.scale());
   for (auto& cost : costs) cost *= spill;
   c->AccrueStage(costs, /*lineage_depth=*/1,
@@ -298,7 +300,7 @@ Bag<T> Distinct(const Bag<T>& bag, int64_t num_partitions = -1,
   }
   const double spill =
       c->SpillFactor(RealBagBytes(pre_bag) /
-                     static_cast<double>(c->config().num_machines));
+                     static_cast<double>(c->planning_machines()));
   auto costs = internal::PartitionCosts(c, shuffled, 0.5, out_scale);
   for (auto& cost : costs) cost *= spill;
   c->AccrueStage(costs, /*lineage_depth=*/1,

@@ -33,6 +33,9 @@ Breakdown ComputeBreakdown(const RunTrace& run) {
       case Category::kRecovery:
         b.recovery_s += dt;
         break;
+      case Category::kCheckpoint:
+        b.checkpoint_s += dt;
+        break;
       default:
         // Job launch arrives via JobSpan, compute via StageSpan; any other
         // driver interval would be a new category — count it as compute so
@@ -88,6 +91,7 @@ std::string FormatBreakdown(const RunTrace& run, int top_stages) {
   AppendRow(&out, "broadcast", b.broadcast_s, total);
   AppendRow(&out, "collect", b.collect_s, total);
   AppendRow(&out, "recovery", b.recovery_s, total);
+  AppendRow(&out, "checkpoint", b.checkpoint_s, total);
   AppendRow(&out, "total", total, total);
 
   std::vector<CriticalStage> chain = CriticalPath(run);
@@ -124,6 +128,7 @@ void WriteBreakdownJson(const Breakdown& b, std::ostream& os) {
      << ",\"broadcast_s\":" << JsonDouble(b.broadcast_s)
      << ",\"collect_s\":" << JsonDouble(b.collect_s)
      << ",\"recovery_s\":" << JsonDouble(b.recovery_s)
+     << ",\"checkpoint_s\":" << JsonDouble(b.checkpoint_s)
      << ",\"total_s\":" << JsonDouble(b.total()) << "}";
 }
 

@@ -31,12 +31,14 @@ struct Breakdown {
   /// Driver-side collect transfers.
   double collect_s = 0.0;
   /// Straggler slowdown, wasted failed attempts, retry backoff on critical
-  /// slots, plus machine-loss lineage recompute.
+  /// slots, machine-loss lineage recompute, plus driver-retry backoff.
   double recovery_s = 0.0;
+  /// Replicated checkpoint writes (explicit and auto-checkpoints).
+  double checkpoint_s = 0.0;
 
   double total() const {
     return job_launch_s + compute_s + task_overhead_s + spill_s + shuffle_s +
-           broadcast_s + collect_s + recovery_s;
+           broadcast_s + collect_s + recovery_s + checkpoint_s;
   }
 };
 

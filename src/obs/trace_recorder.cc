@@ -25,6 +25,8 @@ const char* CategoryName(Category category) {
       return "collect";
     case Category::kRecovery:
       return "recovery";
+    case Category::kCheckpoint:
+      return "checkpoint";
   }
   return "?";
 }

@@ -35,6 +35,8 @@ enum class Category {
   kBroadcast,
   kCollect,
   kRecovery,
+  /// Replicated checkpoint writes (engine::Checkpoint / auto-checkpoints).
+  kCheckpoint,
 };
 
 const char* CategoryName(Category category);

@@ -77,6 +77,10 @@ void ExpectMetricsEq(const Metrics& a, const Metrics& b) {
   EXPECT_EQ(a.speculative_launches, b.speculative_launches);
   EXPECT_EQ(a.machines_lost, b.machines_lost);
   EXPECT_EQ(a.recovery_time_s, b.recovery_time_s);
+  EXPECT_EQ(a.checkpoints_written, b.checkpoints_written);
+  EXPECT_EQ(a.checkpoint_bytes, b.checkpoint_bytes);
+  EXPECT_EQ(a.driver_retries, b.driver_retries);
+  EXPECT_EQ(a.plan_fallbacks, b.plan_fallbacks);
 }
 
 FaultPlan NoisyPlan(uint64_t seed) {
@@ -450,6 +454,32 @@ TEST(FaultsTest, ResetRoundTripZeroesEveryMetricAndClearsStatus) {
   EXPECT_DOUBLE_EQ(c.metrics().spilled_bytes, 0.0);
   EXPECT_DOUBLE_EQ(c.metrics().peak_task_bytes, 0.0);
   EXPECT_DOUBLE_EQ(c.metrics().peak_machine_bytes, 0.0);
+}
+
+TEST(FaultsTest, ResetReArmsMachineLossUnderActiveRecoveryPolicy) {
+  // Reset must re-arm machine-loss events and replay runs bit-identically
+  // with the recovery features (auto-checkpoint + degraded re-planning +
+  // retries) switched on, not just under the default policy.
+  ClusterConfig cfg = SmallConfig();
+  cfg.faults = NoisyPlan(7);
+  cfg.faults.machine_loss_times_s = {0.5};
+  cfg.recovery.max_driver_retries = 4;
+  cfg.recovery.auto_checkpoint = true;
+  cfg.recovery.min_checkpoint_lineage = 2;
+  cfg.recovery.checkpoint_bytes_per_s = 1e12;  // checkpoints almost free
+  cfg.recovery.degraded_replanning = true;
+  Cluster c(cfg);
+  auto r1 = RunPipeline(&c);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  const Metrics first = c.metrics();
+  EXPECT_EQ(first.machines_lost, 1);
+  c.Reset();
+  EXPECT_EQ(c.available_machines(), cfg.num_machines);
+  EXPECT_EQ(c.metrics().checkpoints_written, 0);
+  EXPECT_EQ(c.metrics().driver_retries, 0);
+  auto r2 = RunPipeline(&c);
+  EXPECT_EQ(r1, r2);
+  ExpectMetricsEq(first, c.metrics());
 }
 
 // --- Sticky-status early-out of every operator (satellite) ---

@@ -178,6 +178,10 @@ void ExpectSameOutcome(const SuiteOutcome& a, const SuiteOutcome& b) {
   EXPECT_EQ(a.metrics.speculative_launches, b.metrics.speculative_launches);
   EXPECT_EQ(a.metrics.machines_lost, b.metrics.machines_lost);
   EXPECT_EQ(a.metrics.recovery_time_s, b.metrics.recovery_time_s);
+  EXPECT_EQ(a.metrics.checkpoints_written, b.metrics.checkpoints_written);
+  EXPECT_EQ(a.metrics.checkpoint_bytes, b.metrics.checkpoint_bytes);
+  EXPECT_EQ(a.metrics.driver_retries, b.metrics.driver_retries);
+  EXPECT_EQ(a.metrics.plan_fallbacks, b.metrics.plan_fallbacks);
 }
 
 TEST(ParallelDeterminismTest, PoolDoesNotPerturbResultsOrCostModel) {
@@ -210,6 +214,30 @@ TEST(ParallelDeterminismTest, PoolDoesNotPerturbFaultInjection) {
   SuiteOutcome parallel = RunSuite(parallel_cfg);
   ASSERT_TRUE(serial.ok);
   EXPECT_GT(serial.metrics.failed_tasks, 0);
+  ExpectSameOutcome(serial, parallel);
+}
+
+TEST(ParallelDeterminismTest, PoolDoesNotPerturbRecoveryFeatures) {
+  // Auto-checkpointing, degraded re-planning, and machine loss are all
+  // charged from the driver thread; the pool must not perturb a single new
+  // counter either.
+  ClusterConfig serial_cfg = Config(false);
+  ClusterConfig parallel_cfg = Config(true);
+  for (ClusterConfig* cfg : {&serial_cfg, &parallel_cfg}) {
+    cfg->faults.seed = 5;
+    cfg->faults.task_failure_prob = 0.05;
+    cfg->faults.max_task_retries = 8;
+    cfg->faults.machine_loss_times_s = {0.01};
+    cfg->recovery.auto_checkpoint = true;
+    cfg->recovery.min_checkpoint_lineage = 2;
+    cfg->recovery.checkpoint_bytes_per_s = 1e12;  // checkpoints almost free
+    cfg->recovery.degraded_replanning = true;
+  }
+  SuiteOutcome serial = RunSuite(serial_cfg);
+  SuiteOutcome parallel = RunSuite(parallel_cfg);
+  ASSERT_TRUE(serial.ok);
+  EXPECT_EQ(serial.metrics.machines_lost, 1);
+  EXPECT_GT(serial.metrics.checkpoints_written, 0);
   ExpectSameOutcome(serial, parallel);
 }
 

@@ -1,0 +1,509 @@
+// Recovery-subsystem tests: checkpoint-based lineage truncation, the
+// cost-based auto-checkpoint policy, driver-level retry with deadlines
+// (RunWithRecovery), and degraded-mode re-planning after machine loss.
+//
+// The headline contract locked down here: a default-constructed
+// RecoveryPolicy (active() == false) leaves every metric byte-identical to
+// the pre-recovery engine — even under an active FaultPlan with machine
+// loss — because every new behavior is gated on a policy knob that defaults
+// off and checkpoints are charged as driver spans, never as stages.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "engine/bag.h"
+#include "engine/join.h"
+#include "engine/ops.h"
+#include "engine/recovery.h"
+#include "engine/shuffle.h"
+
+namespace matryoshka::engine {
+namespace {
+
+ClusterConfig SmallConfig() {
+  ClusterConfig cfg;
+  cfg.num_machines = 4;
+  cfg.cores_per_machine = 2;
+  cfg.default_parallelism = 8;
+  cfg.job_launch_overhead_s = 0.1;
+  cfg.task_overhead_s = 0.01;
+  cfg.per_element_cost_s = 1e-6;
+  cfg.memory_object_overhead = 1.0;
+  return cfg;
+}
+
+std::vector<std::pair<int64_t, int64_t>> PairData(int64_t n, int64_t keys) {
+  std::vector<std::pair<int64_t, int64_t>> data;
+  data.reserve(static_cast<std::size_t>(n));
+  for (int64_t i = 0; i < n; ++i) data.emplace_back(i % keys, 1);
+  return data;
+}
+
+std::vector<std::pair<int64_t, int64_t>> RunPipeline(Cluster* c) {
+  auto bag = Parallelize(c, PairData(2000, 32), 8);
+  auto mapped = MapValues(bag, [](int64_t v) { return v * 2; });
+  auto filtered = Filter(mapped, [](const std::pair<int64_t, int64_t>& p) {
+    return p.first % 7 != 3;
+  });
+  auto reduced = ReduceByKey(
+      filtered, [](int64_t a, int64_t b) { return a + b; }, 8);
+  Count(reduced);
+  auto out = Collect(reduced);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ExpectMetricsEq(const Metrics& a, const Metrics& b) {
+  EXPECT_EQ(a.simulated_time_s, b.simulated_time_s);
+  EXPECT_EQ(a.jobs, b.jobs);
+  EXPECT_EQ(a.stages, b.stages);
+  EXPECT_EQ(a.tasks, b.tasks);
+  EXPECT_EQ(a.elements_processed, b.elements_processed);
+  EXPECT_EQ(a.shuffle_bytes, b.shuffle_bytes);
+  EXPECT_EQ(a.broadcast_bytes, b.broadcast_bytes);
+  EXPECT_EQ(a.spilled_bytes, b.spilled_bytes);
+  EXPECT_EQ(a.spill_events, b.spill_events);
+  EXPECT_EQ(a.peak_task_bytes, b.peak_task_bytes);
+  EXPECT_EQ(a.peak_machine_bytes, b.peak_machine_bytes);
+  EXPECT_EQ(a.failed_tasks, b.failed_tasks);
+  EXPECT_EQ(a.task_retries, b.task_retries);
+  EXPECT_EQ(a.speculative_launches, b.speculative_launches);
+  EXPECT_EQ(a.machines_lost, b.machines_lost);
+  EXPECT_EQ(a.recovery_time_s, b.recovery_time_s);
+  EXPECT_EQ(a.checkpoints_written, b.checkpoints_written);
+  EXPECT_EQ(a.checkpoint_bytes, b.checkpoint_bytes);
+  EXPECT_EQ(a.driver_retries, b.driver_retries);
+  EXPECT_EQ(a.plan_fallbacks, b.plan_fallbacks);
+}
+
+// --- The null-policy byte-identity contract ---
+
+TEST(RecoveryTest, DefaultPolicyIsByteIdenticalEvenUnderActiveFaults) {
+  // Knobs that do not flip active() (backoff, interval, bandwidth, replicas)
+  // may take any value: with the gates off they must be dead weight, even
+  // while a fault plan with machine loss is live.
+  ClusterConfig plain = SmallConfig();
+  plain.faults.seed = 42;
+  plain.faults.task_failure_prob = 0.1;
+  plain.faults.max_task_retries = 8;
+  plain.faults.machine_loss_times_s = {0.5};
+  ClusterConfig with_inert_policy = plain;
+  with_inert_policy.recovery.driver_backoff_s = 99.0;
+  with_inert_policy.recovery.min_checkpoint_lineage = 1;
+  with_inert_policy.recovery.checkpoint_bytes_per_s = 1.0;
+  with_inert_policy.recovery.checkpoint_replicas = 7;
+  ASSERT_FALSE(plain.recovery.active());
+  ASSERT_FALSE(with_inert_policy.recovery.active());
+  Cluster c1(plain), c2(with_inert_policy);
+  auto r1 = RunPipeline(&c1);
+  auto r2 = RunPipeline(&c2);
+  ASSERT_TRUE(c1.ok()) << c1.status().ToString();
+  EXPECT_EQ(r1, r2);
+  ExpectMetricsEq(c1.metrics(), c2.metrics());
+  EXPECT_EQ(c1.metrics().checkpoints_written, 0);
+  EXPECT_DOUBLE_EQ(c1.metrics().checkpoint_bytes, 0.0);
+  EXPECT_EQ(c1.metrics().driver_retries, 0);
+  EXPECT_EQ(c1.metrics().plan_fallbacks, 0);
+}
+
+TEST(RecoveryTest, PolicyActiveFlagTracksTheGatingKnobs) {
+  RecoveryPolicy policy;
+  EXPECT_FALSE(policy.active());
+  policy.driver_backoff_s = 10.0;     // retry knob without a retry budget
+  policy.checkpoint_replicas = 5;     // checkpoint knob without the trigger
+  policy.min_checkpoint_lineage = 1;
+  EXPECT_FALSE(policy.active());
+  policy.max_driver_retries = 1;
+  EXPECT_TRUE(policy.active());
+  policy = RecoveryPolicy();
+  policy.run_deadline_s = 1.0;
+  EXPECT_TRUE(policy.active());
+  policy = RecoveryPolicy();
+  policy.auto_checkpoint = true;
+  EXPECT_TRUE(policy.active());
+  policy = RecoveryPolicy();
+  policy.degraded_replanning = true;
+  EXPECT_TRUE(policy.active());
+}
+
+// --- Explicit checkpoints ---
+
+TEST(RecoveryTest, CheckpointChargesTheWriteAndTruncatesLineage) {
+  ClusterConfig cfg = SmallConfig();
+  cfg.recovery.checkpoint_bytes_per_s = 1e6;
+  cfg.recovery.checkpoint_replicas = 3;
+  Cluster c(cfg);
+  auto bag = Parallelize(&c, PairData(2000, 32), 8);
+  auto deep = MapValues(MapValues(bag, [](int64_t v) { return v + 1; }),
+                        [](int64_t v) { return v - 1; });
+  ASSERT_EQ(deep.lineage_depth(), 3);
+  const double bytes = RealBagBytes(deep);
+  ASSERT_GT(bytes, 0.0);
+  const double before = c.metrics().simulated_time_s;
+  auto ckpt = Checkpoint(deep, "explicit");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(ckpt.lineage_depth(), 1);
+  EXPECT_EQ(c.metrics().checkpoints_written, 1);
+  EXPECT_DOUBLE_EQ(c.metrics().checkpoint_bytes, 3.0 * bytes);
+  // All live machines write the replicated bytes in parallel.
+  EXPECT_DOUBLE_EQ(c.metrics().simulated_time_s - before,
+                   3.0 * bytes / (4 * 1e6));
+  EXPECT_DOUBLE_EQ(c.metrics().simulated_time_s - before,
+                   c.CheckpointWriteSeconds(bytes));
+  // The data itself is untouched.
+  auto a = Collect(deep);
+  auto b = Collect(ckpt);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RecoveryTest, CheckpointBoundsMachineLossRecompute) {
+  // Same narrow chain, loss event during the final stage: the checkpointed
+  // run recomputes a depth-1 chain, the plain one the full depth, so its
+  // recovery charge is a multiple of the checkpointed run's.
+  auto run = [](bool checkpointed) {
+    ClusterConfig cfg = SmallConfig();
+    cfg.faults.machine_loss_times_s = {1.0};
+    cfg.recovery.checkpoint_bytes_per_s = 1e12;  // write cost ~ 0
+    Cluster c(cfg);
+    auto bag = Parallelize(&c, PairData(2000, 32), 8);
+    for (int i = 0; i < 4; ++i) {
+      bag = MapValues(bag, [](int64_t v) { return v + 1; });
+      if (checkpointed) bag = Checkpoint(bag);
+    }
+    // A long stage (weight via many elements) that straddles t=1.0.
+    c.AccrueStage(std::vector<double>(8, 1.0), bag.lineage_depth());
+    EXPECT_TRUE(c.ok());
+    EXPECT_EQ(c.metrics().machines_lost, 1);
+    return c.metrics().recovery_time_s;
+  };
+  const double with_ckpt = run(true);
+  const double without = run(false);
+  ASSERT_GT(with_ckpt, 0.0);
+  // Depth 1 vs depth 5: the uncheckpointed chain recomputes 5x the work.
+  EXPECT_NEAR(without, 5.0 * with_ckpt, 1e-9);
+}
+
+// --- Auto-checkpointing ---
+
+TEST(RecoveryTest, AutoCheckpointBoundsLineageDepthByTheInterval) {
+  ClusterConfig cfg = SmallConfig();
+  cfg.recovery.auto_checkpoint = true;
+  cfg.recovery.min_checkpoint_lineage = 3;
+  cfg.recovery.checkpoint_bytes_per_s = 1e12;  // write cost ~ 0: always worth it
+  Cluster c(cfg);
+  auto bag = Parallelize(&c, PairData(2000, 32), 8);
+  int max_depth = bag.lineage_depth();
+  for (int i = 0; i < 10; ++i) {
+    bag = MapValues(bag, [](int64_t v) { return v + 1; });
+    max_depth = std::max(max_depth, bag.lineage_depth());
+  }
+  ASSERT_TRUE(c.ok());
+  // Depth cycles 1..min_checkpoint_lineage-1 + the in-flight value that
+  // triggered each truncation; it never grows past the interval.
+  EXPECT_LE(max_depth, 3);
+  EXPECT_GT(c.metrics().checkpoints_written, 0);
+  EXPECT_GT(c.metrics().checkpoint_bytes, 0.0);
+}
+
+TEST(RecoveryTest, AutoCheckpointSkipsWhenTheWriteCostsMoreThanRecompute) {
+  // Absurdly slow checkpoint store: the cost condition never holds, so
+  // lineage grows exactly as without the policy.
+  ClusterConfig cfg = SmallConfig();
+  cfg.recovery.auto_checkpoint = true;
+  cfg.recovery.min_checkpoint_lineage = 2;
+  cfg.recovery.checkpoint_bytes_per_s = 1e-3;
+  Cluster c(cfg);
+  auto bag = Parallelize(&c, PairData(2000, 32), 8);
+  for (int i = 0; i < 5; ++i) {
+    bag = MapValues(bag, [](int64_t v) { return v + 1; });
+  }
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(bag.lineage_depth(), 6);
+  EXPECT_EQ(c.metrics().checkpoints_written, 0);
+  EXPECT_DOUBLE_EQ(c.metrics().simulated_time_s, [&] {
+    Cluster plain(SmallConfig());
+    auto b = Parallelize(&plain, PairData(2000, 32), 8);
+    for (int i = 0; i < 5; ++i) {
+      b = MapValues(b, [](int64_t v) { return v + 1; });
+    }
+    return plain.metrics().simulated_time_s;
+  }());
+}
+
+// --- Driver-level retry ---
+
+TEST(RecoveryTest, DriverRetryCompletesWhereABareRunStaysFailed) {
+  // Failure probability high enough that some seed kills a bare run through
+  // task-retry exhaustion; the driver-retried run must then complete (fresh
+  // draws per attempt: stage indices keep advancing). Draws are
+  // deterministic, so the scanned seed is stable forever.
+  ClusterConfig base = SmallConfig();
+  base.faults.task_failure_prob = 0.2;
+  base.faults.max_task_retries = 2;
+  Cluster clean(SmallConfig());
+  const auto expected = RunPipeline(&clean);
+  bool found = false;
+  for (uint64_t seed = 0; seed < 64 && !found; ++seed) {
+    base.faults.seed = seed;
+    Cluster bare(base);
+    RunPipeline(&bare);
+    if (bare.ok()) continue;
+    ASSERT_TRUE(bare.status().IsTaskFailed()) << bare.status().ToString();
+    EXPECT_TRUE(RetryableForDriver(bare.status()));
+    EXPECT_EQ(bare.metrics().driver_retries, 0);
+
+    ClusterConfig recovering = base;
+    recovering.recovery.max_driver_retries = 16;
+    recovering.recovery.driver_backoff_s = 0.5;
+    auto run_recovered = [&recovering, &expected] {
+      Cluster c(recovering);
+      std::vector<std::pair<int64_t, int64_t>> out;
+      Status st = RunWithRecovery(&c, [&](int) { out = RunPipeline(&c); });
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      EXPECT_TRUE(c.ok());
+      EXPECT_GE(c.metrics().driver_retries, 1);
+      EXPECT_LE(c.metrics().driver_retries, 16);
+      EXPECT_GT(c.metrics().recovery_time_s, 0.0);
+      EXPECT_EQ(out, expected);
+      return c.metrics();
+    };
+    const Metrics first = run_recovered();
+    // The whole retried execution is deterministic in (program, config).
+    ExpectMetricsEq(first, run_recovered());
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RecoveryTest, NonRetryableFailuresAreNotDriverRetried) {
+  ClusterConfig cfg = SmallConfig();
+  cfg.recovery.max_driver_retries = 8;
+  Cluster c(cfg);
+  Status st = RunWithRecovery(&c, [&](int) {
+    c.Fail(Status::OutOfMemory("deterministic: retry would reproduce it"));
+  });
+  EXPECT_TRUE(st.IsOutOfMemory());
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.metrics().driver_retries, 0);
+}
+
+TEST(RecoveryTest, DriverBackoffEscalatesAndIsChargedAsRecovery) {
+  ClusterConfig cfg = SmallConfig();
+  cfg.recovery.max_driver_retries = 3;
+  cfg.recovery.driver_backoff_s = 1.0;
+  Cluster c(cfg);
+  Status st = RunWithRecovery(&c, [&](int) {
+    c.Fail(Status::TaskFailed("always"));
+  });
+  EXPECT_TRUE(st.IsTaskFailed());
+  EXPECT_EQ(c.metrics().driver_retries, 3);
+  // Backoffs 1 + 2 + 4 simulated seconds, all charged to recovery.
+  EXPECT_DOUBLE_EQ(c.metrics().recovery_time_s, 7.0);
+  EXPECT_DOUBLE_EQ(c.metrics().simulated_time_s, 7.0);
+}
+
+// --- Deadlines ---
+
+TEST(RecoveryTest, BlownDeadlineFailsWithDeadlineExceeded) {
+  ClusterConfig cfg = SmallConfig();
+  cfg.recovery.run_deadline_s = 0.05;  // one job launch already blows it
+  Cluster c(cfg);
+  RunPipeline(&c);
+  EXPECT_FALSE(c.ok());
+  EXPECT_TRUE(c.status().IsDeadlineExceeded());
+  EXPECT_TRUE(RetryableForDriver(c.status()));
+}
+
+TEST(RecoveryTest, DeadlineIsPerAttemptAndRetriesExhaustDeterministically) {
+  // Every attempt blows the same deadline: the driver retries the full
+  // budget, then surfaces DeadlineExceeded.
+  ClusterConfig cfg = SmallConfig();
+  cfg.recovery.run_deadline_s = 0.05;
+  cfg.recovery.max_driver_retries = 2;
+  cfg.recovery.driver_backoff_s = 0.25;
+  Cluster c(cfg);
+  Status st = RunWithRecovery(&c, [&](int) { RunPipeline(&c); });
+  EXPECT_TRUE(st.IsDeadlineExceeded());
+  EXPECT_EQ(c.metrics().driver_retries, 2);
+  Cluster twin(cfg);
+  RunWithRecovery(&twin, [&](int) { RunPipeline(&twin); });
+  ExpectMetricsEq(c.metrics(), twin.metrics());
+}
+
+TEST(RecoveryTest, GenerousDeadlineChangesNothing) {
+  ClusterConfig with_deadline = SmallConfig();
+  with_deadline.recovery.run_deadline_s = 1e9;
+  Cluster c1(SmallConfig()), c2(with_deadline);
+  auto r1 = RunPipeline(&c1);
+  auto r2 = RunPipeline(&c2);
+  ASSERT_TRUE(c2.ok()) << c2.status().ToString();
+  EXPECT_EQ(r1, r2);
+  ExpectMetricsEq(c1.metrics(), c2.metrics());
+}
+
+// --- Degraded-mode re-planning ---
+
+TEST(RecoveryTest, DegradedAccessorsTrackMachineLossOnlyWhenEnabled) {
+  for (bool degraded : {false, true}) {
+    ClusterConfig cfg = SmallConfig();
+    cfg.faults.machine_loss_times_s = {0.01};
+    cfg.recovery.degraded_replanning = degraded;
+    Cluster c(cfg);
+    EXPECT_EQ(c.effective_parallelism(), 8);
+    EXPECT_DOUBLE_EQ(c.broadcast_memory_budget(),
+                     cfg.memory_per_machine_bytes);
+    c.BeginJob("warmup");  // clock passes 0.01: the loss event fires
+    ASSERT_EQ(c.metrics().machines_lost, 1);
+    ASSERT_EQ(c.available_machines(), 3);
+    if (degraded) {
+      EXPECT_EQ(c.planning_machines(), 3);
+      EXPECT_EQ(c.planning_cores(), 6);
+      EXPECT_EQ(c.effective_parallelism(), 6);  // 8 * 3/4
+      EXPECT_DOUBLE_EQ(c.broadcast_memory_budget(),
+                       cfg.memory_per_machine_bytes * 3.0 / 4.0);
+    } else {
+      EXPECT_EQ(c.planning_machines(), 4);
+      EXPECT_EQ(c.planning_cores(), 8);
+      EXPECT_EQ(c.effective_parallelism(), 8);
+      EXPECT_DOUBLE_EQ(c.broadcast_memory_budget(),
+                       cfg.memory_per_machine_bytes);
+    }
+  }
+}
+
+TEST(RecoveryTest, TryAccrueBroadcastDoesNotAccountOrPoisonOnOverflow) {
+  ClusterConfig cfg = SmallConfig();
+  cfg.memory_per_machine_bytes = 1000.0;
+  Cluster c(cfg);
+  Status st = c.TryAccrueBroadcast(5000.0, "probe");
+  EXPECT_TRUE(st.IsOutOfMemory());
+  EXPECT_TRUE(c.ok());  // the cluster stays healthy for the fallback plan
+  EXPECT_DOUBLE_EQ(c.metrics().broadcast_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(c.metrics().peak_machine_bytes, 0.0);
+  EXPECT_TRUE(c.TryAccrueBroadcast(500.0, "fits").ok());
+  EXPECT_DOUBLE_EQ(c.metrics().broadcast_bytes, 500.0);
+}
+
+TEST(RecoveryTest, BroadcastJoinFallsBackToRepartitionWhenDegraded) {
+  // The build side fits a full machine but not the budget left after one of
+  // four machines died. With degraded re-planning the join demotes itself to
+  // a repartition join; without it, the engine still (optimistically) uses
+  // the static budget — the pre-PR behavior — and broadcasts.
+  auto make_config = [](bool degraded) {
+    ClusterConfig cfg = SmallConfig();
+    cfg.faults.machine_loss_times_s = {0.01};
+    cfg.recovery.degraded_replanning = degraded;
+    return cfg;
+  };
+  auto build_inputs = [](Cluster* c) {
+    auto left = Parallelize(c, PairData(2000, 16), 8);
+    auto right = Parallelize(c, PairData(16, 16), 2);
+    c->BeginJob("fire-loss");  // clock passes the loss event
+    return std::make_pair(left, right);
+  };
+  // Size the budget between the degraded (3/4) and full build footprint.
+  ClusterConfig probe_cfg = make_config(false);
+  Cluster probe(probe_cfg);
+  auto [pl, pr] = build_inputs(&probe);
+  const double build_bytes = RealBagBytes(pr) * 2.0;
+  ASSERT_GT(build_bytes, 0.0);
+
+  auto run = [&](bool degraded) {
+    ClusterConfig cfg = make_config(degraded);
+    cfg.memory_per_machine_bytes = build_bytes / 0.9;  // fits; 3/4 doesn't
+    Cluster c(cfg);
+    auto [left, right] = build_inputs(&c);
+    auto joined = BroadcastJoin(left, right);
+    // Count, not Collect: the memory budget is sized (tiny) around the
+    // broadcast build, and a full collect would OOM on the driver.
+    const int64_t out = Count(joined);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return std::make_pair(out, c.metrics());
+  };
+  auto [degraded_out, degraded_metrics] = run(true);
+  auto [sticky_out, sticky_metrics] = run(false);
+  EXPECT_GT(degraded_out, 0);
+  // Same results either way (the fallback is a pure strategy change)...
+  EXPECT_EQ(degraded_out, sticky_out);
+  // ...but the degraded plan shuffled instead of broadcasting.
+  EXPECT_EQ(degraded_metrics.plan_fallbacks, 1);
+  EXPECT_DOUBLE_EQ(degraded_metrics.broadcast_bytes, 0.0);
+  EXPECT_GT(degraded_metrics.shuffle_bytes, sticky_metrics.shuffle_bytes);
+  EXPECT_EQ(sticky_metrics.plan_fallbacks, 0);
+  EXPECT_GT(sticky_metrics.broadcast_bytes, 0.0);
+}
+
+TEST(RecoveryTest, BroadcastJoinStillFailsWithoutFallbackWhenTooBig) {
+  // Degraded mode only demotes; a build that does not fit even the full
+  // cluster keeps the sticky OOM contract.
+  ClusterConfig cfg = SmallConfig();
+  cfg.memory_per_machine_bytes = 10.0;
+  cfg.recovery.degraded_replanning = true;
+  Cluster c(cfg);
+  auto left = Parallelize(&c, PairData(2000, 16), 8);
+  auto right = Parallelize(&c, PairData(1000, 16), 2);
+  // No machine lost: the budget equals the static one, and the fallback is
+  // reserved for loss-induced shrinkage — an always-too-big broadcast is a
+  // plan bug the engine must surface... unless degraded replanning already
+  // demotes it. Matching BroadcastJoin's contract: with the policy on, the
+  // probe intercepts the OOM and falls back, keeping the run alive.
+  auto joined = BroadcastJoin(left, right);
+  EXPECT_TRUE(c.ok());
+  EXPECT_EQ(c.metrics().plan_fallbacks, 1);
+  EXPECT_GT(joined.Size(), 0);
+
+  ClusterConfig off = SmallConfig();
+  off.memory_per_machine_bytes = 10.0;
+  Cluster c2(off);
+  auto l2 = Parallelize(&c2, PairData(2000, 16), 8);
+  auto r2 = Parallelize(&c2, PairData(1000, 16), 2);
+  BroadcastJoin(l2, r2);
+  EXPECT_FALSE(c2.ok());
+  EXPECT_TRUE(c2.status().IsOutOfMemory());
+}
+
+// --- End to end: the ISSUE's survival scenario ---
+
+TEST(RecoveryTest, CheckpointedDriverRetriedRunSurvivesWhatKillsTheBareRun) {
+  // A fault plan harsh enough to exhaust task retries plus a machine loss:
+  // today's engine returns kTaskFailed; with the full recovery policy the
+  // same program completes with the same results.
+  ClusterConfig base = SmallConfig();
+  base.faults.task_failure_prob = 0.25;
+  base.faults.max_task_retries = 2;
+  base.faults.machine_loss_times_s = {0.5};
+  Cluster clean(SmallConfig());
+  const auto expected = RunPipeline(&clean);
+  bool found = false;
+  for (uint64_t seed = 0; seed < 64 && !found; ++seed) {
+    base.faults.seed = seed;
+    Cluster bare(base);
+    RunPipeline(&bare);
+    if (bare.ok() || !bare.status().IsTaskFailed()) continue;
+
+    ClusterConfig recovering = base;
+    recovering.recovery.max_driver_retries = 16;
+    recovering.recovery.driver_backoff_s = 0.5;
+    recovering.recovery.auto_checkpoint = true;
+    recovering.recovery.min_checkpoint_lineage = 2;
+    recovering.recovery.checkpoint_bytes_per_s = 1e12;
+    recovering.recovery.degraded_replanning = true;
+    Cluster c(recovering);
+    std::vector<std::pair<int64_t, int64_t>> out;
+    Status st = RunWithRecovery(&c, [&](int) { out = RunPipeline(&c); });
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    EXPECT_EQ(out, expected);
+    EXPECT_GE(c.metrics().driver_retries, 1);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace matryoshka::engine

@@ -402,5 +402,107 @@ INSTANTIATE_TEST_SUITE_P(Sweep, StrategyInvarianceTest,
                                   std::to_string(std::get<1>(info.param));
                          });
 
+// ---- Checkpoint recovery property (the recovery subsystem's bound) ----
+//
+// For any seeded FaultPlan consisting only of machine-loss events, a run
+// with auto-checkpointing enabled must charge at most the un-checkpointed
+// run's recovery time, and its machine-loss recompute is bounded by the
+// checkpoint interval times the lost machines' share of a stage — instead
+// of growing with the narrow chain's length. Checkpoints are driver spans,
+// not stages, so both runs see identical stage indices and fault draws.
+
+class CheckpointRecoveryProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(CheckpointRecoveryProperty, AutoCheckpointingBoundsLossRecompute) {
+  const uint64_t seed = GetParam();
+  engine::ClusterConfig base;
+  base.num_machines = 6;
+  base.cores_per_machine = 2;
+  base.default_parallelism = 8;
+  base.job_launch_overhead_s = 0.1;
+  base.task_overhead_s = 0.01;
+  base.per_element_cost_s = 1e-5;
+  constexpr int64_t kElements = 4000;
+  constexpr int kChain = 12;
+  constexpr int kInterval = 3;
+
+  auto program = [](engine::Cluster* c) {
+    std::vector<int64_t> data(kElements);
+    for (int64_t i = 0; i < kElements; ++i) data[i] = i;
+    auto bag = Parallelize(c, data, 8);
+    for (int i = 0; i < kChain; ++i) {
+      bag = engine::Map(bag, [](int64_t v) { return v + 1; });
+    }
+    auto out = engine::Collect(bag);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+
+  // Calibrate loss times against a fault-free run so every event fires
+  // mid-chain in both arms (the checkpointed run only ever takes longer than
+  // the clean one, never shorter).
+  Cluster clean(base);
+  const auto expected = program(&clean);
+  ASSERT_TRUE(clean.ok());
+  const double clean_time = clean.metrics().simulated_time_s;
+  Rng rng(seed);
+  engine::FaultPlan plan;
+  plan.seed = seed;
+  const int events = 1 + static_cast<int>(rng.Uniform(3));  // 1..3 losses
+  for (int i = 0; i < events; ++i) {
+    plan.machine_loss_times_s.push_back(0.05 +
+                                        0.85 * rng.NextDouble() * clean_time);
+  }
+
+  auto run = [&](bool checkpointed) {
+    engine::ClusterConfig cfg = base;
+    cfg.faults = plan;
+    if (checkpointed) {
+      cfg.recovery.auto_checkpoint = true;
+      cfg.recovery.min_checkpoint_lineage = kInterval;
+      cfg.recovery.checkpoint_bytes_per_s = 1e12;  // write cost ~ 0
+    }
+    Cluster c(cfg);
+    auto out = program(&c);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    EXPECT_EQ(out, expected);  // faults never change results
+    return c.metrics();
+  };
+  const engine::Metrics ckpt = run(true);
+  const engine::Metrics plain = run(false);
+
+  // Identical fault histories: same events fired, same stage structure.
+  ASSERT_GT(ckpt.machines_lost, 0);
+  EXPECT_EQ(ckpt.machines_lost, plain.machines_lost);
+  EXPECT_EQ(ckpt.stages, plain.stages);
+  EXPECT_GT(ckpt.checkpoints_written, 0);
+
+  // The property: checkpointing never increases loss recompute...
+  EXPECT_LE(ckpt.recovery_time_s, plain.recovery_time_s + 1e-12);
+
+  // ...and bounds it by (interval x lost share x one stage's work over the
+  // surviving slots) per event, independent of the chain length. Stages are
+  // charged with their *input* bag's depth, which auto-checkpointing keeps
+  // below the interval.
+  const double stage_cost =
+      static_cast<double>(kElements) * base.per_element_cost_s;
+  const double tasks_overhead = 8 * base.task_overhead_s;
+  const int min_survivors = base.num_machines - ckpt.machines_lost;
+  const double per_event_bound =
+      static_cast<double>(kInterval) *
+      (1.0 / static_cast<double>(min_survivors)) *
+      (stage_cost + tasks_overhead) /
+      static_cast<double>(min_survivors * base.cores_per_machine);
+  EXPECT_LE(ckpt.recovery_time_s,
+            static_cast<double>(ckpt.machines_lost) * per_event_bound + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CheckpointRecoveryProperty,
+                         ::testing::Values<uint64_t>(101, 102, 103, 104, 105),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
 }  // namespace
 }  // namespace matryoshka::core
