@@ -1,0 +1,250 @@
+// Real wall-clock throughput of the engine's operators (elements/second on
+// the hardware clock — NOT the simulated cluster time every other bench
+// reports). The engine really executes every operator in-process, so this is
+// the number that gates test runs, bench sweeps, and any scale-up of the
+// reproduction; BENCH_throughput.json is the repo's wall-clock perf
+// trajectory.
+//
+// Axes per operator:
+//   arg0: execute_parallel (0 = single-threaded, 1 = thread pool). Results
+//         are bit-identical either way (engine_parallel_determinism_test);
+//         only wall-clock changes.
+//   variant suffix: small (16-byte pair<int64,int64>) vs large
+//         (pair<int64,string> with a 48-char heap payload).
+//
+// Reported time is manual wall time of the operator alone (datagen and
+// Cluster::Reset excluded); items/s counts synthetic input elements. With
+// --metrics-json=FILE each run additionally records a "wall" object
+// (real_s, elements, elements_per_s) next to the simulated metrics. The
+// measured region keeps a null trace sink, so observability never perturbs
+// the wall numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "engine/bag.h"
+#include "engine/extra_ops.h"
+#include "engine/join.h"
+#include "engine/ops.h"
+#include "engine/shuffle.h"
+
+namespace matryoshka::bench {
+namespace {
+
+using engine::Bag;
+using engine::Cluster;
+
+// Enough elements that one operator run takes O(100 ms) single-threaded;
+// partition count gives every pool worker several partitions to chew on.
+constexpr int64_t kSmallN = 1 << 21;  // 2M pair<int64,int64>
+constexpr int64_t kLargeN = 1 << 18;  // 256k pair<int64,string>
+constexpr int64_t kParts = 64;
+constexpr int64_t kKeys = 1 << 15;
+
+engine::ClusterConfig Config(bool parallel) {
+  engine::ClusterConfig cfg;
+  cfg.num_machines = 4;
+  cfg.cores_per_machine = 4;
+  cfg.default_parallelism = kParts;
+  cfg.execute_parallel = parallel;
+  return cfg;
+}
+
+std::vector<std::pair<int64_t, int64_t>> SmallData(int64_t n) {
+  std::vector<std::pair<int64_t, int64_t>> data;
+  data.reserve(static_cast<std::size_t>(n));
+  for (int64_t i = 0; i < n; ++i) data.emplace_back(i % kKeys, i);
+  return data;
+}
+
+std::vector<std::pair<int64_t, std::string>> LargeData(int64_t n) {
+  std::vector<std::pair<int64_t, std::string>> data;
+  data.reserve(static_cast<std::size_t>(n));
+  std::string payload(48, 'x');
+  for (int64_t i = 0; i < n; ++i) {
+    payload[0] = static_cast<char>('a' + i % 26);
+    data.emplace_back(i % kKeys, payload);
+  }
+  return data;
+}
+
+/// Runs `op(bag)` per iteration under a manual wall-clock stopwatch, then
+/// reports items/s to google-benchmark and the wall record to the metrics
+/// JSON. `op` must consume the bag and return something rooted in the
+/// result so the work cannot be optimized away.
+template <typename T, typename Op>
+void MeasureOp(benchmark::State& state, const char* name, Cluster* cluster,
+               const Bag<T>& bag, Op op) {
+  const bool parallel = state.range(0) != 0;
+  double wall_s = 0.0;
+  int64_t elements = 0;
+  for (auto _ : state) {
+    cluster->Reset();
+    Stopwatch sw;
+    auto out = op(bag);
+    const double elapsed = sw.ElapsedSeconds();
+    benchmark::DoNotOptimize(out);
+    state.SetIterationTime(elapsed);
+    wall_s += elapsed;
+    elements += bag.Size();
+  }
+  state.SetItemsProcessed(elements);
+  state.counters["pool"] = parallel ? 1 : 0;
+
+  ObsSession::WallStats wall;
+  wall.real_s = wall_s;
+  wall.elements = elements;
+  wall.elements_per_s = wall_s > 0 ? static_cast<double>(elements) / wall_s : 0;
+  std::string run_name = std::string("throughput/") + name + "/pool" +
+                         (parallel ? "1" : "0");
+  ObsSession::Get().ReportNamedRun(std::move(run_name), cluster->metrics(),
+                                   cluster->ok(),
+                                   cluster->status().ToString(), wall);
+}
+
+// --- Small elements: pair<int64, int64> ---
+
+void BM_Map_Small(benchmark::State& state) {
+  Cluster cluster(Config(state.range(0) != 0));
+  auto bag = engine::Parallelize(&cluster, SmallData(kSmallN), kParts);
+  MeasureOp(state, "map/small", &cluster, bag, [](const auto& b) {
+    return engine::Map(b, [](const std::pair<int64_t, int64_t>& p) {
+      return std::pair<int64_t, int64_t>(p.first, p.second + 1);
+    });
+  });
+}
+
+void BM_Repartition_Small(benchmark::State& state) {
+  Cluster cluster(Config(state.range(0) != 0));
+  auto bag = engine::Parallelize(&cluster, SmallData(kSmallN), kParts);
+  MeasureOp(state, "repartition/small", &cluster, bag, [](const auto& b) {
+    return engine::Repartition(b, kParts);
+  });
+}
+
+void BM_PartitionByKey_Small(benchmark::State& state) {
+  Cluster cluster(Config(state.range(0) != 0));
+  auto bag = engine::Parallelize(&cluster, SmallData(kSmallN), kParts);
+  MeasureOp(state, "partitionByKey/small", &cluster, bag, [](const auto& b) {
+    return engine::PartitionByKey(b, kParts);
+  });
+}
+
+void BM_ReduceByKey_Small(benchmark::State& state) {
+  Cluster cluster(Config(state.range(0) != 0));
+  auto bag = engine::Parallelize(&cluster, SmallData(kSmallN), kParts);
+  MeasureOp(state, "reduceByKey/small", &cluster, bag, [](const auto& b) {
+    return engine::ReduceByKey(
+        b, [](int64_t a, int64_t v) { return a + v; }, kParts);
+  });
+}
+
+void BM_GroupByKey_Small(benchmark::State& state) {
+  Cluster cluster(Config(state.range(0) != 0));
+  auto bag = engine::Parallelize(&cluster, SmallData(kSmallN), kParts);
+  MeasureOp(state, "groupByKey/small", &cluster, bag, [](const auto& b) {
+    return engine::GroupByKey(b, kParts);
+  });
+}
+
+void BM_Distinct_Small(benchmark::State& state) {
+  Cluster cluster(Config(state.range(0) != 0));
+  auto bag = engine::Parallelize(&cluster, SmallData(kSmallN), kParts);
+  MeasureOp(state, "distinct/small", &cluster, bag, [](const auto& b) {
+    return engine::Distinct(engine::Keys(b), kParts);
+  });
+}
+
+void BM_RepartitionJoin_Small(benchmark::State& state) {
+  Cluster cluster(Config(state.range(0) != 0));
+  auto bag = engine::Parallelize(&cluster, SmallData(kSmallN), kParts);
+  std::vector<std::pair<int64_t, int64_t>> rhs;
+  rhs.reserve(kKeys);
+  for (int64_t i = 0; i < kKeys; ++i) rhs.emplace_back(i, i * 10);
+  auto right = engine::Parallelize(&cluster, std::move(rhs), kParts);
+  MeasureOp(state, "repartitionJoin/small", &cluster, bag,
+            [&right](const auto& b) {
+              return engine::RepartitionJoin(b, right, kParts);
+            });
+}
+
+void BM_BroadcastJoin_Small(benchmark::State& state) {
+  Cluster cluster(Config(state.range(0) != 0));
+  auto bag = engine::Parallelize(&cluster, SmallData(kSmallN), kParts);
+  std::vector<std::pair<int64_t, int64_t>> rhs;
+  rhs.reserve(kKeys);
+  for (int64_t i = 0; i < kKeys; ++i) rhs.emplace_back(i, i * 10);
+  auto right = engine::Parallelize(&cluster, std::move(rhs), 4);
+  MeasureOp(state, "broadcastJoin/small", &cluster, bag,
+            [&right](const auto& b) {
+              return engine::BroadcastJoin(b, right);
+            });
+}
+
+// --- Large elements: pair<int64, std::string> (heap payloads) ---
+
+void BM_Repartition_Large(benchmark::State& state) {
+  Cluster cluster(Config(state.range(0) != 0));
+  auto bag = engine::Parallelize(&cluster, LargeData(kLargeN), kParts);
+  MeasureOp(state, "repartition/large", &cluster, bag, [](const auto& b) {
+    return engine::Repartition(b, kParts);
+  });
+}
+
+void BM_ReduceByKey_Large(benchmark::State& state) {
+  Cluster cluster(Config(state.range(0) != 0));
+  auto bag = engine::Parallelize(&cluster, LargeData(kLargeN), kParts);
+  MeasureOp(state, "reduceByKey/large", &cluster, bag, [](const auto& b) {
+    return engine::ReduceByKey(
+        b,
+        [](const std::string& a, const std::string& v) {
+          return a.size() >= v.size() ? a : v;
+        },
+        kParts);
+  });
+}
+
+void BM_GroupByKey_Large(benchmark::State& state) {
+  Cluster cluster(Config(state.range(0) != 0));
+  auto bag = engine::Parallelize(&cluster, LargeData(kLargeN), kParts);
+  MeasureOp(state, "groupByKey/large", &cluster, bag, [](const auto& b) {
+    return engine::GroupByKey(b, kParts);
+  });
+}
+
+void BM_Distinct_Large(benchmark::State& state) {
+  Cluster cluster(Config(state.range(0) != 0));
+  auto bag = engine::Parallelize(&cluster, LargeData(kLargeN), kParts);
+  MeasureOp(state, "distinct/large", &cluster, bag, [](const auto& b) {
+    return engine::Distinct(engine::Values(b), kParts);
+  });
+}
+
+#define THROUGHPUT_ARGS                                               \
+  ArgsProduct({{0, 1}})                                               \
+      ->UseManualTime()                                               \
+      ->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_Map_Small)->THROUGHPUT_ARGS;
+BENCHMARK(BM_Repartition_Small)->THROUGHPUT_ARGS;
+BENCHMARK(BM_PartitionByKey_Small)->THROUGHPUT_ARGS;
+BENCHMARK(BM_ReduceByKey_Small)->THROUGHPUT_ARGS;
+BENCHMARK(BM_GroupByKey_Small)->THROUGHPUT_ARGS;
+BENCHMARK(BM_Distinct_Small)->THROUGHPUT_ARGS;
+BENCHMARK(BM_RepartitionJoin_Small)->THROUGHPUT_ARGS;
+BENCHMARK(BM_BroadcastJoin_Small)->THROUGHPUT_ARGS;
+BENCHMARK(BM_Repartition_Large)->THROUGHPUT_ARGS;
+BENCHMARK(BM_ReduceByKey_Large)->THROUGHPUT_ARGS;
+BENCHMARK(BM_GroupByKey_Large)->THROUGHPUT_ARGS;
+BENCHMARK(BM_Distinct_Large)->THROUGHPUT_ARGS;
+
+}  // namespace
+}  // namespace matryoshka::bench
+
+MATRYOSHKA_BENCH_MAIN();

@@ -6,6 +6,11 @@
 #   scripts/check.sh obs        # obs suite + end-to-end --trace/--metrics-json
 #   scripts/check.sh recovery   # faults+recovery suites under default AND
 #                               # asan, + bench_recovery metrics round-trip
+#   scripts/check.sh tsan       # thread-pool + parallel-determinism suites
+#                               # under ThreadSanitizer
+#   scripts/check.sh perf       # Release build + real wall-clock throughput
+#                               # bench with metrics-JSON schema validation,
+#                               # then the tsan suites
 # Any extra arguments are forwarded to ctest.
 set -eu
 
@@ -25,15 +30,61 @@ case "$mode" in
     preset=default; test_preset=obs ;;
   recovery)
     preset=default; test_preset=recovery ;;
+  tsan)
+    preset=tsan; test_preset=tsan ;;
+  perf)
+    preset=perf; test_preset="" ;;
   *)
-    echo "usage: scripts/check.sh [default|asan|faults|obs|recovery]" \
+    echo "usage: scripts/check.sh [default|asan|faults|obs|recovery|tsan|perf]" \
          "[ctest args...]" >&2
     exit 2 ;;
 esac
 
 cmake --preset "$preset"
-cmake --build --preset "$preset" -j "$(nproc)"
-ctest --preset "$test_preset" -j "$(nproc)" "$@"
+if [ "$mode" = perf ]; then
+  # perf only needs the throughput bench, not the full tree.
+  cmake --build --preset perf -j "$(nproc)" --target bench_engine_throughput
+else
+  cmake --build --preset "$preset" -j "$(nproc)"
+fi
+if [ -n "$test_preset" ]; then
+  ctest --preset "$test_preset" -j "$(nproc)" "$@"
+fi
+
+if [ "$mode" = perf ]; then
+  # Real wall-clock throughput: every wide operator with the execution pool
+  # off and on, items/second reported by google-benchmark and the per-run
+  # wall numbers carried in the metrics JSON. Validated for schema, for both
+  # pool arms being present, and for sane (positive) wall measurements.
+  out_dir="build-perf/perf-check"
+  mkdir -p "$out_dir"
+  build-perf/bench/bench_engine_throughput \
+    --benchmark_min_time=0.05 \
+    --benchmark_min_warmup_time=0 \
+    --metrics-json="$out_dir/metrics.json"
+  python3 - "$out_dir/metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "matryoshka-bench-metrics-v1", doc["schema"]
+assert doc["runs"], "no runs recorded"
+arms = set()
+for run in doc["runs"]:
+    name = run["name"]
+    assert name.startswith("throughput/"), name
+    arms.add(name.rsplit("/", 1)[-1])
+    wall = run["wall"]
+    assert wall["real_s"] > 0, name
+    assert wall["elements"] > 0, name
+    assert wall["elements_per_s"] > 0, name
+assert arms == {"pool0", "pool1"}, arms
+print("ok:", sys.argv[1], f"({len(doc['runs'])} runs)")
+EOF
+  # The parallel kernel must also be clean under ThreadSanitizer.
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  ctest --preset tsan -j "$(nproc)" "$@"
+fi
 
 if [ "$mode" = recovery ]; then
   # The recovery contract must also hold under the sanitizers.

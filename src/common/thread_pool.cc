@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "common/logging.h"
@@ -23,7 +24,7 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+void ThreadPool::Submit(TaskFunction task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
@@ -38,7 +39,7 @@ void ThreadPool::WaitIdle() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    TaskFunction task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_task_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -59,31 +60,71 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+namespace {
+
+/// State of one ParallelFor call, shared between the caller and the helper
+/// tasks. Heap-allocated and owned jointly (shared_ptr): a helper that is
+/// only scheduled after the loop already finished must still find valid
+/// state, see that no chunks remain, and exit without touching `body`.
+struct ParallelForState {
+  std::atomic<std::size_t> next{0};  // next unclaimed index
+  std::size_t n = 0;
+  std::size_t chunk = 1;       // indices per chunk
+  std::size_t num_chunks = 0;  // total chunks to complete
+  const std::function<void(std::size_t)>* body = nullptr;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t done_chunks = 0;  // guarded by mu
+
+  /// Claims and runs chunks until none remain. Safe to call from any number
+  /// of threads; every claimed chunk is reported done exactly once.
+  void RunChunks() {
+    for (;;) {
+      const std::size_t begin =
+          next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(n, begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) (*body)(i);
+      std::unique_lock<std::mutex> lock(mu);
+      if (++done_chunks == num_chunks) cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
 void ParallelFor(ThreadPool* pool, std::size_t n,
                  const std::function<void(std::size_t)>& body) {
   if (pool == nullptr || n <= 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  std::size_t done = 0;
-  const std::size_t workers = std::min(n, pool->num_threads());
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool->Submit([&, n] {
-      for (;;) {
-        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) break;
-        body(i);
-      }
-      std::unique_lock<std::mutex> lock(done_mu);
-      ++done;
-      done_cv.notify_all();
-    });
+  // ~4 chunks per participant: coarse enough that per-chunk bookkeeping (one
+  // atomic claim + one mutex tick) is negligible, fine enough that uneven
+  // per-index work still load-balances across workers.
+  const std::size_t participants = pool->num_threads() + 1;  // + caller
+  const std::size_t target_chunks = std::min(n, 4 * participants);
+
+  auto state = std::make_shared<ParallelForState>();
+  state->n = n;
+  state->chunk = (n + target_chunks - 1) / target_chunks;
+  state->num_chunks = (n + state->chunk - 1) / state->chunk;
+  state->body = &body;
+
+  // One helper per worker, capped at chunks beyond the caller's first claim.
+  // Helpers hold shared ownership: a straggler scheduled after completion
+  // finds next >= n and exits without dereferencing `body`.
+  const std::size_t helpers =
+      std::min(pool->num_threads(), state->num_chunks - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    pool->Submit([state] { state->RunChunks(); });
   }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done == workers; });
+  state->RunChunks();  // the calling thread participates
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock,
+                 [&] { return state->done_chunks == state->num_chunks; });
 }
 
 }  // namespace matryoshka

@@ -5,11 +5,45 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace matryoshka {
+
+/// Move-only type-erased callable used for task storage. Unlike
+/// std::function it accepts move-only captures and costs exactly one heap
+/// allocation per *task* (std::function copies re-allocate any capture above
+/// its small-buffer size, and fork-join loops used to pay that per index).
+class TaskFunction {
+ public:
+  TaskFunction() = default;
+
+  template <typename F>
+  TaskFunction(F f)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Impl<F>>(std::move(f))) {}
+
+  TaskFunction(TaskFunction&&) = default;
+  TaskFunction& operator=(TaskFunction&&) = default;
+
+  void operator()() { impl_->Call(); }
+  explicit operator bool() const { return impl_ != nullptr; }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual void Call() = 0;
+  };
+  template <typename F>
+  struct Impl final : Base {
+    explicit Impl(F g) : f(std::move(g)) {}
+    void Call() override { f(); }
+    F f;
+  };
+  std::unique_ptr<Base> impl_;
+};
 
 /// Fixed-size worker pool used by the engine to execute partition tasks in
 /// parallel when ClusterConfig::execute_parallel is set. Task submission is
@@ -23,8 +57,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Never blocks.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task. Never blocks. Tasks may start in any order and run
+  /// concurrently with each other and with the submitting thread.
+  void Submit(TaskFunction task);
 
   /// Blocks until every submitted task has finished executing.
   void WaitIdle();
@@ -37,15 +72,31 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<TaskFunction> queue_;
   std::size_t in_flight_ = 0;
   bool shutdown_ = false;
   std::vector<std::thread> threads_;
 };
 
-/// Runs body(i) for i in [0, n) using the pool (or inline when pool is null
-/// or n <= 1) and waits for completion. `body` must be safe to invoke
-/// concurrently for distinct indices.
+/// Runs body(i) for i in [0, n) and waits for completion (full barrier).
+///
+/// Concurrency contract:
+///  - The index range is split into contiguous chunks (about 4 per worker,
+///    never more than n), claimed dynamically. Within a chunk, indices run
+///    sequentially ascending on one thread; distinct chunks may run
+///    concurrently on pool workers AND on the calling thread, which
+///    participates in the loop instead of idling. `body` must therefore be
+///    safe to invoke concurrently for distinct indices; it is invoked
+///    exactly once per index.
+///  - On return, every body(i) has completed, and its writes are visible to
+///    the caller (the completion handshake synchronizes).
+///  - With `pool == nullptr` or `n <= 1` the loop runs inline on the calling
+///    thread — same results, zero setup cost. Callers get bit-identical
+///    output for any pool size as long as bodies only write state owned by
+///    their own index (the engine's operators write out[i] only).
+///  - Re-entrant: a body may itself call ParallelFor on the same pool.
+///    Progress is guaranteed because every caller drains remaining chunks
+///    itself before waiting; a nested call can never block on pool capacity.
 void ParallelFor(ThreadPool* pool, std::size_t n,
                  const std::function<void(std::size_t)>& body);
 

@@ -39,7 +39,9 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
     config_.default_parallelism = 3 * config_.total_cores();
   }
   if (config_.execute_parallel) {
-    unsigned hw = std::thread::hardware_concurrency();
+    unsigned hw = config_.pool_threads > 0
+                      ? static_cast<unsigned>(config_.pool_threads)
+                      : std::thread::hardware_concurrency();
     pool_ = std::make_unique<ThreadPool>(hw == 0 ? 4 : hw);
   }
   loss_times_ = config_.faults.machine_loss_times_s;

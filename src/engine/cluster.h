@@ -173,6 +173,12 @@ struct ClusterConfig {
   /// only real (not simulated) run time changes.
   bool execute_parallel = false;
 
+  /// Worker threads in the real execution pool (with execute_parallel on).
+  /// 0 = one per hardware thread. Results are bit-identical for any value
+  /// (locked by engine_parallel_determinism_test, which pins it to exercise
+  /// real concurrency regardless of the host's core count).
+  int pool_threads = 0;
+
   /// Deterministic fault injection; the default plan injects nothing.
   FaultPlan faults;
 

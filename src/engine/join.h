@@ -89,6 +89,7 @@ Bag<std::pair<K, std::pair<V, W>>> RepartitionJoin(
   typename Bag<Out>::Partitions out(static_cast<std::size_t>(parts));
   ParallelFor(c->pool(), static_cast<std::size_t>(parts), [&](std::size_t i) {
     std::unordered_map<K, std::vector<W>, Hasher> build;
+    build.reserve(rs[i].size());
     for (const auto& [k, w] : rs[i]) build[k].push_back(w);
     for (const auto& [k, v] : ls[i]) {
       auto it = build.find(k);
@@ -131,7 +132,11 @@ Bag<std::pair<K, std::pair<V, W>>> BroadcastJoin(
     if (!c->ok()) return Bag<Out>(c);
   }
 
+  // The broadcast build table stays single-threaded: it is one global hash
+  // map over the (small by contract) right side; per-partition probe work
+  // below is where the real time goes, and that runs on the pool.
   std::unordered_map<K, std::vector<W>, Hasher> build;
+  build.reserve(static_cast<std::size_t>(right.Size()));
   for (const auto& part : right.partitions()) {
     for (const auto& [k, w] : part) build[k].push_back(w);
   }
@@ -194,6 +199,7 @@ Bag<std::pair<K, std::pair<V, std::optional<W>>>> LeftOuterJoin(
   typename Bag<Out>::Partitions out(static_cast<std::size_t>(parts));
   ParallelFor(c->pool(), static_cast<std::size_t>(parts), [&](std::size_t i) {
     std::unordered_map<K, std::vector<W>, Hasher> build;
+    build.reserve(rs[i].size());
     for (const auto& [k, w] : rs[i]) build[k].push_back(w);
     for (const auto& [k, v] : ls[i]) {
       auto it = build.find(k);
@@ -235,14 +241,16 @@ Bag<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
   }
   c->AccrueStage(costs, /*lineage_depth=*/1, StageContext{"cogroup"});
 
+  // Group build, parallel across co-partitions; per-partition maxima are
+  // reduced on the driver so the memory check is order-independent.
   typename Bag<Out>::Partitions out(static_cast<std::size_t>(parts));
-  double max_group_bytes = 0.0;
-  for (int64_t i = 0; i < parts; ++i) {
+  std::vector<double> max_bytes(static_cast<std::size_t>(parts), 0.0);
+  ParallelFor(c->pool(), static_cast<std::size_t>(parts), [&](std::size_t i) {
     std::unordered_map<K, std::pair<std::vector<V>, std::vector<W>>, Hasher>
         groups;
     for (auto& [k, v] : ls[i]) groups[k].first.push_back(std::move(v));
     for (auto& [k, w] : rs[i]) groups[k].second.push_back(std::move(w));
-    auto& part = out[static_cast<std::size_t>(i)];
+    auto& part = out[i];
     part.reserve(groups.size());
     for (auto& [k, g] : groups) {
       double bytes = static_cast<double>(sizeof(Out));
@@ -254,10 +262,12 @@ Bag<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
         bytes += EstimateSize(g.second.front()) *
                  static_cast<double>(g.second.size()) * right.scale();
       }
-      max_group_bytes = std::max(max_group_bytes, bytes);
+      max_bytes[i] = std::max(max_bytes[i], bytes);
       part.emplace_back(k, std::move(g));
     }
-  }
+  });
+  double max_group_bytes = 0.0;
+  for (double b : max_bytes) max_group_bytes = std::max(max_group_bytes, b);
   c->CheckTaskMemory(max_group_bytes, "cogroup");
   if (!c->ok()) return Bag<Out>(c);
   return Bag<Out>(c, std::move(out), out_scale, parts);

@@ -11,6 +11,7 @@
 #include "common/hash.h"
 #include "engine/bag.h"
 #include "engine/ops.h"
+#include "engine/parallel_shuffle.h"
 
 /// Wide (shuffling) operators: repartitioning, keyed aggregation, grouping,
 /// and duplicate elimination. Joins live in join.h.
@@ -51,21 +52,21 @@ bool AlreadyKeyPartitioned(const Bag<T>& bag, int64_t parts) {
 
 /// Redistributes elements into `num_parts` partitions by `part_of(elem)`.
 /// Charges the map-side scan and the network shuffle, not the reduce side.
+/// The data movement runs on the deterministic parallel shuffle kernel
+/// (parallel_shuffle.h): bit-identical partition contents and ordering for
+/// any pool size, exact-reserved output vectors via the counting pre-pass.
 template <typename T, typename PartOf>
 typename Bag<T>::Partitions ShuffleBy(const Bag<T>& bag, int64_t num_parts,
                                       PartOf part_of, double map_weight,
                                       const char* label = "shuffle") {
   Cluster* c = bag.cluster();
-  typename Bag<T>::Partitions out(static_cast<std::size_t>(num_parts));
-  if (!c->ok()) return out;
+  if (!c->ok()) {
+    return typename Bag<T>::Partitions(static_cast<std::size_t>(num_parts));
+  }
   ChargeScanStage(bag, map_weight, label);
   c->AccrueShuffle(RealBagBytes(bag), label);
-  for (const auto& part : bag.partitions()) {
-    for (const auto& x : part) {
-      out[part_of(x)].push_back(x);
-    }
-  }
-  return out;
+  return ParallelScatter(c->pool(), bag.partitions(),
+                         static_cast<std::size_t>(num_parts), part_of);
 }
 
 template <typename K>
@@ -180,14 +181,14 @@ Bag<std::pair<K, V>> ReduceByKey(const Bag<std::pair<K, V>>& bag, F f,
   // is fixed, combining saturates in the real run just as it does here.
   Bag<KV> combined_bag(c, std::move(combined), out_scale);
 
-  // Shuffle the combined data, then reduce-side merge.
+  // Shuffle the combined data, then reduce-side merge. The scatter runs on
+  // the deterministic parallel kernel with exact-reserved buckets.
   c->AccrueShuffle(RealBagBytes(combined_bag), "reduceByKey");
-  typename Bag<KV>::Partitions shuffled(static_cast<std::size_t>(parts));
-  for (const auto& part : combined_bag.partitions()) {
-    for (const auto& kv : part) {
-      shuffled[internal::PartitionOfKey(kv.first, parts)].push_back(kv);
-    }
-  }
+  typename Bag<KV>::Partitions shuffled = internal::ParallelScatter(
+      c->pool(), combined_bag.partitions(), static_cast<std::size_t>(parts),
+      [&](const KV& kv) {
+        return internal::PartitionOfKey(kv.first, parts);
+      });
   const double spill =
       c->SpillFactor(RealBagBytes(combined_bag) /
                      static_cast<double>(c->planning_machines()));
@@ -242,9 +243,12 @@ Bag<std::pair<K, std::vector<V>>> GroupByKey(const Bag<std::pair<K, V>>& bag,
   c->AccrueStage(costs, /*lineage_depth=*/1,
                  StageContext{"groupByKey[group]", spill});
 
+  // Group build, parallel across reduce partitions. Each partition tracks
+  // its own largest group; the driver reduces the per-partition maxima so
+  // the memory check stays independent of execution order.
   typename Bag<KG>::Partitions out(static_cast<std::size_t>(parts));
-  double max_group_bytes = 0.0;
-  for (std::size_t i = 0; i < shuffled.size(); ++i) {
+  std::vector<double> max_bytes(shuffled.size(), 0.0);
+  ParallelFor(c->pool(), shuffled.size(), [&](std::size_t i) {
     std::unordered_map<K, std::vector<V>, Hasher> groups;
     for (auto& [k, v] : shuffled[i]) {
       groups[k].push_back(std::move(v));
@@ -256,10 +260,12 @@ Bag<std::pair<K, std::vector<V>>> GroupByKey(const Bag<std::pair<K, V>>& bag,
       if (!vs.empty()) {
         bytes += EstimateSize(vs.front()) * static_cast<double>(vs.size());
       }
-      max_group_bytes = std::max(max_group_bytes, bytes);
+      max_bytes[i] = std::max(max_bytes[i], bytes);
       out[i].emplace_back(k, std::move(vs));
     }
-  }
+  });
+  double max_group_bytes = 0.0;
+  for (double b : max_bytes) max_group_bytes = std::max(max_group_bytes, b);
   c->CheckTaskMemory(max_group_bytes * bag.scale() * group_expansion,
                      "groupByKey");
   if (!c->ok()) return Bag<KG>(c);
@@ -292,12 +298,9 @@ Bag<T> Distinct(const Bag<T>& bag, int64_t num_partitions = -1,
   Bag<T> pre_bag(c, std::move(pre), out_scale);
 
   c->AccrueShuffle(RealBagBytes(pre_bag), "distinct");
-  typename Bag<T>::Partitions shuffled(static_cast<std::size_t>(parts));
-  for (const auto& part : pre_bag.partitions()) {
-    for (const auto& x : part) {
-      shuffled[internal::PartitionOfKey(x, parts)].push_back(x);
-    }
-  }
+  typename Bag<T>::Partitions shuffled = internal::ParallelScatter(
+      c->pool(), pre_bag.partitions(), static_cast<std::size_t>(parts),
+      [&](const T& x) { return internal::PartitionOfKey(x, parts); });
   const double spill =
       c->SpillFactor(RealBagBytes(pre_bag) /
                      static_cast<double>(c->planning_machines()));

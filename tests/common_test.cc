@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -220,6 +221,44 @@ TEST(ThreadPoolTest, ParallelForInlineWithoutPool) {
   std::vector<int> hits(10, 0);
   ParallelFor(nullptr, hits.size(), [&](std::size_t i) { hits[i]++; });
   for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndSingleElement) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(&pool, 0, [&](std::size_t) { calls++; });
+  EXPECT_EQ(calls, 0);
+  // n == 1 runs inline on the calling thread — no synchronization needed.
+  ParallelFor(&pool, 1, [&](std::size_t i) { calls += static_cast<int>(i) + 1; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SubmitAcceptsMoveOnlyTasks) {
+  ThreadPool pool(2);
+  auto value = std::make_unique<int>(41);
+  std::atomic<int> result{0};
+  pool.Submit([v = std::move(value), &result] { result.store(*v + 1); });
+  pool.WaitIdle();
+  EXPECT_EQ(result.load(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForIsReentrant) {
+  // The calling thread participates in the loop, so a body that itself calls
+  // ParallelFor on the same pool must complete even when every worker is
+  // busy — the contract the engine relies on for nested scatter phases.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64 * 8);
+  ParallelFor(&pool, 64, [&](std::size_t i) {
+    ParallelFor(&pool, 8, [&](std::size_t j) { hits[i * 8 + j]++; });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForManyMoreIndicesThanThreads) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(10007);
+  ParallelFor(&pool, hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(SizingTest, TrivialTypes) {

@@ -15,6 +15,7 @@
 #include "engine/extra_ops.h"
 #include "engine/join.h"
 #include "engine/ops.h"
+#include "engine/parallel_shuffle.h"
 #include "engine/shuffle.h"
 
 namespace matryoshka::engine {
@@ -28,6 +29,9 @@ ClusterConfig Config(bool parallel) {
   cfg.cores_per_machine = 2;
   cfg.default_parallelism = 8;
   cfg.execute_parallel = parallel;
+  // Pin the pool size so real multi-thread scatter/concat runs regardless of
+  // how many hardware threads the host exposes (CI containers often pin 1).
+  cfg.pool_threads = 4;
   return cfg;
 }
 
@@ -153,6 +157,31 @@ SuiteOutcome RunSuite(ClusterConfig cfg) {
   return out;
 }
 
+// The simulated cost model must be bit-identical: the pool may only change
+// wall-clock time, never a single charged metric.
+void ExpectSameMetrics(const Metrics& a, const Metrics& b) {
+  EXPECT_EQ(a.simulated_time_s, b.simulated_time_s);
+  EXPECT_EQ(a.jobs, b.jobs);
+  EXPECT_EQ(a.stages, b.stages);
+  EXPECT_EQ(a.tasks, b.tasks);
+  EXPECT_EQ(a.elements_processed, b.elements_processed);
+  EXPECT_EQ(a.shuffle_bytes, b.shuffle_bytes);
+  EXPECT_EQ(a.broadcast_bytes, b.broadcast_bytes);
+  EXPECT_EQ(a.spilled_bytes, b.spilled_bytes);
+  EXPECT_EQ(a.spill_events, b.spill_events);
+  EXPECT_EQ(a.peak_task_bytes, b.peak_task_bytes);
+  EXPECT_EQ(a.peak_machine_bytes, b.peak_machine_bytes);
+  EXPECT_EQ(a.failed_tasks, b.failed_tasks);
+  EXPECT_EQ(a.task_retries, b.task_retries);
+  EXPECT_EQ(a.speculative_launches, b.speculative_launches);
+  EXPECT_EQ(a.machines_lost, b.machines_lost);
+  EXPECT_EQ(a.recovery_time_s, b.recovery_time_s);
+  EXPECT_EQ(a.checkpoints_written, b.checkpoints_written);
+  EXPECT_EQ(a.checkpoint_bytes, b.checkpoint_bytes);
+  EXPECT_EQ(a.driver_retries, b.driver_retries);
+  EXPECT_EQ(a.plan_fallbacks, b.plan_fallbacks);
+}
+
 void ExpectSameOutcome(const SuiteOutcome& a, const SuiteOutcome& b) {
   EXPECT_EQ(a.ok, b.ok);
   EXPECT_EQ(a.ints, b.ints);
@@ -160,28 +189,175 @@ void ExpectSameOutcome(const SuiteOutcome& a, const SuiteOutcome& b) {
   EXPECT_EQ(a.extras, b.extras);
   EXPECT_EQ(a.count, b.count);
   EXPECT_EQ(a.reduced, b.reduced);
-  // The simulated cost model must be bit-identical: the pool may only change
-  // wall-clock time, never a single charged metric.
-  EXPECT_EQ(a.metrics.simulated_time_s, b.metrics.simulated_time_s);
-  EXPECT_EQ(a.metrics.jobs, b.metrics.jobs);
-  EXPECT_EQ(a.metrics.stages, b.metrics.stages);
-  EXPECT_EQ(a.metrics.tasks, b.metrics.tasks);
-  EXPECT_EQ(a.metrics.elements_processed, b.metrics.elements_processed);
-  EXPECT_EQ(a.metrics.shuffle_bytes, b.metrics.shuffle_bytes);
-  EXPECT_EQ(a.metrics.broadcast_bytes, b.metrics.broadcast_bytes);
-  EXPECT_EQ(a.metrics.spilled_bytes, b.metrics.spilled_bytes);
-  EXPECT_EQ(a.metrics.spill_events, b.metrics.spill_events);
-  EXPECT_EQ(a.metrics.peak_task_bytes, b.metrics.peak_task_bytes);
-  EXPECT_EQ(a.metrics.peak_machine_bytes, b.metrics.peak_machine_bytes);
-  EXPECT_EQ(a.metrics.failed_tasks, b.metrics.failed_tasks);
-  EXPECT_EQ(a.metrics.task_retries, b.metrics.task_retries);
-  EXPECT_EQ(a.metrics.speculative_launches, b.metrics.speculative_launches);
-  EXPECT_EQ(a.metrics.machines_lost, b.metrics.machines_lost);
-  EXPECT_EQ(a.metrics.recovery_time_s, b.metrics.recovery_time_s);
-  EXPECT_EQ(a.metrics.checkpoints_written, b.metrics.checkpoints_written);
-  EXPECT_EQ(a.metrics.checkpoint_bytes, b.metrics.checkpoint_bytes);
-  EXPECT_EQ(a.metrics.driver_retries, b.metrics.driver_retries);
-  EXPECT_EQ(a.metrics.plan_fallbacks, b.metrics.plan_fallbacks);
+  ExpectSameMetrics(a.metrics, b.metrics);
+}
+
+// --- Per-operator bit-identity -------------------------------------------
+//
+// The suite tests above compare sorted snapshots; the checks below are
+// stricter: for each wide operator the pool-off and pool-on (4 threads)
+// outputs must match partition by partition, element by element, IN ORDER —
+// the exact guarantee of the ParallelScatter kernel — along with the
+// key_partitions metadata and the full simulated metrics.
+
+template <typename T>
+void ExpectBitIdenticalBags(const Bag<T>& a, const Bag<T>& b) {
+  ASSERT_EQ(a.num_partitions(), b.num_partitions());
+  EXPECT_EQ(a.key_partitions(), b.key_partitions());
+  for (int64_t i = 0; i < a.num_partitions(); ++i) {
+    EXPECT_EQ(a.partitions()[static_cast<std::size_t>(i)],
+              b.partitions()[static_cast<std::size_t>(i)])
+        << "partition " << i << " differs between pool-off and pool-on";
+  }
+}
+
+ClusterConfig WithFaults(ClusterConfig cfg) {
+  cfg.faults.seed = 5;
+  cfg.faults.task_failure_prob = 0.05;
+  cfg.faults.straggler_fraction = 0.1;
+  cfg.faults.straggler_slowdown = 4.0;
+  cfg.faults.speculative_execution = true;
+  return cfg;
+}
+
+Bag<std::pair<int64_t, int64_t>> MakePairs(Cluster* c) {
+  std::vector<std::pair<int64_t, int64_t>> kv;
+  for (int64_t i = 0; i < 5000; ++i) kv.emplace_back((i * 37) % 128, i % 17);
+  return Parallelize(c, kv, 8);
+}
+
+Bag<std::pair<int64_t, int64_t>> MakeSmallPairs(Cluster* c) {
+  std::vector<std::pair<int64_t, int64_t>> kv;
+  for (int64_t i = 0; i < 32; ++i) kv.emplace_back(i * 4, i * 10);
+  return Parallelize(c, kv, 2, /*scale=*/1.0);
+}
+
+/// Runs `make_op` (Cluster* -> Bag) once with the pool off and once with a
+/// 4-thread pool — clean and again under an active FaultPlan — and requires
+/// bit-identical bags and metrics each time.
+template <typename MakeOp>
+void ExpectOpBitIdentical(const MakeOp& make_op) {
+  for (bool faulty : {false, true}) {
+    ClusterConfig off_cfg = Config(false);
+    ClusterConfig on_cfg = Config(true);
+    if (faulty) {
+      off_cfg = WithFaults(off_cfg);
+      on_cfg = WithFaults(on_cfg);
+    }
+    Cluster off(off_cfg);
+    Cluster on(on_cfg);
+    auto a = make_op(&off);
+    auto b = make_op(&on);
+    ASSERT_TRUE(off.ok());
+    ASSERT_TRUE(on.ok());
+    ExpectBitIdenticalBags(a, b);
+    ExpectSameMetrics(off.metrics(), on.metrics());
+  }
+}
+
+TEST(ParallelDeterminismTest, ScatterKernelMatchesReferenceLoop) {
+  // The kernel's ground truth: the sequential producer-order scatter loop.
+  // Skewed, empty, and ragged producers; pool sizes 1..4 plus no pool.
+  std::vector<std::vector<int64_t>> inputs(7);
+  for (std::size_t p = 0; p < inputs.size(); ++p) {
+    if (p == 3) continue;  // leave one producer empty
+    for (std::size_t j = 0; j < 100 * p * p + 5; ++j) {
+      inputs[p].push_back(static_cast<int64_t>(p * 131071 + j * 2654435761u));
+    }
+  }
+  const std::size_t kParts = 9;
+  auto part_of = [&](int64_t x) {
+    return static_cast<std::size_t>(static_cast<uint64_t>(x) % kParts);
+  };
+  std::vector<std::vector<int64_t>> expected(kParts);
+  for (const auto& in : inputs) {
+    for (int64_t x : in) expected[part_of(x)].push_back(x);
+  }
+  EXPECT_EQ(internal::ParallelScatter<int64_t>(nullptr, inputs, kParts,
+                                               part_of),
+            expected);
+  for (std::size_t threads = 1; threads <= 4; ++threads) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(internal::ParallelScatter<int64_t>(&pool, inputs, kParts,
+                                                 part_of),
+              expected)
+        << "with a " << threads << "-thread pool";
+  }
+}
+
+TEST(ParallelDeterminismTest, RepartitionBitIdentical) {
+  ExpectOpBitIdentical(
+      [](Cluster* c) { return Repartition(MakePairs(c), 5); });
+}
+
+TEST(ParallelDeterminismTest, PartitionByKeyBitIdentical) {
+  ExpectOpBitIdentical(
+      [](Cluster* c) { return PartitionByKey(MakePairs(c), 8); });
+}
+
+TEST(ParallelDeterminismTest, ReduceByKeyBitIdentical) {
+  ExpectOpBitIdentical([](Cluster* c) {
+    return ReduceByKey(
+        MakePairs(c), [](int64_t a, int64_t b) { return a + b; }, 8);
+  });
+}
+
+TEST(ParallelDeterminismTest, GroupByKeyBitIdentical) {
+  ExpectOpBitIdentical(
+      [](Cluster* c) { return GroupByKey(MakePairs(c), 8); });
+}
+
+TEST(ParallelDeterminismTest, AggregateByKeyBitIdentical) {
+  ExpectOpBitIdentical([](Cluster* c) {
+    return AggregateByKey(
+        MakePairs(c), int64_t{0},
+        [](int64_t a, int64_t v) { return a + v; },
+        [](int64_t a, int64_t b) { return a + b; }, 8);
+  });
+}
+
+TEST(ParallelDeterminismTest, DistinctBitIdentical) {
+  ExpectOpBitIdentical(
+      [](Cluster* c) { return Distinct(Keys(MakePairs(c)), 8); });
+}
+
+TEST(ParallelDeterminismTest, SubtractBitIdentical) {
+  ExpectOpBitIdentical([](Cluster* c) {
+    return Subtract(Keys(MakePairs(c)), Keys(MakeSmallPairs(c)), 8);
+  });
+}
+
+TEST(ParallelDeterminismTest, IntersectionBitIdentical) {
+  ExpectOpBitIdentical([](Cluster* c) {
+    return Intersection(Keys(MakePairs(c)), Keys(MakeSmallPairs(c)), 8);
+  });
+}
+
+TEST(ParallelDeterminismTest, RepartitionJoinBitIdentical) {
+  ExpectOpBitIdentical([](Cluster* c) {
+    auto pairs = MakePairs(c);
+    auto reduced = ReduceByKey(
+        pairs, [](int64_t a, int64_t b) { return a + b; }, 8);
+    return RepartitionJoin(pairs, reduced, 8);
+  });
+}
+
+TEST(ParallelDeterminismTest, BroadcastJoinBitIdentical) {
+  ExpectOpBitIdentical([](Cluster* c) {
+    return BroadcastJoin(MakePairs(c), MakeSmallPairs(c));
+  });
+}
+
+TEST(ParallelDeterminismTest, LeftOuterJoinBitIdentical) {
+  ExpectOpBitIdentical([](Cluster* c) {
+    return LeftOuterJoin(MakePairs(c), MakeSmallPairs(c), 8);
+  });
+}
+
+TEST(ParallelDeterminismTest, CoGroupBitIdentical) {
+  ExpectOpBitIdentical([](Cluster* c) {
+    return CoGroup(MakePairs(c), MakeSmallPairs(c), 8);
+  });
 }
 
 TEST(ParallelDeterminismTest, PoolDoesNotPerturbResultsOrCostModel) {
