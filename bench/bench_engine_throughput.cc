@@ -12,6 +12,11 @@
 //   variant suffix: small (16-byte pair<int64,int64>) vs large
 //         (pair<int64,string> with a 48-char heap payload).
 //
+// The chain/ family additionally takes arg1: ClusterConfig::fusion on/off,
+// A/B-ing the fused narrow-op pipeline against the eager per-op passes on a
+// map -> filter -> map -> mapValues chain (results and simulated metrics
+// are bit-identical across the arms; only wall-clock moves).
+//
 // Reported time is manual wall time of the operator alone (datagen and
 // Cluster::Reset excluded); items/s counts synthetic input elements. With
 // --metrics-json=FILE each run additionally records a "wall" object
@@ -114,9 +119,13 @@ void BM_Map_Small(benchmark::State& state) {
   Cluster cluster(Config(state.range(0) != 0));
   auto bag = engine::Parallelize(&cluster, SmallData(kSmallN), kParts);
   MeasureOp(state, "map/small", &cluster, bag, [](const auto& b) {
-    return engine::Map(b, [](const std::pair<int64_t, int64_t>& p) {
+    auto out = engine::Map(b, [](const std::pair<int64_t, int64_t>& p) {
       return std::pair<int64_t, int64_t>(p.first, p.second + 1);
     });
+    // With fusion on Map composes instantly; force so the measured region
+    // covers the materialization, keeping this row comparable across arms.
+    out.Force();
+    return out;
   });
 }
 
@@ -226,6 +235,64 @@ void BM_Distinct_Large(benchmark::State& state) {
   });
 }
 
+// --- Narrow chains: map -> filter -> map -> mapValues, fused vs eager ---
+//
+// The chain benches force the result inside the measured region (chains are
+// pending until forced with fusion on); the fusion arm is carried in the
+// run name so the metrics JSON gets fusion-on/off A/B rows per pool arm.
+
+void BM_Chain_Small(benchmark::State& state) {
+  engine::ClusterConfig cfg = Config(state.range(0) != 0);
+  cfg.fusion.enabled = state.range(1) != 0;
+  Cluster cluster(cfg);
+  auto bag = engine::Parallelize(&cluster, SmallData(kSmallN), kParts);
+  const char* name =
+      cfg.fusion.enabled ? "chain/small/fusion1" : "chain/small/fusion0";
+  MeasureOp(state, name, &cluster, bag, [](const auto& b) {
+    auto m1 = engine::Map(b, [](const std::pair<int64_t, int64_t>& p) {
+      return std::pair<int64_t, int64_t>(p.first, p.second + 1);
+    });
+    auto f1 = engine::Filter(m1, [](const std::pair<int64_t, int64_t>& p) {
+      return (p.second & 7) != 0;
+    });
+    auto m2 = engine::Map(f1, [](const std::pair<int64_t, int64_t>& p) {
+      return std::pair<int64_t, int64_t>(p.first, p.second * 3);
+    });
+    auto mv = engine::MapValues(m2, [](int64_t v) { return v - 1; });
+    mv.Force();  // the action boundary: materialize inside the timed region
+    return mv;
+  });
+  state.counters["fusion"] = cfg.fusion.enabled ? 1 : 0;
+}
+
+void BM_Chain_Large(benchmark::State& state) {
+  engine::ClusterConfig cfg = Config(state.range(0) != 0);
+  cfg.fusion.enabled = state.range(1) != 0;
+  Cluster cluster(cfg);
+  auto bag = engine::Parallelize(&cluster, LargeData(kLargeN), kParts);
+  const char* name =
+      cfg.fusion.enabled ? "chain/large/fusion1" : "chain/large/fusion0";
+  MeasureOp(state, name, &cluster, bag, [](const auto& b) {
+    auto m1 = engine::Map(b, [](const std::pair<int64_t, std::string>& p) {
+      return std::pair<int64_t, std::string>(p.first, p.second + "y");
+    });
+    auto f1 =
+        engine::Filter(m1, [](const std::pair<int64_t, std::string>& p) {
+          return (p.first & 7) != 0;
+        });
+    auto m2 = engine::Map(f1, [](const std::pair<int64_t, std::string>& p) {
+      return std::pair<int64_t, std::string>(p.first + 1, p.second);
+    });
+    auto mv = engine::MapValues(m2, [](std::string v) {
+      v[0] = 'z';
+      return v;
+    });
+    mv.Force();
+    return mv;
+  });
+  state.counters["fusion"] = cfg.fusion.enabled ? 1 : 0;
+}
+
 #define THROUGHPUT_ARGS                                               \
   ArgsProduct({{0, 1}})                                               \
       ->UseManualTime()                                               \
@@ -243,6 +310,15 @@ BENCHMARK(BM_Repartition_Large)->THROUGHPUT_ARGS;
 BENCHMARK(BM_ReduceByKey_Large)->THROUGHPUT_ARGS;
 BENCHMARK(BM_GroupByKey_Large)->THROUGHPUT_ARGS;
 BENCHMARK(BM_Distinct_Large)->THROUGHPUT_ARGS;
+
+// pool x fusion grid for the chain family.
+#define CHAIN_ARGS                                                    \
+  ArgsProduct({{0, 1}, {0, 1}})                                       \
+      ->UseManualTime()                                               \
+      ->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_Chain_Small)->CHAIN_ARGS;
+BENCHMARK(BM_Chain_Large)->CHAIN_ARGS;
 
 }  // namespace
 }  // namespace matryoshka::bench

@@ -11,6 +11,10 @@
 #   scripts/check.sh perf       # Release build + real wall-clock throughput
 #                               # bench with metrics-JSON schema validation,
 #                               # then the tsan suites
+#   scripts/check.sh fusion     # determinism+faults+recovery suites with
+#                               # ClusterConfig::fusion forced on AND off
+#                               # (MATRYOSHKA_FUSION), then the tsan suites
+#                               # both ways + the fused chain bench under TSan
 # Any extra arguments are forwarded to ctest.
 set -eu
 
@@ -34,8 +38,11 @@ case "$mode" in
     preset=tsan; test_preset=tsan ;;
   perf)
     preset=perf; test_preset="" ;;
+  fusion)
+    preset=default; test_preset="" ;;
   *)
-    echo "usage: scripts/check.sh [default|asan|faults|obs|recovery|tsan|perf]" \
+    echo "usage: scripts/check.sh" \
+         "[default|asan|faults|obs|recovery|tsan|perf|fusion]" \
          "[ctest args...]" >&2
     exit 2 ;;
 esac
@@ -69,21 +76,54 @@ with open(sys.argv[1]) as f:
 assert doc["schema"] == "matryoshka-bench-metrics-v1", doc["schema"]
 assert doc["runs"], "no runs recorded"
 arms = set()
+chain_arms = set()
 for run in doc["runs"]:
     name = run["name"]
     assert name.startswith("throughput/"), name
     arms.add(name.rsplit("/", 1)[-1])
+    parts = name.split("/")
+    if parts[1] == "chain":
+        # throughput/chain/<size>/<fusion arm>/<pool arm>
+        assert parts[3] in ("fusion0", "fusion1"), name
+        chain_arms.add(parts[3])
     wall = run["wall"]
     assert wall["real_s"] > 0, name
     assert wall["elements"] > 0, name
     assert wall["elements_per_s"] > 0, name
 assert arms == {"pool0", "pool1"}, arms
+assert chain_arms == {"fusion0", "fusion1"}, chain_arms
 print("ok:", sys.argv[1], f"({len(doc['runs'])} runs)")
 EOF
   # The parallel kernel must also be clean under ThreadSanitizer.
   cmake --preset tsan
   cmake --build --preset tsan -j "$(nproc)"
   ctest --preset tsan -j "$(nproc)" "$@"
+fi
+
+if [ "$mode" = fusion ]; then
+  # Fusion contract: the determinism, fault-injection, and recovery suites
+  # must pass with the fused narrow-op pipeline forced on AND forced off
+  # (the suites themselves assert the two arms are bit-identical, but
+  # running the whole suite under each process-wide override also locks the
+  # surrounding tests' exact-value expectations both ways).
+  for arm in 1 0; do
+    echo "== fusion=$arm: faults+recovery suites =="
+    MATRYOSHKA_FUSION="$arm" ctest --preset recovery -j "$(nproc)" "$@"
+  done
+  # The fused single-pass kernel must also be clean under ThreadSanitizer:
+  # run the parallel-determinism suite both ways, then exercise the fused
+  # chain bench (pool on) under TSan directly.
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  for arm in 1 0; do
+    echo "== fusion=$arm: tsan suites =="
+    MATRYOSHKA_FUSION="$arm" ctest --preset tsan -j "$(nproc)" "$@"
+  done
+  build-tsan/bench/bench_engine_throughput \
+    --benchmark_filter='BM_Chain' \
+    --benchmark_min_time=0.02 \
+    --benchmark_min_warmup_time=0 >/dev/null
+  echo "ok: fused chain bench clean under TSan"
 fi
 
 if [ "$mode" = recovery ]; then

@@ -2,12 +2,16 @@
 #define MATRYOSHKA_ENGINE_BAG_H_
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/sizing.h"
+#include "common/thread_pool.h"
 #include "engine/cluster.h"
 
 namespace matryoshka::engine {
@@ -26,11 +30,27 @@ namespace matryoshka::engine {
 /// bags representing InnerScalars) produce scale-1 bags because their
 /// synthetic cardinality equals the real one. All time/network/memory
 /// charges multiply element counts and byte estimates by the bag's scale.
+///
+/// With fusion on (ClusterConfig::fusion, the default) a Bag may instead
+/// hold a *pending pipeline*: a shared handle to an upstream materialized
+/// bag plus the composed per-element transform chain of every narrow
+/// operator applied since. Narrow ops on a pending bag compose instead of
+/// executing; `Force()` (called by every wide operator, every action,
+/// Checkpoint, and automatically by `partitions()`) materializes the chain
+/// in one fused pass per partition. Pending bags carry tracked per-partition
+/// cardinalities so the cost model can be charged at composition time
+/// without materializing — bit-identical to the eager path (see DESIGN.md,
+/// "Fusion contract").
 template <typename T>
 class Bag {
  public:
   using Element = T;
   using Partitions = std::vector<std::vector<T>>;
+  /// Consumes one element of a pending chain's per-partition output stream.
+  using Sink = std::function<void(T&&)>;
+  /// Streams partition `p` of a pending chain into `emit`, applying every
+  /// composed narrow transform on the fly (built by ops.h / extra_ops.h).
+  using Feed = std::function<void(std::size_t p, const Sink& emit)>;
 
   /// An empty bag with zero partitions (the result of operators that ran
   /// after the cluster entered a failed state).
@@ -45,10 +65,111 @@ class Bag {
         key_partitions_(key_partitions),
         lineage_depth_(lineage_depth) {}
 
+  /// A deferred bag: `feed` streams each output partition by pulling from a
+  /// captured upstream source and applying the composed transform chain.
+  /// `counts` tracks the per-partition output cardinality — exact when
+  /// `counts_exact` (size-preserving chain), an upper bound when only
+  /// `counts_bounded` (filter-terminated chain), partition count only
+  /// otherwise. `chain_ops` is the number of composed narrow ops (the fusion
+  /// depth knob compares against it). Built by ops.h / extra_ops.h; the cost
+  /// model was already charged by the composing operator.
+  static Bag<T> Deferred(Cluster* cluster, Feed feed,
+                         std::vector<std::size_t> counts, bool counts_exact,
+                         bool counts_bounded, int chain_ops, double scale,
+                         int64_t key_partitions, int lineage_depth) {
+    Bag<T> out(cluster);
+    out.parts_.reset();
+    auto pending = std::make_shared<PendingState>();
+    pending->feed = std::move(feed);
+    pending->counts = std::move(counts);
+    pending->exact = counts_exact;
+    pending->bounded = counts_bounded;
+    pending->chain_ops = chain_ops;
+    out.pending_ = std::move(pending);
+    out.scale_ = scale;
+    out.key_partitions_ = key_partitions;
+    out.lineage_depth_ = lineage_depth;
+    return out;
+  }
+
   Cluster* cluster() const { return cluster_; }
-  const Partitions& partitions() const { return *parts_; }
+
+  /// True while this bag is an unmaterialized fused chain.
+  bool pending() const { return pending_ != nullptr; }
+
+  /// Composed narrow ops in the pending chain (0 once materialized).
+  int pending_chain_ops() const {
+    return pending_ != nullptr ? pending_->chain_ops : 0;
+  }
+
+  /// True when the tracked per-partition cardinalities are exact (always
+  /// true for materialized bags). A pending chain with inexact counts is a
+  /// forced boundary: the next narrow op materializes it before composing.
+  bool counts_exact() const {
+    return pending_ == nullptr || pending_->exact;
+  }
+
+  /// The pending chain's stream; only valid while pending().
+  const Feed& pending_feed() const {
+    MATRYOSHKA_DCHECK(pending_ != nullptr);
+    return pending_->feed;
+  }
+
+  /// Materializes any pending chain in ONE fused pass per partition: the
+  /// whole composed transform runs per element and the output vector is
+  /// reserved exactly for size-preserving chains (the tracked counts play
+  /// the role of parallel_shuffle.h's counting pre-pass) or to the input
+  /// upper bound for filter-terminated chains. Memoized in the chain state
+  /// shared across Bag copies, so sibling handles force at most once. No-op
+  /// on materialized bags. Charges NOTHING: every composed op already
+  /// charged its scan stage, lineage, and auto-checkpoint probe at
+  /// composition time. Must be called from the driver thread (it runs the
+  /// pass on the cluster pool itself).
+  void Force() const {
+    if (pending_ == nullptr) return;
+    if (pending_->materialized == nullptr) {
+      const PendingState& chain = *pending_;
+      auto out = std::make_shared<Partitions>(chain.counts.size());
+      ParallelFor(cluster_->pool(), out->size(), [&](std::size_t i) {
+        std::vector<T>& dst = (*out)[i];
+        if (chain.bounded) dst.reserve(chain.counts[i]);
+        chain.feed(i, [&dst](T&& x) { dst.push_back(std::move(x)); });
+      });
+      pending_->materialized = std::move(out);
+    }
+    parts_ = pending_->materialized;
+    pending_.reset();
+  }
+
+  /// Materialized partitions; forces a pending chain first.
+  const Partitions& partitions() const {
+    Force();
+    return *parts_;
+  }
+
+  /// The materialized partitions as a shared handle (forces). Lets fused
+  /// feeds keep the upstream data alive without copying it.
+  std::shared_ptr<const Partitions> shared_partitions() const {
+    Force();
+    return parts_;
+  }
+
   int64_t num_partitions() const {
-    return static_cast<int64_t>(parts_->size());
+    return pending_ != nullptr ? static_cast<int64_t>(pending_->counts.size())
+                               : static_cast<int64_t>(parts_->size());
+  }
+
+  /// Per-partition synthetic cardinalities. Pending chains with exact
+  /// tracked counts answer from metadata without forcing (this is what lets
+  /// composition charge the cost model without executing); inexact chains
+  /// force first.
+  std::vector<std::size_t> PartitionSizes() const {
+    if (pending_ != nullptr && pending_->exact) return pending_->counts;
+    const Partitions& parts = partitions();
+    std::vector<std::size_t> sizes;
+    sizes.reserve(parts.size());
+    for (const auto& p : parts) sizes.push_back(p.size());
+    return sizes;
   }
 
   /// Real elements represented by one synthetic element (see class comment).
@@ -70,9 +191,18 @@ class Bag {
 
   /// Total number of synthetic elements. Pure metadata access — does NOT
   /// model a count() action (see ops.h Count for the job-charging version).
+  /// Answered from tracked counts (no forcing) for size-preserving pending
+  /// chains.
   int64_t Size() const {
+    if (pending_ != nullptr && pending_->exact) {
+      int64_t n = 0;
+      for (const std::size_t c : pending_->counts) {
+        n += static_cast<int64_t>(c);
+      }
+      return n;
+    }
     int64_t n = 0;
-    for (const auto& p : *parts_) n += static_cast<int64_t>(p.size());
+    for (const auto& p : partitions()) n += static_cast<int64_t>(p.size());
     return n;
   }
 
@@ -93,13 +223,30 @@ class Bag {
   std::vector<T> ToVector() const {
     std::vector<T> out;
     out.reserve(static_cast<std::size_t>(Size()));
-    for (const auto& p : *parts_) out.insert(out.end(), p.begin(), p.end());
+    for (const auto& p : partitions()) out.insert(out.end(), p.begin(), p.end());
     return out;
   }
 
  private:
+  /// State of a deferred narrow chain, shared (not copied) across Bag
+  /// handles so a single Force materializes for all of them.
+  struct PendingState {
+    Feed feed;
+    /// Tracked per-partition output cardinalities (see Deferred).
+    std::vector<std::size_t> counts;
+    bool exact = true;
+    bool bounded = true;
+    int chain_ops = 1;
+    /// Memoized Force() result.
+    std::shared_ptr<const Partitions> materialized;
+  };
+
   Cluster* cluster_;
-  std::shared_ptr<const Partitions> parts_;
+  // Exactly one of parts_ / pending_ is set; Force() flips pending_ into
+  // parts_. Mutable because forcing is a caching materialization, not a
+  // logical mutation — the bag's value is defined at composition time.
+  mutable std::shared_ptr<const Partitions> parts_;
+  mutable std::shared_ptr<PendingState> pending_;
   double scale_ = 1.0;
   int64_t key_partitions_ = 0;
   int lineage_depth_ = 1;

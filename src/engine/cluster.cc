@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <queue>
 #include <utility>
 
@@ -33,6 +34,12 @@ double UnitDraw(uint64_t seed, uint64_t stage, uint64_t task, uint64_t attempt,
 Cluster::Cluster(ClusterConfig config) : config_(config) {
   MATRYOSHKA_CHECK(config_.num_machines >= 1);
   MATRYOSHKA_CHECK(config_.cores_per_machine >= 1);
+  // Process-wide A/B switch for the fusion layer: lets scripts/check.sh
+  // fusion re-run whole suites with the fused path forced on and off
+  // without recompiling or threading a flag through every test.
+  if (const char* env = std::getenv("MATRYOSHKA_FUSION")) {
+    config_.fusion.enabled = env[0] != '\0' && env[0] != '0';
+  }
   // default_parallelism <= 0 means "auto": the paper's 3x total cores,
   // resolved here so it tracks whatever cluster shape was configured.
   if (config_.default_parallelism <= 0) {

@@ -112,6 +112,28 @@ struct RecoveryPolicy {
   }
 };
 
+/// Narrow-operator fusion (deferred execution). With fusion on, narrow
+/// operators (Map, Filter, FlatMap, MapValues, FlatMapValues,
+/// ZipWithUniqueId, Sample) do not execute immediately: they compose onto a
+/// pending per-element pipeline that the next forcing point (any wide
+/// operator, any action, Checkpoint, or Bag::Force) runs as ONE fused pass
+/// per partition. The simulated cost model is charged identically at
+/// composition time, so data results, Metrics, and exported traces are
+/// bit-identical with the knob on or off; only real wall-clock changes.
+/// See DESIGN.md, "Fusion contract".
+struct FusionConfig {
+  /// Master switch; off takes the eager per-op execution path,
+  /// byte-identical to the pre-fusion engine. The MATRYOSHKA_FUSION
+  /// environment variable ("0"/"1"), when set, overrides this at Cluster
+  /// construction — scripts/check.sh fusion uses it to A/B entire test
+  /// suites without recompiling.
+  bool enabled = true;
+  /// Maximum narrow ops composed into one pending chain before a forced
+  /// materialization boundary. Bounds the per-element closure nesting depth
+  /// (each composed op adds one indirect call per element).
+  int max_chain_depth = 16;
+};
+
 /// Static description of the (simulated) cluster a program runs on, plus the
 /// calibration constants of the cost model.
 ///
@@ -184,6 +206,10 @@ struct ClusterConfig {
 
   /// Driver-side recovery; the default policy changes nothing.
   RecoveryPolicy recovery;
+
+  /// Narrow-operator fusion; on by default (off = the eager pre-fusion
+  /// execution path, byte-identical results either way).
+  FusionConfig fusion;
 
   int total_cores() const { return num_machines * cores_per_machine; }
   /// Memory budget of one task slot (machine memory divided across the

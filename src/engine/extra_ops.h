@@ -27,14 +27,37 @@ template <typename T>
 Bag<T> Sample(const Bag<T>& bag, double fraction, uint64_t seed) {
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<T>(c);
-  internal::ChargeScanStage(bag, 0.25, "sample");
   const auto threshold = static_cast<uint64_t>(
       fraction >= 1.0 ? ~uint64_t{0}
                       : fraction * static_cast<double>(~uint64_t{0}));
-  typename Bag<T>::Partitions out(bag.partitions().size());
-  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
+  if (internal::ComposeReady(bag)) {
+    internal::ChargeScanStage(bag, 0.25, "sample");
+    const int chain = internal::NextChainOps(bag);
+    // The position counter advances per streamed element; ComposeReady only
+    // composes on size-preserving chains, so positions — and therefore the
+    // deterministic keep/drop draws — match the eager path exactly.
+    auto feed = internal::ComposeFeed<T>(
+        bag,
+        [seed, threshold](std::size_t i, const typename Bag<T>::Sink& emit) {
+          return [seed, threshold, pos = i * 0x9e3779b97f4a7c15ULL,
+                  &emit](auto&& x) mutable {
+            pos += 0x2545f4914f6cdd1dULL;
+            if (Mix64(seed ^ pos ^ Hasher{}(x)) <= threshold) {
+              emit(T(std::forward<decltype(x)>(x)));
+            }
+          };
+        });
+    return internal::MaybeAutoCheckpoint(Bag<T>::Deferred(
+        c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/false,
+        /*counts_bounded=*/true, chain, bag.scale(), bag.key_partitions(),
+        bag.lineage_depth() + 1));
+  }
+  internal::ChargeScanStage(bag, 0.25, "sample");
+  const auto& parts = bag.partitions();
+  typename Bag<T>::Partitions out(parts.size());
+  ParallelFor(c->pool(), parts.size(), [&](std::size_t i) {
     uint64_t pos = i * 0x9e3779b97f4a7c15ULL;
-    for (const auto& x : bag.partitions()[i]) {
+    for (const auto& x : parts[i]) {
       pos += 0x2545f4914f6cdd1dULL;
       const uint64_t r = Mix64(seed ^ pos ^ Hasher{}(x));
       if (r <= threshold) out[i].push_back(x);
@@ -151,6 +174,7 @@ template <typename T, typename Cmp>
 std::vector<T> TopK(const Bag<T>& bag, std::size_t k, Cmp cmp) {
   Cluster* c = bag.cluster();
   if (!c->ok() || k == 0) return {};
+  bag.Force();  // actions are forcing points
   c->BeginJob("top");
   internal::ChargeScanStage(bag, 0.5, "top");
   std::vector<T> heap;

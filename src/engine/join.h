@@ -64,6 +64,9 @@ Bag<std::pair<K, std::pair<V, W>>> RepartitionJoin(
   MATRYOSHKA_CHECK(left.cluster() == right.cluster());
   Cluster* c = left.cluster();
   if (!c->ok()) return Bag<Out>(c);
+  // Joins are forcing points for both inputs' pending fused chains.
+  left.Force();
+  right.Force();
   const int64_t parts =
       internal::ResolveJoinParallelism(c, num_partitions, left, right);
   const double out_scale = std::max(left.scale(), right.scale());
@@ -115,6 +118,8 @@ Bag<std::pair<K, std::pair<V, W>>> BroadcastJoin(
   MATRYOSHKA_CHECK(left.cluster() == right.cluster());
   Cluster* c = left.cluster();
   if (!c->ok()) return Bag<Out>(c);
+  left.Force();   // forcing point for both inputs
+  right.Force();
   const double out_scale = std::max(left.scale(), right.scale());
 
   // Hash tables over the broadcast data cost noticeably more than the raw
@@ -181,6 +186,8 @@ Bag<std::pair<K, std::pair<V, std::optional<W>>>> LeftOuterJoin(
   MATRYOSHKA_CHECK(left.cluster() == right.cluster());
   Cluster* c = left.cluster();
   if (!c->ok()) return Bag<Out>(c);
+  left.Force();   // forcing point for both inputs
+  right.Force();
   const int64_t parts =
       internal::ResolveJoinParallelism(c, num_partitions, left, right);
   const double out_scale = std::max(left.scale(), right.scale());
@@ -226,6 +233,8 @@ Bag<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
   MATRYOSHKA_CHECK(left.cluster() == right.cluster());
   Cluster* c = left.cluster();
   if (!c->ok()) return Bag<Out>(c);
+  left.Force();   // forcing point for both inputs
+  right.Force();
   const int64_t parts =
       internal::ResolveJoinParallelism(c, num_partitions, left, right);
   const double out_scale = std::max(left.scale(), right.scale());
@@ -282,6 +291,8 @@ Bag<std::pair<A, B>> Cartesian(const Bag<A>& left, const Bag<B>& right) {
   MATRYOSHKA_CHECK(left.cluster() == right.cluster());
   Cluster* c = left.cluster();
   if (!c->ok()) return Bag<Out>(c);
+  left.Force();   // forcing point for both inputs
+  right.Force();
   const double out_scale = left.scale() * right.scale();
   c->AccrueBroadcast(RealBagBytes(right), "cartesian");
   if (!c->ok()) return Bag<Out>(c);

@@ -31,13 +31,16 @@ namespace matryoshka::engine {
 namespace internal {
 
 /// Per-task costs of scanning each partition once at the given UDF weight.
+/// Uses the bag's tracked cardinalities, so charging a pending (fused) bag
+/// does not materialize it and yields the same costs the eager path would.
 template <typename T>
 std::vector<double> ScanCosts(const Bag<T>& bag, double weight) {
+  const std::vector<std::size_t> sizes = bag.PartitionSizes();
   std::vector<double> costs;
-  costs.reserve(static_cast<std::size_t>(bag.num_partitions()));
-  for (const auto& part : bag.partitions()) {
+  costs.reserve(sizes.size());
+  for (const std::size_t s : sizes) {
     costs.push_back(bag.cluster()->ComputeCost(
-        static_cast<double>(part.size()) * bag.scale(), weight));
+        static_cast<double>(s) * bag.scale(), weight));
   }
   return costs;
 }
@@ -53,6 +56,52 @@ void ChargeScanStage(const Bag<T>& bag, double weight,
                  StageContext{label});
 }
 
+/// True when the narrow op being applied to `bag` should compose onto a
+/// pending chain instead of executing eagerly. As a side effect, enforces
+/// the forced boundaries of the fusion contract: a pending input whose
+/// tracked cardinality is inexact (a cardinality-changing op ended the
+/// chain) or whose chain is at the depth cap is materialized here, and the
+/// new op starts a fresh chain on the result.
+template <typename T>
+bool ComposeReady(const Bag<T>& bag) {
+  const FusionConfig& fusion = bag.cluster()->config().fusion;
+  if (!fusion.enabled) return false;
+  if (bag.pending() && (!bag.counts_exact() ||
+                        bag.pending_chain_ops() >= fusion.max_chain_depth)) {
+    bag.Force();
+  }
+  return true;
+}
+
+/// Chain length of the op being composed onto `bag`.
+template <typename T>
+int NextChainOps(const Bag<T>& bag) {
+  return bag.pending_chain_ops() + 1;
+}
+
+/// Stacks one per-element transform onto `bag`'s stream, producing the
+/// pending feed of the composing op's output. `make_sink(p, emit)` returns
+/// the per-partition element consumer (a stateful lambda where the op needs
+/// per-partition state, e.g. zipWithUniqueId's counter); it is invoked with
+/// `const T&` elements when the upstream is already materialized and with
+/// `T&&` chain temporaries when the upstream is itself pending, so
+/// pass-through ops can move instead of copy.
+template <typename U, typename T, typename MakeSink>
+typename Bag<U>::Feed ComposeFeed(const Bag<T>& bag, MakeSink make_sink) {
+  if (bag.pending()) {
+    return [prev = bag.pending_feed(), make_sink](
+               std::size_t p, const typename Bag<U>::Sink& emit) {
+      auto sink = make_sink(p, emit);
+      prev(p, [&sink](T&& x) { sink(std::move(x)); });
+    };
+  }
+  return [parts = bag.shared_partitions(), make_sink](
+             std::size_t p, const typename Bag<U>::Sink& emit) {
+    auto sink = make_sink(p, emit);
+    for (const T& x : (*parts)[p]) sink(x);
+  };
+}
+
 }  // namespace internal
 
 /// Applies `f` to every element. f: T -> U.
@@ -62,10 +111,24 @@ auto Map(const Bag<T>& bag, F f, double weight = 1.0)
   using U = std::decay_t<decltype(f(std::declval<const T&>()))>;
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<U>(c);
+  if (internal::ComposeReady(bag)) {
+    // Deferred: charge the cost model now, execute later in one fused pass.
+    internal::ChargeScanStage(bag, weight, "map");
+    const int chain = internal::NextChainOps(bag);
+    auto feed = internal::ComposeFeed<U>(
+        bag, [f](std::size_t, const typename Bag<U>::Sink& emit) {
+          return [f, &emit](auto&& x) { emit(f(x)); };
+        });
+    return internal::MaybeAutoCheckpoint(Bag<U>::Deferred(
+        c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/true,
+        /*counts_bounded=*/true, chain, bag.scale(), 0,
+        bag.lineage_depth() + 1));
+  }
   internal::ChargeScanStage(bag, weight, "map");
-  typename Bag<U>::Partitions out(bag.partitions().size());
-  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
-    const auto& part = bag.partitions()[i];
+  const auto& parts = bag.partitions();
+  typename Bag<U>::Partitions out(parts.size());
+  ParallelFor(c->pool(), parts.size(), [&](std::size_t i) {
+    const auto& part = parts[i];
     out[i].reserve(part.size());
     for (const auto& x : part) out[i].push_back(f(x));
   });
@@ -78,10 +141,32 @@ template <typename T, typename P>
 Bag<T> Filter(const Bag<T>& bag, P pred, double weight = 1.0) {
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<T>(c);
+  if (internal::ComposeReady(bag)) {
+    internal::ChargeScanStage(bag, weight, "filter");
+    const int chain = internal::NextChainOps(bag);
+    auto feed = internal::ComposeFeed<T>(
+        bag, [pred](std::size_t, const typename Bag<T>::Sink& emit) {
+          return [pred, &emit](auto&& x) {
+            if (pred(x)) emit(T(std::forward<decltype(x)>(x)));
+          };
+        });
+    // Output cardinality is now data-dependent: the tracked counts demote
+    // to an upper bound (counts_exact=false), making this chain a forced
+    // boundary for the next narrow op. Key partitioning survives filtering.
+    return internal::MaybeAutoCheckpoint(Bag<T>::Deferred(
+        c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/false,
+        /*counts_bounded=*/true, chain, bag.scale(), bag.key_partitions(),
+        bag.lineage_depth() + 1));
+  }
   internal::ChargeScanStage(bag, weight, "filter");
-  typename Bag<T>::Partitions out(bag.partitions().size());
-  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
-    for (const auto& x : bag.partitions()[i]) {
+  const auto& parts = bag.partitions();
+  typename Bag<T>::Partitions out(parts.size());
+  ParallelFor(c->pool(), parts.size(), [&](std::size_t i) {
+    const auto& part = parts[i];
+    // Selectivity-free capacity bound: the input size. Removes push_back
+    // growth reallocations so the non-fused baseline is fair to A/B against.
+    out[i].reserve(part.size());
+    for (const auto& x : part) {
       if (pred(x)) out[i].push_back(x);
     }
   });
@@ -99,10 +184,27 @@ auto FlatMap(const Bag<T>& bag, F f, double weight = 1.0)
   using U = std::decay_t<decltype(*std::begin(f(std::declval<const T&>())))>;
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<U>(c);
+  if (internal::ComposeReady(bag)) {
+    internal::ChargeScanStage(bag, weight, "flatMap");
+    const int chain = internal::NextChainOps(bag);
+    auto feed = internal::ComposeFeed<U>(
+        bag, [f](std::size_t, const typename Bag<U>::Sink& emit) {
+          return [f, &emit](auto&& x) {
+            for (auto&& y : f(x)) emit(std::move(y));
+          };
+        });
+    // Expansion is unbounded: counts keep only the partition count
+    // (counts_bounded=false disables output reservation at force time).
+    return internal::MaybeAutoCheckpoint(Bag<U>::Deferred(
+        c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/false,
+        /*counts_bounded=*/false, chain, bag.scale(), 0,
+        bag.lineage_depth() + 1));
+  }
   internal::ChargeScanStage(bag, weight, "flatMap");
-  typename Bag<U>::Partitions out(bag.partitions().size());
-  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
-    for (const auto& x : bag.partitions()[i]) {
+  const auto& parts = bag.partitions();
+  typename Bag<U>::Partitions out(parts.size());
+  ParallelFor(c->pool(), parts.size(), [&](std::size_t i) {
+    for (const auto& x : parts[i]) {
       for (auto&& y : f(x)) out[i].push_back(std::move(y));
     }
   });
@@ -119,10 +221,14 @@ auto MapPartitions(const Bag<T>& bag, F f, double weight = 1.0)
       decltype(f(std::declval<const std::vector<T>&>()))>::value_type;
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<U>(c);
+  // Whole-partition transforms cannot be fused per element: a pending input
+  // chain is forced here (driver thread, before the parallel region).
+  bag.Force();
   internal::ChargeScanStage(bag, weight, "mapPartitions");
-  typename Bag<U>::Partitions out(bag.partitions().size());
-  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
-    out[i] = f(bag.partitions()[i]);
+  const auto& parts = bag.partitions();
+  typename Bag<U>::Partitions out(parts.size());
+  ParallelFor(c->pool(), parts.size(), [&](std::size_t i) {
+    out[i] = f(parts[i]);
   });
   return internal::MaybeAutoCheckpoint(
       Bag<U>(c, std::move(out), bag.scale(), 0, bag.lineage_depth() + 1));
@@ -150,10 +256,25 @@ auto MapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0)
   using Out = std::pair<K, W>;
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<Out>(c);
+  if (internal::ComposeReady(bag)) {
+    internal::ChargeScanStage(bag, weight, "mapValues");
+    const int chain = internal::NextChainOps(bag);
+    auto feed = internal::ComposeFeed<Out>(
+        bag, [f](std::size_t, const typename Bag<Out>::Sink& emit) {
+          return [f, &emit](auto&& kv) {
+            emit(Out(std::forward<decltype(kv)>(kv).first, f(kv.second)));
+          };
+        });
+    return internal::MaybeAutoCheckpoint(Bag<Out>::Deferred(
+        c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/true,
+        /*counts_bounded=*/true, chain, bag.scale(), bag.key_partitions(),
+        bag.lineage_depth() + 1));
+  }
   internal::ChargeScanStage(bag, weight, "mapValues");
-  typename Bag<Out>::Partitions out(bag.partitions().size());
-  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
-    const auto& part = bag.partitions()[i];
+  const auto& parts = bag.partitions();
+  typename Bag<Out>::Partitions out(parts.size());
+  ParallelFor(c->pool(), parts.size(), [&](std::size_t i) {
+    const auto& part = parts[i];
     out[i].reserve(part.size());
     for (const auto& [k, v] : part) out[i].emplace_back(k, f(v));
   });
@@ -173,10 +294,27 @@ auto FlatMapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0)
   using Out = std::pair<K, W>;
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<Out>(c);
+  if (internal::ComposeReady(bag)) {
+    internal::ChargeScanStage(bag, weight, "flatMapValues");
+    const int chain = internal::NextChainOps(bag);
+    auto feed = internal::ComposeFeed<Out>(
+        bag, [f](std::size_t, const typename Bag<Out>::Sink& emit) {
+          return [f, &emit](auto&& kv) {
+            for (auto&& w : f(kv.second)) {
+              emit(Out(kv.first, std::move(w)));
+            }
+          };
+        });
+    return internal::MaybeAutoCheckpoint(Bag<Out>::Deferred(
+        c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/false,
+        /*counts_bounded=*/false, chain, bag.scale(), bag.key_partitions(),
+        bag.lineage_depth() + 1));
+  }
   internal::ChargeScanStage(bag, weight, "flatMapValues");
-  typename Bag<Out>::Partitions out(bag.partitions().size());
-  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
-    for (const auto& [k, v] : bag.partitions()[i]) {
+  const auto& parts = bag.partitions();
+  typename Bag<Out>::Partitions out(parts.size());
+  ParallelFor(c->pool(), parts.size(), [&](std::size_t i) {
+    for (const auto& [k, v] : parts[i]) {
       for (auto&& w : f(v)) out[i].emplace_back(k, std::move(w));
     }
   });
@@ -196,6 +334,10 @@ Bag<T> Union(const Bag<T>& a, const Bag<T>& b) {
   MATRYOSHKA_CHECK(a.cluster() == b.cluster());
   Cluster* c = a.cluster();
   if (!c->ok()) return Bag<T>(c);
+  // Union concatenates materialized partition lists; pending chains on
+  // either side are forced (charge-free) rather than composed.
+  a.Force();
+  b.Force();
   const double scale = std::max(a.scale(), b.scale());
   // Metadata-only: lineage is whichever input chain is deeper.
   const int lineage = std::max(a.lineage_depth(), b.lineage_depth());
@@ -218,30 +360,55 @@ Bag<T> Union(const Bag<T>& a, const Bag<T>& b) {
 /// zipWithUniqueId).
 template <typename T>
 Bag<std::pair<uint64_t, T>> ZipWithUniqueId(const Bag<T>& bag) {
+  using Out = std::pair<uint64_t, T>;
   Cluster* c = bag.cluster();
-  if (!c->ok()) return Bag<std::pair<uint64_t, T>>(c);
-  internal::ChargeScanStage(bag, 1.0, "zipWithUniqueId");
+  if (!c->ok()) return Bag<Out>(c);
   const uint64_t stride =
       static_cast<uint64_t>(std::max<int64_t>(1, bag.num_partitions()));
-  typename Bag<std::pair<uint64_t, T>>::Partitions out(bag.partitions().size());
-  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
-    const auto& part = bag.partitions()[i];
+  if (internal::ComposeReady(bag)) {
+    internal::ChargeScanStage(bag, 1.0, "zipWithUniqueId");
+    const int chain = internal::NextChainOps(bag);
+    // Composing is only legal on size-preserving chains (ComposeReady
+    // forces otherwise), so the stream offset of each element equals its
+    // materialized offset and the assigned ids match the eager path.
+    auto feed = internal::ComposeFeed<Out>(
+        bag, [stride](std::size_t p, const typename Bag<Out>::Sink& emit) {
+          return [stride, p, j = uint64_t{0}, &emit](auto&& x) mutable {
+            emit(Out(j++ * stride + p, std::forward<decltype(x)>(x)));
+          };
+        });
+    return internal::MaybeAutoCheckpoint(Bag<Out>::Deferred(
+        c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/true,
+        /*counts_bounded=*/true, chain, bag.scale(), 0,
+        bag.lineage_depth() + 1));
+  }
+  internal::ChargeScanStage(bag, 1.0, "zipWithUniqueId");
+  const auto& parts = bag.partitions();
+  typename Bag<Out>::Partitions out(parts.size());
+  ParallelFor(c->pool(), parts.size(), [&](std::size_t i) {
+    const auto& part = parts[i];
     out[i].reserve(part.size());
     for (std::size_t j = 0; j < part.size(); ++j) {
       out[i].emplace_back(static_cast<uint64_t>(j) * stride + i, part[j]);
     }
   });
-  return internal::MaybeAutoCheckpoint(Bag<std::pair<uint64_t, T>>(
+  return internal::MaybeAutoCheckpoint(Bag<Out>(
       c, std::move(out), bag.scale(), 0, bag.lineage_depth() + 1));
 }
 
 // --- Actions ---
+//
+// Every action is a forcing point for pending fused chains: the chain
+// materializes (charge-free — composition already paid) before the action's
+// own job/scan charges, mirroring Spark where an action runs the pipelined
+// stage it terminates.
 
 /// Number of synthetic elements. Charges a job plus a scan.
 template <typename T>
 int64_t Count(const Bag<T>& bag) {
   Cluster* c = bag.cluster();
   if (!c->ok()) return 0;
+  bag.Force();
   c->BeginJob("count");
   internal::ChargeScanStage(bag, 0.25, "count");
   return bag.Size();
@@ -253,6 +420,7 @@ template <typename T>
 bool NotEmpty(const Bag<T>& bag) {
   Cluster* c = bag.cluster();
   if (!c->ok()) return false;
+  bag.Force();
   c->BeginJob("notEmpty");
   internal::ChargeScanStage(bag, 0.05, "notEmpty");
   return bag.Size() > 0;
@@ -264,6 +432,7 @@ template <typename T, typename F>
 std::optional<T> Reduce(const Bag<T>& bag, F f, double weight = 1.0) {
   Cluster* c = bag.cluster();
   if (!c->ok()) return std::nullopt;
+  bag.Force();
   c->BeginJob("reduce");
   internal::ChargeScanStage(bag, weight, "reduce");
   std::optional<T> acc;
@@ -286,6 +455,7 @@ template <typename T>
 std::vector<T> Collect(const Bag<T>& bag) {
   Cluster* c = bag.cluster();
   if (!c->ok()) return {};
+  bag.Force();
   c->BeginJob("collect");
   internal::ChargeScanStage(bag, 0.25, "collect");
   const double bytes = RealBagBytes(bag);

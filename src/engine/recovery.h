@@ -45,6 +45,9 @@ template <typename T>
 Bag<T> Checkpoint(const Bag<T>& bag, const char* label = "checkpoint") {
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<T>(c);
+  // Checkpointing writes real data: a pending fused chain is a forcing
+  // point here (charge-free — composition already paid the scan stages).
+  bag.Force();
   c->AccrueCheckpoint(RealBagBytes(bag), label);
   if (!c->ok()) return Bag<T>(c);
   return bag.WithLineageDepth(1);
@@ -59,6 +62,13 @@ namespace internal {
 /// machine-loss recompute of its chain (depth x the lost machine's share of
 /// the bag's compute, spread over the surviving slots) exceeds the
 /// checkpoint write cost — so loss recompute is bounded by the interval.
+///
+/// Pending fused bags flow through without materializing until the probe
+/// actually needs data: the policy/lineage early-outs and the RealSize of a
+/// size-preserving chain answer from metadata, while the byte estimate (and
+/// a triggered Checkpoint) force the chain — producing exactly the values
+/// the eager engine computes on its materialized output, so the decision
+/// and every charge are bit-identical with fusion on or off.
 template <typename T>
 Bag<T> MaybeAutoCheckpoint(Bag<T> bag) {
   Cluster* c = bag.cluster();

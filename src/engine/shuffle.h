@@ -63,6 +63,9 @@ typename Bag<T>::Partitions ShuffleBy(const Bag<T>& bag, int64_t num_parts,
   if (!c->ok()) {
     return typename Bag<T>::Partitions(static_cast<std::size_t>(num_parts));
   }
+  // Wide operators are forcing points: a pending fused chain materializes
+  // (charge-free) before the shuffle's own scan + network charges.
+  bag.Force();
   ChargeScanStage(bag, map_weight, label);
   c->AccrueShuffle(RealBagBytes(bag), label);
   return ParallelScatter(c->pool(), bag.partitions(),
@@ -116,6 +119,8 @@ Bag<std::pair<K, V>> PartitionByKey(const Bag<std::pair<K, V>>& bag,
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<std::pair<K, V>>(c);
   const int64_t parts = internal::ResolveParallelism(c, num_partitions);
+  // Metadata-only no-op when already co-partitioned (charge-free in the
+  // eager engine too); a pending key-preserving chain stays pending.
   if (internal::AlreadyKeyPartitioned(bag, parts)) return bag;
   auto out = internal::ShuffleBy(
       bag, parts,
@@ -142,6 +147,9 @@ Bag<std::pair<K, V>> ReduceByKey(const Bag<std::pair<K, V>>& bag, F f,
   using KV = std::pair<K, V>;
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<KV>(c);
+  // Forcing point (both the narrow fast path and the shuffle path execute
+  // on materialized partitions).
+  bag.Force();
   const int64_t parts = internal::ResolveParallelism(c, num_partitions);
   const double out_scale = internal::ResolveScale(result_scale, bag.scale());
 
@@ -281,6 +289,7 @@ Bag<T> Distinct(const Bag<T>& bag, int64_t num_partitions = -1,
                 double result_scale = -1.0) {
   Cluster* c = bag.cluster();
   if (!c->ok()) return Bag<T>(c);
+  bag.Force();  // forcing point
   const int64_t parts = internal::ResolveParallelism(c, num_partitions);
   const double out_scale = internal::ResolveScale(result_scale, bag.scale());
 

@@ -3,11 +3,22 @@
 // produce identical results AND identical simulated metrics with the pool on
 // and off, including under an active fault plan. The cost model is charged
 // from the driver thread only, so nothing may depend on execution order.
+//
+// The FusionDeterminismTest section extends the same contract to the fused
+// narrow-op layer (ClusterConfig::fusion): with fusion on, every narrow op
+// and every wide-op/action forcing point must produce bit-identical data
+// (contents AND order, key_partitions), bit-identical Metrics, and
+// byte-identical exported traces versus the eager path — clean, under an
+// active FaultPlan, and under a RecoveryPolicy with auto-checkpointing.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -16,7 +27,10 @@
 #include "engine/join.h"
 #include "engine/ops.h"
 #include "engine/parallel_shuffle.h"
+#include "engine/recovery.h"
 #include "engine/shuffle.h"
+#include "obs/chrome_trace.h"
+#include "obs/trace_recorder.h"
 
 namespace matryoshka::engine {
 namespace {
@@ -391,6 +405,365 @@ TEST(ParallelDeterminismTest, PoolDoesNotPerturbFaultInjection) {
   ASSERT_TRUE(serial.ok);
   EXPECT_GT(serial.metrics.failed_tasks, 0);
   ExpectSameOutcome(serial, parallel);
+}
+
+// --- Fusion bit-identity --------------------------------------------------
+//
+// ClusterConfig::fusion defaults on, so every test above already runs the
+// fused path. The checks below pin the A/B contract explicitly: fusion off
+// is the eager pre-fusion engine, fusion on must match it bit for bit on
+// data, metrics, and traces — with all charging done at composition time.
+
+ClusterConfig WithFusion(ClusterConfig cfg, bool enabled) {
+  cfg.fusion.enabled = enabled;
+  return cfg;
+}
+
+ClusterConfig WithRecovery(ClusterConfig cfg) {
+  cfg.faults.seed = 5;
+  cfg.faults.task_failure_prob = 0.05;
+  cfg.faults.max_task_retries = 8;
+  cfg.faults.machine_loss_times_s = {0.01};
+  cfg.recovery.auto_checkpoint = true;
+  cfg.recovery.min_checkpoint_lineage = 2;
+  cfg.recovery.checkpoint_bytes_per_s = 1e12;  // checkpoints almost free
+  cfg.recovery.degraded_replanning = true;
+  return cfg;
+}
+
+using PairBag = Bag<std::pair<int64_t, int64_t>>;
+
+/// A map -> filter -> mapValues chain (pending under fusion: the filter
+/// demotes the tracked counts to a bound, so the trailing mapValues starts
+/// a fresh chain on the forced filter output).
+PairBag NarrowChain(Cluster* c) {
+  auto mapped = Map(MakePairs(c), [](const std::pair<int64_t, int64_t>& p) {
+    return std::pair<int64_t, int64_t>(p.first, p.second + 3);
+  });
+  auto filtered = Filter(mapped, [](const std::pair<int64_t, int64_t>& p) {
+    return p.second % 5 != 0;
+  });
+  return MapValues(filtered, [](int64_t v) { return v * 7; });
+}
+
+/// Runs `make_op` (Cluster* -> Bag) with fusion off and on — pool off/on ×
+/// {clean, active FaultPlan, FaultPlan + RecoveryPolicy with
+/// auto-checkpointing} — and requires bit-identical bags (contents AND
+/// order, key_partitions) and full Metrics each time. Metrics are compared
+/// BEFORE the fused result is materialized: the fusion contract charges
+/// everything at composition time, and forcing must charge nothing.
+template <typename MakeOp>
+void ExpectFusionBitIdentical(const MakeOp& make_op) {
+  for (int regime = 0; regime < 3; ++regime) {
+    for (bool parallel : {false, true}) {
+      ClusterConfig base = Config(parallel);
+      if (regime == 1) base = WithFaults(base);
+      if (regime == 2) base = WithRecovery(base);
+      Cluster off(WithFusion(base, false));
+      Cluster on(WithFusion(base, true));
+      auto eager = make_op(&off);
+      auto fused = make_op(&on);
+      ASSERT_EQ(off.ok(), on.ok())
+          << "regime " << regime << " pool " << parallel;
+      ExpectSameMetrics(off.metrics(), on.metrics());
+      ExpectBitIdenticalBags(eager, fused);
+      // ExpectBitIdenticalBags forced any pending chain; that must not have
+      // added a single charge.
+      ExpectSameMetrics(off.metrics(), on.metrics());
+    }
+  }
+}
+
+// Per narrow op: composition must match eager execution exactly.
+
+TEST(FusionDeterminismTest, MapChainBitIdentical) {
+  ExpectFusionBitIdentical([](Cluster* c) {
+    auto once = Map(MakePairs(c), [](const std::pair<int64_t, int64_t>& p) {
+      return std::pair<int64_t, int64_t>(p.first, p.second + 1);
+    });
+    return Map(once, [](const std::pair<int64_t, int64_t>& p) {
+      return std::pair<int64_t, int64_t>(p.second, p.first * 2);
+    });
+  });
+}
+
+TEST(FusionDeterminismTest, FilterBitIdentical) {
+  ExpectFusionBitIdentical([](Cluster* c) {
+    return Filter(MakePairs(c), [](const std::pair<int64_t, int64_t>& p) {
+      return (p.first + p.second) % 3 != 0;
+    });
+  });
+}
+
+TEST(FusionDeterminismTest, FlatMapBitIdentical) {
+  ExpectFusionBitIdentical([](Cluster* c) {
+    return FlatMap(Keys(MakePairs(c)), [](int64_t k) {
+      return std::vector<int64_t>{k, -k};
+    });
+  });
+}
+
+TEST(FusionDeterminismTest, MapValuesBitIdentical) {
+  ExpectFusionBitIdentical([](Cluster* c) {
+    return MapValues(MakePairs(c), [](int64_t v) { return v * 11 - 5; });
+  });
+}
+
+TEST(FusionDeterminismTest, FlatMapValuesBitIdentical) {
+  ExpectFusionBitIdentical([](Cluster* c) {
+    return FlatMapValues(MakePairs(c), [](int64_t v) {
+      return std::vector<int64_t>{v, v + 1, v + 2};
+    });
+  });
+}
+
+TEST(FusionDeterminismTest, ZipWithUniqueIdBitIdentical) {
+  ExpectFusionBitIdentical([](Cluster* c) {
+    // Composed onto a size-preserving chain: stream offsets must equal the
+    // materialized offsets, so the assigned ids match the eager path.
+    auto mapped = Map(Keys(MakePairs(c)), [](int64_t k) { return k * 3; });
+    auto zipped = ZipWithUniqueId(mapped);
+    return Map(zipped, [](const std::pair<uint64_t, int64_t>& p) {
+      return std::pair<int64_t, int64_t>(static_cast<int64_t>(p.first),
+                                         p.second);
+    });
+  });
+}
+
+TEST(FusionDeterminismTest, SampleBitIdentical) {
+  ExpectFusionBitIdentical([](Cluster* c) {
+    // The per-partition position counter drives Sample's deterministic
+    // draws; composing must reproduce them exactly.
+    auto mapped = Map(Keys(MakePairs(c)), [](int64_t k) { return k + 100; });
+    return Sample(mapped, 0.5, kSeed);
+  });
+}
+
+TEST(FusionDeterminismTest, MapPartitionsForcesPendingInput) {
+  ExpectFusionBitIdentical([](Cluster* c) {
+    auto mapped = Map(MakePairs(c), [](const std::pair<int64_t, int64_t>& p) {
+      return std::pair<int64_t, int64_t>(p.first, p.second * 2);
+    });
+    return MapPartitions(
+        mapped, [](const std::vector<std::pair<int64_t, int64_t>>& part) {
+          std::vector<std::pair<int64_t, int64_t>> out(part.rbegin(),
+                                                       part.rend());
+          return out;
+        });
+  });
+}
+
+TEST(FusionDeterminismTest, CardinalityChangingChainBitIdentical) {
+  // filter -> map -> sample: every op after the filter composes on a forced
+  // boundary; the data and charges must still match eager exactly.
+  ExpectFusionBitIdentical([](Cluster* c) {
+    auto filtered =
+        Filter(MakePairs(c), [](const std::pair<int64_t, int64_t>& p) {
+          return p.first % 2 == 0;
+        });
+    auto mapped = Map(filtered, [](const std::pair<int64_t, int64_t>& p) {
+      return std::pair<int64_t, int64_t>(p.first / 2, p.second);
+    });
+    return Sample(mapped, 0.7, kSeed + 1);
+  });
+}
+
+TEST(FusionDeterminismTest, DepthCapForcesBoundary) {
+  // A chain longer than max_chain_depth must force mid-chain and keep both
+  // data and metrics identical to eager.
+  for (bool parallel : {false, true}) {
+    ClusterConfig on_cfg = WithFusion(Config(parallel), true);
+    on_cfg.fusion.max_chain_depth = 2;
+    Cluster off(WithFusion(Config(parallel), false));
+    Cluster on(on_cfg);
+    auto program = [](Cluster* c) {
+      auto bag = MakePairs(c);
+      for (int i = 0; i < 5; ++i) {
+        bag = Map(bag, [](const std::pair<int64_t, int64_t>& p) {
+          return std::pair<int64_t, int64_t>(p.first, p.second + 1);
+        });
+      }
+      return bag;
+    };
+    auto eager = program(&off);
+    auto fused = program(&on);
+    ExpectSameMetrics(off.metrics(), on.metrics());
+    ExpectBitIdenticalBags(eager, fused);
+  }
+}
+
+// Per wide-op forcing point: a pending chain consumed by each wide operator
+// must materialize to exactly the eager input, leaving the wide op's output
+// and charges bit-identical.
+
+TEST(FusionDeterminismTest, ForcedByRepartition) {
+  ExpectFusionBitIdentical(
+      [](Cluster* c) { return Repartition(NarrowChain(c), 5); });
+}
+
+TEST(FusionDeterminismTest, ForcedByPartitionByKey) {
+  ExpectFusionBitIdentical(
+      [](Cluster* c) { return PartitionByKey(NarrowChain(c), 8); });
+}
+
+TEST(FusionDeterminismTest, ForcedByReduceByKeyBothPaths) {
+  // Shuffle path.
+  ExpectFusionBitIdentical([](Cluster* c) {
+    return ReduceByKey(
+        NarrowChain(c), [](int64_t a, int64_t b) { return a + b; }, 8);
+  });
+  // Co-partitioned narrow path: a key-preserving pending chain over an
+  // already-partitioned bag.
+  ExpectFusionBitIdentical([](Cluster* c) {
+    auto keyed = PartitionByKey(MakePairs(c), 8);
+    auto chain = MapValues(keyed, [](int64_t v) { return v + 2; });
+    return ReduceByKey(
+        chain, [](int64_t a, int64_t b) { return a + b; }, 8);
+  });
+}
+
+TEST(FusionDeterminismTest, ForcedByGroupByKeyAndDistinct) {
+  ExpectFusionBitIdentical([](Cluster* c) {
+    auto grouped = GroupByKey(NarrowChain(c), 8);
+    return MapValues(grouped, [](const std::vector<int64_t>& g) {
+      return static_cast<int64_t>(g.size());
+    });
+  });
+  ExpectFusionBitIdentical(
+      [](Cluster* c) { return Distinct(Keys(NarrowChain(c)), 8); });
+}
+
+TEST(FusionDeterminismTest, ForcedByJoins) {
+  ExpectFusionBitIdentical([](Cluster* c) {
+    auto joined = RepartitionJoin(NarrowChain(c), MakeSmallPairs(c), 8);
+    return MapValues(joined, [](const std::pair<int64_t, int64_t>& vw) {
+      return vw.first + vw.second;
+    });
+  });
+  ExpectFusionBitIdentical([](Cluster* c) {
+    auto joined = BroadcastJoin(NarrowChain(c), MakeSmallPairs(c));
+    return MapValues(joined, [](const std::pair<int64_t, int64_t>& vw) {
+      return vw.first - vw.second;
+    });
+  });
+  ExpectFusionBitIdentical([](Cluster* c) {
+    auto joined = LeftOuterJoin(MakeSmallPairs(c), NarrowChain(c), 8);
+    return MapValues(
+        joined, [](const std::pair<int64_t, std::optional<int64_t>>& vw) {
+          return vw.first + vw.second.value_or(-1);
+        });
+  });
+  ExpectFusionBitIdentical([](Cluster* c) {
+    auto cg = CoGroup(NarrowChain(c), MakeSmallPairs(c), 8);
+    return MapValues(
+        cg, [](const std::pair<std::vector<int64_t>, std::vector<int64_t>>& g) {
+          return static_cast<int64_t>(g.first.size() + 100 * g.second.size());
+        });
+  });
+}
+
+TEST(FusionDeterminismTest, ForcedBySetOpsUnionAndCartesian) {
+  ExpectFusionBitIdentical([](Cluster* c) {
+    return Subtract(Keys(NarrowChain(c)), Keys(MakeSmallPairs(c)), 8);
+  });
+  ExpectFusionBitIdentical([](Cluster* c) {
+    return Intersection(Keys(NarrowChain(c)), Keys(MakePairs(c)), 8);
+  });
+  ExpectFusionBitIdentical([](Cluster* c) {
+    auto left = Map(Keys(MakePairs(c)), [](int64_t k) { return k + 1; });
+    return Union(left, Keys(MakeSmallPairs(c)));
+  });
+  ExpectFusionBitIdentical([](Cluster* c) {
+    auto cart = Cartesian(Keys(MakeSmallPairs(c)),
+                          Distinct(Keys(NarrowChain(c)), 4));
+    return Map(cart, [](const std::pair<int64_t, int64_t>& p) {
+      return std::pair<int64_t, int64_t>(p.first, p.second);
+    });
+  });
+}
+
+TEST(FusionDeterminismTest, ForcedByCheckpoint) {
+  ExpectFusionBitIdentical(
+      [](Cluster* c) { return Checkpoint(NarrowChain(c)); });
+}
+
+TEST(FusionDeterminismTest, ActionsForceAndMatch) {
+  // Count / NotEmpty / Reduce / Collect / TopK on a pending chain must
+  // return the eager values and charge the eager metrics.
+  for (int regime = 0; regime < 3; ++regime) {
+    ClusterConfig base = Config(true);
+    if (regime == 1) base = WithFaults(base);
+    if (regime == 2) base = WithRecovery(base);
+    Cluster off(WithFusion(base, false));
+    Cluster on(WithFusion(base, true));
+    auto run = [](Cluster* c) {
+      auto chain = NarrowChain(c);
+      auto keys = Keys(NarrowChain(c));
+      return std::tuple<int64_t, bool, int64_t,
+                        std::vector<std::pair<int64_t, int64_t>>,
+                        std::vector<int64_t>>(
+          Count(chain), NotEmpty(chain),
+          Reduce(keys, [](int64_t a, int64_t b) { return a + b; }).value_or(0),
+          Collect(NarrowChain(c)), TopK(keys, 5, std::less<int64_t>()));
+    };
+    EXPECT_EQ(run(&off), run(&on)) << "regime " << regime;
+    ExpectSameMetrics(off.metrics(), on.metrics());
+  }
+}
+
+// Suite level: the full operator program, the fault program, and the
+// recovery program must be outcome- and metric-identical across fusion arms.
+
+TEST(FusionDeterminismTest, FusionDoesNotPerturbSuiteResultsOrCostModel) {
+  SuiteOutcome eager = RunSuite(WithFusion(Config(true), false));
+  SuiteOutcome fused = RunSuite(WithFusion(Config(true), true));
+  ASSERT_TRUE(eager.ok);
+  EXPECT_GT(eager.count, 0);
+  ExpectSameOutcome(eager, fused);
+}
+
+TEST(FusionDeterminismTest, FusionDoesNotPerturbFaultInjection) {
+  SuiteOutcome eager = RunSuite(WithFaults(WithFusion(Config(true), false)));
+  SuiteOutcome fused = RunSuite(WithFaults(WithFusion(Config(true), true)));
+  ASSERT_TRUE(eager.ok);
+  EXPECT_GT(eager.metrics.failed_tasks, 0);
+  ExpectSameOutcome(eager, fused);
+}
+
+TEST(FusionDeterminismTest, FusionDoesNotPerturbRecoveryFeatures) {
+  SuiteOutcome eager = RunSuite(WithRecovery(WithFusion(Config(true), false)));
+  SuiteOutcome fused = RunSuite(WithRecovery(WithFusion(Config(true), true)));
+  ASSERT_TRUE(eager.ok);
+  EXPECT_EQ(eager.metrics.machines_lost, 1);
+  EXPECT_GT(eager.metrics.checkpoints_written, 0);
+  ExpectSameOutcome(eager, fused);
+}
+
+/// Exported trace of a narrow-chain + wide-op + action program (the obs
+/// suite's byte-identity pattern).
+std::string FusionTraceFor(ClusterConfig cfg) {
+  Cluster c(cfg);
+  obs::TraceRecorder rec;
+  rec.SetRunNameHint("fusion-suite");
+  c.set_trace(&rec);
+  auto chain = NarrowChain(&c);
+  auto reduced = ReduceByKey(
+      chain, [](int64_t a, int64_t b) { return a + b; }, 8);
+  (void)Count(reduced);
+  (void)Collect(Keys(chain));
+  EXPECT_TRUE(c.ok());
+  return obs::ChromeTraceToString(rec);
+}
+
+TEST(FusionDeterminismTest, TraceIsByteIdenticalAcrossFusionArms) {
+  for (int regime = 0; regime < 3; ++regime) {
+    ClusterConfig base = Config(true);
+    if (regime == 1) base = WithFaults(base);
+    if (regime == 2) base = WithRecovery(base);
+    EXPECT_EQ(FusionTraceFor(WithFusion(base, false)),
+              FusionTraceFor(WithFusion(base, true)))
+        << "regime " << regime;
+  }
 }
 
 TEST(ParallelDeterminismTest, PoolDoesNotPerturbRecoveryFeatures) {
