@@ -1,0 +1,240 @@
+// Wall-clock serving load: an open-loop generator drives the plan-serving
+// driver (src/serve) with a fixed synthetic request schedule and reports
+// sustained requests/second plus p50/p99 per-request latency on the
+// HARDWARE clock (like bench_engine_throughput, not the simulated cluster
+// time of the figure benches). BENCH_serving.json is the committed
+// snapshot.
+//
+// Axes:
+//   arg0: max_in_flight serving workers (1, 2, 4, 8). The shared engine
+//         pool stays fixed at 4 threads, so this isolates the serving
+//         layer's concurrency from the engine's.
+//   arg1: memo cache (0 = off: every request recomputes; 1 = on: the
+//         schedule's repeated (plan, params) points hit).
+//
+// The schedule is open-loop: all arrivals are generated up front,
+// independent of completions, and the queue is sized to admit them all —
+// so the measured rate is the driver's saturation throughput and the
+// latency percentiles include queue wait, exactly what a serving operator
+// sees. A second family (rejection/) shrinks the queue to measure the
+// admission-control path under overload.
+//
+// With --metrics-json=FILE each run records a "wall" object extended with
+// requests_per_s / p50_s / p99_s next to the aggregate simulated metrics
+// (additive to the matryoshka-bench-metrics-v1 schema).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "engine/bag.h"
+#include "engine/ops.h"
+#include "engine/shuffle.h"
+#include "serve/plan.h"
+#include "serve/registry.h"
+#include "serve/serving_driver.h"
+
+namespace matryoshka::bench {
+namespace {
+
+constexpr int kRequests = 192;
+constexpr int kParamPoints = 16;  // distinct (plan, params) points -> 12x reuse
+constexpr int kEnginePoolThreads = 4;
+
+engine::ClusterConfig ServedEngine() {
+  engine::ClusterConfig cfg;
+  cfg.num_machines = 4;
+  cfg.cores_per_machine = 2;
+  cfg.default_parallelism = 8;
+  cfg.execute_parallel = true;
+  return cfg;
+}
+
+/// The served plan: a keyed aggregation over synthetic rows, sized so one
+/// request costs a few milliseconds of real work — large enough to contend
+/// on the shared pool, small enough for a multi-hundred-request schedule.
+serve::PlanSpec AggregationSpec() {
+  serve::PlanSpec spec;
+  spec.name = "agg";
+  spec.description = "parameterized keyed aggregation";
+  spec.body = [](engine::Cluster* c, const serve::PlanParams& params) {
+    const int64_t mod = params.GetInt("mod", 64);
+    std::vector<std::pair<int64_t, int64_t>> kv;
+    kv.reserve(1 << 15);
+    for (int64_t i = 0; i < (1 << 15); ++i) {
+      kv.emplace_back(i % mod, i % 17);
+    }
+    auto bag = engine::Parallelize(c, std::move(kv), 8);
+    auto mapped =
+        engine::Map(bag, [](const std::pair<int64_t, int64_t>& p) {
+          return std::pair<int64_t, int64_t>(p.first, p.second * 3 + 1);
+        });
+    auto reduced = engine::ReduceByKey(
+        mapped, [](int64_t a, int64_t b) { return a + b; }, 8);
+    return serve::CollectOutput(reduced);
+  };
+  return spec;
+}
+
+/// The fixed open-loop schedule: kRequests requests cycling over
+/// kParamPoints parameter points and two tenants. Deterministic, so every
+/// benchmark iteration (and every commit) offers the identical load.
+std::vector<serve::ServeRequest> Schedule() {
+  std::vector<serve::ServeRequest> reqs;
+  reqs.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    serve::ServeRequest req;
+    req.plan = "agg";
+    req.tenant = (i % 3 == 0) ? "batch" : "interactive";
+    req.params.Set("mod",
+                   lang::Value(int64_t{8 + 7 * (i % kParamPoints)}));
+    reqs.push_back(std::move(req));
+  }
+  return reqs;
+}
+
+struct LoadOutcome {
+  double wall_s = 0.0;
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  serve::ServingDriver::Stats stats;
+};
+
+LoadOutcome DriveSchedule(int max_in_flight, bool cache_on,
+                          int queue_depth) {
+  serve::PlanRegistry registry;
+  const Status registered = registry.Register(AggregationSpec());
+  MATRYOSHKA_CHECK(registered.ok()) << registered.message();
+
+  serve::ServingConfig cfg;
+  cfg.cluster = ServedEngine();
+  cfg.max_in_flight = max_in_flight;
+  cfg.max_queue_depth = queue_depth;
+  cfg.cache_entries = cache_on ? 64 : 0;
+  cfg.pool_threads = kEnginePoolThreads;
+  serve::ServingDriver driver(&registry, cfg);
+
+  const std::vector<serve::ServeRequest> schedule = Schedule();
+  std::vector<std::shared_ptr<serve::ServeTicket>> tickets;
+  tickets.reserve(schedule.size());
+
+  Stopwatch watch;
+  for (const serve::ServeRequest& req : schedule) {
+    tickets.push_back(driver.Submit(req));
+  }
+  std::vector<double> latencies;
+  latencies.reserve(tickets.size());
+  LoadOutcome out;
+  for (auto& ticket : tickets) {
+    const serve::ServeResponse& resp = ticket->Wait();
+    if (resp.rejected) {
+      ++out.rejected;
+    } else if (resp.status.ok()) {
+      ++out.completed;
+      latencies.push_back(resp.wall_s);
+    }
+  }
+  out.wall_s = watch.ElapsedSeconds();
+
+  std::sort(latencies.begin(), latencies.end());
+  if (!latencies.empty()) {
+    const std::size_t n = latencies.size();
+    out.p50_s = latencies[n / 2];
+    out.p99_s = latencies[(n * 99) / 100 < n ? (n * 99) / 100 : n - 1];
+  }
+  out.stats = driver.GetStats();
+  return out;
+}
+
+void BM_ServeSustained(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const bool cache_on = state.range(1) != 0;
+  LoadOutcome out;
+  for (auto _ : state) {
+    out = DriveSchedule(workers, cache_on, /*queue_depth=*/kRequests);
+    state.SetIterationTime(out.wall_s);
+  }
+  state.counters["req_per_s"] =
+      out.wall_s > 0 ? static_cast<double>(out.completed) / out.wall_s : 0;
+  state.counters["p50_ms"] = out.p50_s * 1e3;
+  state.counters["p99_ms"] = out.p99_s * 1e3;
+  state.counters["completed"] = static_cast<double>(out.completed);
+  state.counters["cache_hits"] = static_cast<double>(out.stats.cache.hits);
+
+  ObsSession::WallStats wall;
+  wall.real_s = out.wall_s;
+  wall.elements = out.stats.aggregate.elements_processed;
+  wall.elements_per_s =
+      out.wall_s > 0
+          ? static_cast<double>(out.stats.aggregate.elements_processed) /
+                out.wall_s
+          : 0;
+  wall.has_latency = true;
+  wall.requests_per_s =
+      out.wall_s > 0 ? static_cast<double>(out.completed) / out.wall_s : 0;
+  wall.p50_s = out.p50_s;
+  wall.p99_s = out.p99_s;
+  ObsSession::Get().ReportNamedRun(
+      "serving/sustained/" + std::to_string(workers) + "/" +
+          (cache_on ? "cache" : "nocache"),
+      out.stats.aggregate, out.stats.failed == 0,
+      out.stats.failed == 0 ? "OK" : "failures under load", wall);
+}
+
+/// Overload arm: the queue admits only a quarter of the schedule, so
+/// admission control must reject the rest without hurting the admitted
+/// requests' latency.
+void BM_ServeOverload(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  LoadOutcome out;
+  for (auto _ : state) {
+    out = DriveSchedule(workers, /*cache_on=*/false,
+                        /*queue_depth=*/kRequests / 4);
+    state.SetIterationTime(out.wall_s);
+  }
+  state.counters["req_per_s"] =
+      out.wall_s > 0 ? static_cast<double>(out.completed) / out.wall_s : 0;
+  state.counters["rejected"] = static_cast<double>(out.rejected);
+  state.counters["p99_ms"] = out.p99_s * 1e3;
+
+  ObsSession::WallStats wall;
+  wall.real_s = out.wall_s;
+  wall.elements = out.stats.aggregate.elements_processed;
+  wall.elements_per_s =
+      out.wall_s > 0
+          ? static_cast<double>(out.stats.aggregate.elements_processed) /
+                out.wall_s
+          : 0;
+  wall.has_latency = true;
+  wall.requests_per_s =
+      out.wall_s > 0 ? static_cast<double>(out.completed) / out.wall_s : 0;
+  wall.p50_s = out.p50_s;
+  wall.p99_s = out.p99_s;
+  ObsSession::Get().ReportNamedRun(
+      "serving/overload/" + std::to_string(workers),
+      out.stats.aggregate, true, "OK", wall);
+}
+
+BENCHMARK(BM_ServeSustained)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServeOverload)
+    ->Arg(2)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace matryoshka::bench
+
+MATRYOSHKA_BENCH_MAIN();

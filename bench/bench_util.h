@@ -207,6 +207,15 @@ class ObsSession {
     double real_s = 0.0;
     int64_t elements = 0;
     double elements_per_s = 0.0;
+    /// Serving-load extension (bench_serving): sustained request throughput
+    /// and per-request wall-clock latency percentiles. Emitted into the
+    /// "wall" object only when has_latency is set — an additive extension
+    /// of the matryoshka-bench-metrics-v1 schema (validators assert key
+    /// subsets, so older readers are unaffected).
+    bool has_latency = false;
+    double requests_per_s = 0.0;
+    double p50_s = 0.0;
+    double p99_s = 0.0;
   };
 
   /// Appends one named record directly, without the trace recorder: wall-time
@@ -289,6 +298,12 @@ class ObsSession {
         os << ", \"elements\": " << rec.wall.elements;
         os << ", \"elements_per_s\": "
            << obs::JsonDouble(rec.wall.elements_per_s);
+        if (rec.wall.has_latency) {
+          os << ", \"requests_per_s\": "
+             << obs::JsonDouble(rec.wall.requests_per_s);
+          os << ", \"p50_s\": " << obs::JsonDouble(rec.wall.p50_s);
+          os << ", \"p99_s\": " << obs::JsonDouble(rec.wall.p99_s);
+        }
         os << "}";
       }
       os << "}";

@@ -15,6 +15,9 @@
 #                               # ClusterConfig::fusion forced on AND off
 #                               # (MATRYOSHKA_FUSION), then the tsan suites
 #                               # both ways + the fused chain bench under TSan
+#   scripts/check.sh serve      # serving suite under the default preset AND
+#                               # ThreadSanitizer, + bench_serving metrics
+#                               # round-trip with latency-schema validation
 # Any extra arguments are forwarded to ctest.
 set -eu
 
@@ -40,9 +43,11 @@ case "$mode" in
     preset=perf; test_preset="" ;;
   fusion)
     preset=default; test_preset="" ;;
+  serve)
+    preset=default; test_preset=serve ;;
   *)
     echo "usage: scripts/check.sh" \
-         "[default|asan|faults|obs|recovery|tsan|perf|fusion]" \
+         "[default|asan|faults|obs|recovery|tsan|perf|fusion|serve]" \
          "[ctest args...]" >&2
     exit 2 ;;
 esac
@@ -151,6 +156,41 @@ for run in doc["runs"]:
                 "plan_fallbacks", "recovery_time_s"):
         assert key in m, f"missing {key} in {run['name']}"
 print("ok:", sys.argv[1])
+EOF
+fi
+
+if [ "$mode" = serve ]; then
+  # The serving isolation contract must also hold under ThreadSanitizer:
+  # the same suite runs with real concurrency on the shared pool.
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  ctest --preset serve-tsan -j "$(nproc)" "$@"
+  # End-to-end: the open-loop serving load bench with --metrics-json on,
+  # validated for the v1 schema plus the additive latency fields.
+  out_dir="build/serve-check"
+  mkdir -p "$out_dir"
+  build/bench/bench_serving \
+    --benchmark_min_time=0.01 \
+    --benchmark_min_warmup_time=0 \
+    --metrics-json="$out_dir/metrics.json" >/dev/null
+  python3 - "$out_dir/metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "matryoshka-bench-metrics-v1", doc["schema"]
+assert doc["runs"], "no runs recorded"
+cache_arms = set()
+for run in doc["runs"]:
+    name = run["name"]
+    assert name.startswith("serving/"), name
+    if name.startswith("serving/sustained/"):
+        cache_arms.add(name.rsplit("/", 1)[-1])
+    wall = run["wall"]
+    assert wall["real_s"] > 0, name
+    assert wall["requests_per_s"] > 0, name
+    assert 0 < wall["p50_s"] <= wall["p99_s"], name
+assert cache_arms == {"cache", "nocache"}, cache_arms
+print("ok:", sys.argv[1], f"({len(doc['runs'])} runs)")
 EOF
 fi
 

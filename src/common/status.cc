@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Task failed";
     case StatusCode::kDeadlineExceeded:
       return "Deadline exceeded";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

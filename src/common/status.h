@@ -28,6 +28,9 @@ enum class StatusCode {
   /// clock. Like kTaskFailed it is retryable at the driver level
   /// (engine::RetryableForDriver), unlike the deterministic memory failures.
   kDeadlineExceeded,
+  /// The serving layer refused to admit a request (queue depth or in-flight
+  /// bound reached). Nothing ran; the caller may retry later or shed load.
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -81,6 +84,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
@@ -94,6 +100,9 @@ class Status {
   bool IsTaskFailed() const { return code_ == StatusCode::kTaskFailed; }
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
   }
 
   StatusCode code() const { return code_; }

@@ -7,6 +7,11 @@
 
 namespace matryoshka {
 
+std::size_t ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   MATRYOSHKA_CHECK(num_threads >= 1);
   threads_.reserve(num_threads);

@@ -48,11 +48,24 @@ class TaskFunction {
 /// Fixed-size worker pool used by the engine to execute partition tasks in
 /// parallel when ClusterConfig::execute_parallel is set. Task submission is
 /// fire-and-forget; use ParallelFor for fork-join workloads.
+///
+/// Sharing contract (the serving layer leans on this): one pool may be
+/// shared by any number of driver threads, each running its own Cluster.
+/// Submit and ParallelFor are safe to call concurrently from different
+/// threads; every ParallelFor call carries its own completion state, so
+/// concurrent fork-join loops from different drivers interleave on the
+/// workers without observing each other. Only WaitIdle is global (it waits
+/// for ALL submitted work, whoever submitted it) — concurrent drivers
+/// should rely on ParallelFor's own barrier instead.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1).
   explicit ThreadPool(std::size_t num_threads);
   ~ThreadPool();
+
+  /// Worker count to use when the caller does not care: one per hardware
+  /// thread, with a fixed fallback when the hardware does not say.
+  static std::size_t DefaultThreads();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;

@@ -124,9 +124,12 @@ class Bag {
   /// on materialized bags. Charges NOTHING: every composed op already
   /// charged its scan stage, lineage, and auto-checkpoint probe at
   /// composition time. Must be called from the driver thread (it runs the
-  /// pass on the cluster pool itself).
+  /// pass on the cluster pool itself, and the chain memoization is not
+  /// thread-safe); a violation CHECK-fails with an actionable message
+  /// instead of racing (Cluster::CheckDriverThread).
   void Force() const {
     if (pending_ == nullptr) return;
+    cluster_->CheckDriverThread("Bag::Force()");
     if (pending_->materialized == nullptr) {
       const PendingState& chain = *pending_;
       auto out = std::make_shared<Partitions>(chain.counts.size());

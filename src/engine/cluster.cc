@@ -46,13 +46,35 @@ Cluster::Cluster(ClusterConfig config) : config_(config) {
     config_.default_parallelism = 3 * config_.total_cores();
   }
   if (config_.execute_parallel) {
-    unsigned hw = config_.pool_threads > 0
-                      ? static_cast<unsigned>(config_.pool_threads)
-                      : std::thread::hardware_concurrency();
-    pool_ = std::make_unique<ThreadPool>(hw == 0 ? 4 : hw);
+    if (config_.shared_pool != nullptr) {
+      // Externally owned (serving): per-request isolation with shared CPUs.
+      pool_ptr_ = config_.shared_pool;
+    } else {
+      const std::size_t threads = config_.pool_threads > 0
+                                      ? static_cast<std::size_t>(
+                                            config_.pool_threads)
+                                      : ThreadPool::DefaultThreads();
+      pool_ = std::make_unique<ThreadPool>(threads);
+      pool_ptr_ = pool_.get();
+    }
   }
+  driver_thread_ = std::this_thread::get_id();
   loss_times_ = config_.faults.machine_loss_times_s;
   std::sort(loss_times_.begin(), loss_times_.end());
+}
+
+void Cluster::CheckDriverThread(const char* what) const {
+  if (OnDriverThread()) return;
+  MATRYOSHKA_CHECK(false)
+      << what
+      << " called off the cluster's driver thread. A Cluster and its Bags "
+         "are single-threaded: all cost-model accounting and pending-chain "
+         "forcing must run on the one thread that drives the program (the "
+         "thread pool only executes per-index bodies handed over by "
+         "ParallelFor). If this thread legitimately took over the program "
+         "(e.g. a serving worker executing a request on a Cluster built "
+         "elsewhere), call Cluster::BindDriverThread() on it before running "
+         "any operator; otherwise move this call to the driver thread.";
 }
 
 Cluster::~Cluster() = default;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -201,6 +202,16 @@ struct ClusterConfig {
   /// real concurrency regardless of the host's core count).
   int pool_threads = 0;
 
+  /// Externally owned pool to execute on instead of spawning a private one
+  /// (only consulted with execute_parallel on; pool_threads is then
+  /// ignored). The serving layer runs every request's Cluster over ONE
+  /// shared pool this way: per-request state (metrics, fault draws, sticky
+  /// status, trace sink) stays isolated in each Cluster while the real CPU
+  /// work of all in-flight requests interleaves on the shared workers. The
+  /// pool must outlive the Cluster; results are bit-identical to a private
+  /// pool of any size.
+  ThreadPool* shared_pool = nullptr;
+
   /// Deterministic fault injection; the default plan injects nothing.
   FaultPlan faults;
 
@@ -268,6 +279,14 @@ struct Metrics {
   /// Degraded-mode plan fallbacks (e.g. broadcast join -> repartition join
   /// after machine loss shrank the broadcast memory budget).
   int64_t plan_fallbacks = 0;
+  /// --- Serving memo cache (all zero outside the serving layer; per-request
+  /// metrics never carry them — a cached response returns the memoized
+  /// metrics of the original computation byte-identically, and the serving
+  /// driver tallies hits/misses/evictions into its *aggregate* metrics
+  /// snapshot only) ---
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  int64_t cache_evictions = 0;
 };
 
 /// Execution context shared by every Bag of one program run: cost-model
@@ -408,7 +427,35 @@ class Cluster {
   }
 
   /// Thread pool for real parallel execution, or nullptr when disabled.
-  ThreadPool* pool() { return pool_.get(); }
+  /// Either privately owned or the config's shared_pool.
+  ThreadPool* pool() { return pool_ptr_; }
+
+  // --- Driver-thread contract ---
+  //
+  // A Cluster (and every Bag on it) is single-threaded BY DESIGN: all
+  // cost-model accounting, fault draws, and pending-chain forcing happen on
+  // one "driver" thread, which is what makes runs bit-identical. The pool
+  // only ever executes closed per-index bodies handed over by ParallelFor.
+  // The driver thread is whichever thread constructed the Cluster; a thread
+  // that legitimately takes over a Cluster (e.g. a serving worker executing
+  // a request on a Cluster built elsewhere) must call BindDriverThread()
+  // first. CheckDriverThread turns a violation — previously silent UB —
+  // into an immediate CHECK failure with an actionable message.
+
+  /// Re-binds the driver thread to the calling thread. Only call while no
+  /// operator is executing (between requests / before the program starts).
+  void BindDriverThread() { driver_thread_ = std::this_thread::get_id(); }
+
+  /// True on the thread that owns this Cluster's driver role.
+  bool OnDriverThread() const {
+    return std::this_thread::get_id() == driver_thread_;
+  }
+
+  /// Aborts with an actionable message when called off the driver thread.
+  /// Called by Bag::Force() (and available to any driver-side entry point):
+  /// forcing a pending fused chain off the driver thread would race the
+  /// chain's memoization and the cost model. No-op on the driver thread.
+  void CheckDriverThread(const char* what) const;
 
   /// Machines still alive (>= 1; machine-loss events permanently remove
   /// machines until the next Reset).
@@ -507,6 +554,11 @@ class Cluster {
   Status status_;
   obs::TraceRecorder* trace_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
+  /// The pool operators actually run on: pool_.get(), the config's
+  /// shared_pool, or nullptr (serial execution).
+  ThreadPool* pool_ptr_ = nullptr;
+  /// Thread that owns the driver role (see BindDriverThread).
+  std::thread::id driver_thread_;
   /// Sorted copy of config_.faults.machine_loss_times_s.
   std::vector<double> loss_times_;
   std::size_t next_loss_event_ = 0;

@@ -1,0 +1,47 @@
+#include "serve/memo_cache.h"
+
+#include <utility>
+
+namespace matryoshka::serve {
+
+std::shared_ptr<const CachedResult> MemoCache::Lookup(const CacheKey& key) {
+  if (!enabled()) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.pos);
+  return it->second.result;
+}
+
+void MemoCache::Insert(const CacheKey& key,
+                       std::shared_ptr<const CachedResult> result) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Concurrent recompute of the same point (both missed before either
+    // inserted): keep the first entry — deterministic plans make the two
+    // results identical anyway — and just freshen it.
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    return;
+  }
+  if (map_.size() >= max_entries_) {
+    const CacheKey& victim = lru_.back();
+    map_.erase(victim);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{std::move(result), lru_.begin()});
+}
+
+MemoCache::Stats MemoCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_, evictions_, map_.size()};
+}
+
+}  // namespace matryoshka::serve

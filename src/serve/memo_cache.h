@@ -1,0 +1,101 @@
+#ifndef MATRYOSHKA_SERVE_MEMO_CACHE_H_
+#define MATRYOSHKA_SERVE_MEMO_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "engine/cluster.h"
+#include "serve/plan.h"
+
+/// Result memoization for the serving driver, keyed by
+/// (plan name, params fingerprint, input fingerprint).
+///
+/// Determinism contract: a cached entry stores the COMPLETE response of
+/// the original computation — output, Metrics, exported trace — so a hit
+/// returns bytes identical to a recompute (the memo-cache invariant
+/// tests diff the two). Hit/miss/eviction counters live here and surface
+/// only in the driver's aggregate stats, never in a per-request response:
+/// which request hits the cache is timing-dependent under concurrent
+/// load, and per-request responses must stay bit-identical regardless.
+namespace matryoshka::serve {
+
+struct CacheKey {
+  std::string plan;
+  uint64_t params_fp = 0;
+  uint64_t input_fp = 0;
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) {
+    return a.params_fp == b.params_fp && a.input_fp == b.input_fp &&
+           a.plan == b.plan;
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const {
+    uint64_t h = Mix64(std::hash<std::string>{}(k.plan));
+    h = Mix64(h ^ k.params_fp);
+    h = Mix64(h ^ k.input_fp);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// The memoized response of one (plan, params, input) point. Shared
+/// immutably between the cache and in-flight responses.
+struct CachedResult {
+  Status status;
+  PlanOutput output;
+  engine::Metrics metrics;
+  std::string trace_json;
+};
+
+/// Mutex-guarded LRU map. `max_entries == 0` disables caching entirely
+/// (every Lookup misses without counting, Insert drops).
+class MemoCache {
+ public:
+  explicit MemoCache(std::size_t max_entries) : max_entries_(max_entries) {}
+  MemoCache(const MemoCache&) = delete;
+  MemoCache& operator=(const MemoCache&) = delete;
+
+  bool enabled() const { return max_entries_ > 0; }
+
+  /// Returns the cached result (freshening its LRU position, counting a
+  /// hit) or nullptr (counting a miss). Disabled caches return nullptr
+  /// without counting.
+  std::shared_ptr<const CachedResult> Lookup(const CacheKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entry when full. No-op on a disabled cache.
+  void Insert(const CacheKey& key, std::shared_ptr<const CachedResult> result);
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    std::size_t size = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CachedResult> result;
+    std::list<CacheKey>::iterator pos;  // position in lru_
+  };
+
+  mutable std::mutex mu_;
+  const std::size_t max_entries_;
+  std::list<CacheKey> lru_;  // front = most recently used
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> map_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace matryoshka::serve
+
+#endif  // MATRYOSHKA_SERVE_MEMO_CACHE_H_

@@ -1,0 +1,123 @@
+#include "serve/registry.h"
+
+#include <utility>
+
+#include "common/hash.h"
+#include "engine/bag.h"
+#include "lang/lowering_phase.h"
+#include "lang/parsing_phase.h"
+
+namespace matryoshka::serve {
+
+Status PlanRegistry::Register(PlanSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("PlanRegistry: plan name must not be empty");
+  }
+  if (!spec.body) {
+    return Status::InvalidArgument("PlanRegistry: plan '" + spec.name +
+                                   "' has no body");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Take the key before moving the spec: argument evaluation order is
+  // unspecified, so `try_emplace(spec.name, ...move(spec)...)` may read a
+  // moved-from name.
+  std::string name = spec.name;
+  auto [it, inserted] = plans_.try_emplace(
+      std::move(name), std::make_unique<PlanSpec>(std::move(spec)));
+  if (!inserted) {
+    return Status::InvalidArgument("PlanRegistry: plan '" + it->first +
+                                   "' is already registered");
+  }
+  return Status::OK();
+}
+
+Result<const PlanSpec*> PlanRegistry::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(name);
+  if (it == plans_.end()) {
+    std::string known;
+    for (const auto& [n, spec] : plans_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    return Status::InvalidArgument(
+        "PlanRegistry: unknown plan '" + name + "' (registered: " +
+        (known.empty() ? "<none>" : known) + ")");
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> PlanRegistry::PlanNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(plans_.size());
+  for (const auto& [name, spec] : plans_) names.push_back(name);
+  return names;
+}
+
+std::size_t PlanRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+Result<PlanSpec> MakeLangPlanSpec(std::string name,
+                                  const lang::Program& surface,
+                                  std::vector<LangSource> sources,
+                                  std::string description) {
+  // Compile time: rewrite the surface program into the explicitly
+  // nested-parallel plan once; every request lowers the same plan.
+  lang::ParsingPhase parser;
+  Result<lang::Program> rewritten = parser.Rewrite(surface);
+  if (!rewritten.ok()) return rewritten.status();
+  auto plan = std::make_shared<const lang::Program>(std::move(rewritten).value());
+
+  uint64_t input_fp = 0x6c616e672d696eULL;  // "lang-in"
+  for (const LangSource& src : sources) {
+    input_fp = Mix64(input_fp ^ Mix64(std::hash<std::string>{}(src.name)));
+    input_fp = Mix64(input_fp ^ static_cast<uint64_t>(src.partitions));
+    if (src.rows != nullptr) {
+      for (const lang::Value& row : *src.rows) {
+        input_fp = Mix64(input_fp ^ static_cast<uint64_t>(row.HashValue()));
+      }
+    }
+  }
+
+  PlanSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.input_fingerprint = input_fp;
+  spec.body = [plan, sources = std::move(sources)](
+                  engine::Cluster* cluster,
+                  const PlanParams& params) -> PlanOutput {
+    lang::LoweringPhase lowering(cluster);
+    for (const LangSource& src : sources) {
+      std::vector<lang::Value> rows =
+          src.rows != nullptr ? *src.rows : std::vector<lang::Value>{};
+      lowering.BindSource(src.name, engine::Parallelize(cluster, std::move(rows),
+                                                        src.partitions,
+                                                        /*scale=*/1.0));
+    }
+    // Runtime parameter binding: each param becomes a single-element
+    // source bag named after it, usable via Source("<param>") in the
+    // program (e.g. unioned in, or consumed by a lifted UDF).
+    for (const auto& [key, value] : params.entries()) {
+      lowering.BindSource(
+          key, engine::Parallelize(cluster, std::vector<lang::Value>{value},
+                                   /*num_partitions=*/1, /*scale=*/1.0));
+    }
+    Result<std::vector<lang::Value>> rows = lowering.Execute(*plan);
+    PlanOutput out;
+    if (!rows.ok()) {
+      // Surface the lowering failure through the cluster's sticky status
+      // so the driver reports it like any engine failure.
+      if (cluster->ok()) cluster->Fail(rows.status());
+      return out;
+    }
+    out.key_partitions = 0;
+    out.partitions.push_back(std::move(rows).value());
+    return out;
+  };
+  return spec;
+}
+
+}  // namespace matryoshka::serve

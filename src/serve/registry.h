@@ -1,0 +1,94 @@
+#ifndef MATRYOSHKA_SERVE_REGISTRY_H_
+#define MATRYOSHKA_SERVE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/cluster.h"
+#include "lang/expr.h"
+#include "serve/plan.h"
+
+/// The catalog side of the serving layer: named, parameterized logical
+/// plans registered once and executed many times by the ServingDriver.
+///
+/// A plan body is a pure function of (cluster, params): it builds bags on
+/// the request's OWN Cluster and returns a PlanOutput. It must not touch
+/// any state shared across requests — that is the whole serving isolation
+/// contract (DESIGN.md); the registry is the only shared structure and is
+/// read-only after registration.
+namespace matryoshka::serve {
+
+/// A plan's executable body. Runs on a ServingDriver worker thread, on a
+/// per-request Cluster whose driver thread is that worker; may be invoked
+/// concurrently with itself (different clusters), so it must be
+/// re-entrant and capture only immutable state.
+using PlanFn =
+    std::function<PlanOutput(engine::Cluster*, const PlanParams&)>;
+
+struct PlanSpec {
+  std::string name;
+  std::string description;
+  PlanFn body;
+  /// Content fingerprint of the plan's input data; the input leg of the
+  /// memo-cache key (plan, params, input). Callers that rebuild inputs
+  /// per request must fold the real data in here (MakeLangPlanSpec does);
+  /// 0 means "constant input baked into the body".
+  uint64_t input_fingerprint = 0;
+  /// Opt-out for plans whose body is not a pure function of
+  /// (params, input) — e.g. plans reading ambient state.
+  bool cacheable = true;
+};
+
+/// Name -> PlanSpec map. Registration is mutex-guarded; lookups return
+/// stable pointers (specs are heap-allocated and never removed), so the
+/// driver's workers can hold a `const PlanSpec*` without the lock.
+class PlanRegistry {
+ public:
+  PlanRegistry() = default;
+  PlanRegistry(const PlanRegistry&) = delete;
+  PlanRegistry& operator=(const PlanRegistry&) = delete;
+
+  /// InvalidArgument on an empty/duplicate name or a null body.
+  Status Register(PlanSpec spec);
+
+  /// InvalidArgument (with the known names) when `name` is not registered.
+  Result<const PlanSpec*> Lookup(const std::string& name) const;
+
+  std::vector<std::string> PlanNames() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<PlanSpec>> plans_;
+};
+
+/// One named input of a lang-program plan. Rows are shared immutably
+/// across requests; each request Parallelizes its own copy onto its own
+/// cluster (isolation: no cross-request Bag sharing).
+struct LangSource {
+  std::string name;
+  std::shared_ptr<const std::vector<lang::Value>> rows;
+  int64_t partitions = -1;  // cluster default parallelism if <= 0
+};
+
+/// Wraps a surface-language program (src/lang) as a registrable PlanSpec:
+/// runs the parsing phase ONCE here, at registration (compile time, Sec.
+/// 4.1.1), and per request binds the sources plus every request param as a
+/// single-element source bag named after the param, then runs the lowering
+/// phase (runtime, Sec. 4.1.2). The input fingerprint folds all source
+/// rows, so the memo-cache key covers the data. Fails with the parsing
+/// phase's status when the program does not rewrite.
+Result<PlanSpec> MakeLangPlanSpec(std::string name,
+                                  const lang::Program& surface,
+                                  std::vector<LangSource> sources,
+                                  std::string description = "");
+
+}  // namespace matryoshka::serve
+
+#endif  // MATRYOSHKA_SERVE_REGISTRY_H_
