@@ -235,6 +235,42 @@ void BM_Distinct_Large(benchmark::State& state) {
   });
 }
 
+// --- Out-of-core: shuffle + group-by under a real memory budget ---
+//
+// The heap-payload working set (~20 MB of real element data, modeling ~8 GB
+// at data_scale) exceeds the 4 MB real scratch budget several times over, so
+// every scatter and group build of the bounded arm runs through the external
+// spilling paths (temp-file runs, deterministic merge-on-read). Results are
+// bit-identical to the unbounded arm — the external determinism contract,
+// locked by engine_external_test — and the metrics JSON rows carry the real
+// spilled bytes (real_spilled_bytes > 0 on the bounded arm only).
+
+constexpr std::size_t kRealBudgetBytes = std::size_t{4} << 20;  // 4 MB
+
+void BM_ShuffleGroup_Budget(benchmark::State& state) {
+  engine::ClusterConfig cfg = Config(state.range(0) != 0);
+  const bool bounded = state.range(1) != 0;
+  cfg.real_memory_budget_bytes = bounded ? kRealBudgetBytes : 0;
+  // The synthetic dataset stands for ~8 GB of real data on the simulated
+  // cluster; the REAL budget below bounds actual process scratch.
+  ScaleToTarget(&cfg, 8.0, kLargeN, 80.0);
+  Cluster cluster(cfg);
+  auto bag = engine::Parallelize(&cluster, LargeData(kLargeN), kParts);
+  const char* name = bounded ? "budget/shuffleGroup/bounded4mb"
+                             : "budget/shuffleGroup/unbounded";
+  MeasureOp(state, name, &cluster, bag, [](const auto& b) {
+    auto grouped =
+        engine::GroupByKey(engine::Repartition(b, kParts), kParts);
+    return engine::MapValues(grouped, [](const std::vector<std::string>& g) {
+      return static_cast<int64_t>(g.size());
+    });
+  });
+  state.counters["budget_mb"] =
+      bounded ? static_cast<double>(kRealBudgetBytes) / (1 << 20) : 0;
+  state.counters["real_spill_mb"] =
+      cluster.metrics().real_spilled_bytes / (1 << 20);
+}
+
 // --- Narrow chains: map -> filter -> map -> mapValues, fused vs eager ---
 //
 // The chain benches force the result inside the measured region (chains are
@@ -310,6 +346,14 @@ BENCHMARK(BM_Repartition_Large)->THROUGHPUT_ARGS;
 BENCHMARK(BM_ReduceByKey_Large)->THROUGHPUT_ARGS;
 BENCHMARK(BM_GroupByKey_Large)->THROUGHPUT_ARGS;
 BENCHMARK(BM_Distinct_Large)->THROUGHPUT_ARGS;
+
+// pool x budget grid for the out-of-core family.
+#define BUDGET_ARGS                                                   \
+  ArgsProduct({{0, 1}, {0, 1}})                                       \
+      ->UseManualTime()                                               \
+      ->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_ShuffleGroup_Budget)->BUDGET_ARGS;
 
 // pool x fusion grid for the chain family.
 #define CHAIN_ARGS                                                    \

@@ -290,6 +290,13 @@ class ObsSession {
       os << ", \"checkpoint_bytes\": " << obs::JsonDouble(m.checkpoint_bytes);
       os << ", \"driver_retries\": " << m.driver_retries;
       os << ", \"plan_fallbacks\": " << m.plan_fallbacks;
+      // Additive matryoshka-bench-metrics-v1 extension: REAL bytes spilled
+      // to temp-file runs by the external (out-of-core) subsystem. All zero
+      // unless the run had a real_memory_budget_bytes.
+      os << ", \"real_spilled_bytes\": "
+         << obs::JsonDouble(m.real_spilled_bytes);
+      os << ", \"real_spill_events\": " << m.real_spill_events;
+      os << ", \"real_spill_runs\": " << m.real_spill_runs;
       os << "},\n     \"breakdown\": ";
       obs::WriteBreakdownJson(rec.breakdown, os);
       if (rec.has_wall) {

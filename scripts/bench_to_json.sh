@@ -2,8 +2,11 @@
 # Turns one benchmark run into a BENCH_<name>.json snapshot for the perf
 # trajectory: runs the binary with --metrics-json, validates the output, and
 # drops it next to the repo root (override with -o). The snapshot carries one
-# record per benchmark run — status, the full simulated Metrics, and the
-# observability time breakdown (see bench/bench_util.h for the schema).
+# record per benchmark run — status, the full simulated Metrics (including
+# the additive real-spill counters real_spilled_bytes / real_spill_events /
+# real_spill_runs), and the observability time breakdown (see
+# bench/bench_util.h for the schema; arm-specific assertions live in
+# scripts/check.sh perf mode).
 #
 # Usage:
 #   scripts/bench_to_json.sh <bench-binary> [-o OUT.json] [bench args...]

@@ -18,6 +18,13 @@
 #   scripts/check.sh serve      # serving suite under the default preset AND
 #                               # ThreadSanitizer, + bench_serving metrics
 #                               # round-trip with latency-schema validation
+#   scripts/check.sh spill      # external-execution (out-of-core) contract:
+#                               # spill+faults suites with a tiny real memory
+#                               # budget forced process-wide
+#                               # (MATRYOSHKA_REAL_BUDGET) under the default
+#                               # preset AND ASan, then the external/parallel
+#                               # determinism suites under TSan both
+#                               # unbounded and forced
 # Any extra arguments are forwarded to ctest.
 set -eu
 
@@ -45,9 +52,11 @@ case "$mode" in
     preset=default; test_preset="" ;;
   serve)
     preset=default; test_preset=serve ;;
+  spill)
+    preset=default; test_preset="" ;;
   *)
     echo "usage: scripts/check.sh" \
-         "[default|asan|faults|obs|recovery|tsan|perf|fusion|serve]" \
+         "[default|asan|faults|obs|recovery|tsan|perf|fusion|serve|spill]" \
          "[ctest args...]" >&2
     exit 2 ;;
 esac
@@ -82,6 +91,7 @@ assert doc["schema"] == "matryoshka-bench-metrics-v1", doc["schema"]
 assert doc["runs"], "no runs recorded"
 arms = set()
 chain_arms = set()
+budget_arms = set()
 for run in doc["runs"]:
     name = run["name"]
     assert name.startswith("throughput/"), name
@@ -91,12 +101,28 @@ for run in doc["runs"]:
         # throughput/chain/<size>/<fusion arm>/<pool arm>
         assert parts[3] in ("fusion0", "fusion1"), name
         chain_arms.add(parts[3])
+    if parts[1] == "budget":
+        # throughput/budget/<op>/<budget arm>/<pool arm>
+        assert parts[3] in ("unbounded", "bounded4mb"), name
+        budget_arms.add(parts[3])
+        m = run["metrics"]
+        for key in ("real_spilled_bytes", "real_spill_events",
+                    "real_spill_runs"):
+            assert key in m, f"missing {key} in {name}"
+        if parts[3] == "unbounded":
+            assert m["real_spilled_bytes"] == 0, name
+        else:
+            # The budgeted arm ran an input larger than its budget: it must
+            # have really spilled.
+            assert m["real_spilled_bytes"] > 0, name
+            assert m["real_spill_events"] > 0, name
     wall = run["wall"]
     assert wall["real_s"] > 0, name
     assert wall["elements"] > 0, name
     assert wall["elements_per_s"] > 0, name
 assert arms == {"pool0", "pool1"}, arms
 assert chain_arms == {"fusion0", "fusion1"}, chain_arms
+assert budget_arms == {"unbounded", "bounded4mb"}, budget_arms
 print("ok:", sys.argv[1], f"({len(doc['runs'])} runs)")
 EOF
   # The parallel kernel must also be clean under ThreadSanitizer.
@@ -129,6 +155,33 @@ if [ "$mode" = fusion ]; then
     --benchmark_min_time=0.02 \
     --benchmark_min_warmup_time=0 >/dev/null
   echo "ok: fused chain bench clean under TSan"
+fi
+
+if [ "$mode" = spill ]; then
+  # External execution determinism contract: the whole spill+faults suite
+  # must pass with a tiny real memory budget forced process-wide, pushing
+  # EVERY wide operator through the spilling scatter and out-of-core
+  # aggregation paths (the env override only applies to configs that left
+  # the budget at 0/unbounded; tests with explicit budget arms are
+  # unaffected by design). 4096 bytes divides into single-digit per-worker
+  # quotas, so flushes happen on nearly every element.
+  budget=4096
+  echo "== spill: budget=$budget, default preset =="
+  MATRYOSHKA_REAL_BUDGET="$budget" ctest --preset spill -j "$(nproc)" "$@"
+  # Spill-file IO and cleanup must be clean under ASan/UBSan (leak checking
+  # catches descriptor-lifetime bugs as buffer leaks).
+  cmake --preset asan
+  cmake --build --preset asan -j "$(nproc)"
+  echo "== spill: budget=$budget, asan =="
+  MATRYOSHKA_REAL_BUDGET="$budget" ctest --preset spill-asan -j "$(nproc)" "$@"
+  # The external scatter/merge kernel must also be clean under
+  # ThreadSanitizer — forced and unbounded.
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  echo "== spill: budget=$budget, tsan =="
+  MATRYOSHKA_REAL_BUDGET="$budget" ctest --preset spill-tsan -j "$(nproc)" "$@"
+  echo "== spill: unbounded, tsan =="
+  ctest --preset spill-tsan -j "$(nproc)" "$@"
 fi
 
 if [ "$mode" = recovery ]; then

@@ -29,9 +29,24 @@ double UnitDraw(uint64_t seed, uint64_t stage, uint64_t task, uint64_t attempt,
   return static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
 }
 
+/// Resolves the real scratch budget: an explicit nonzero config value wins;
+/// otherwise MATRYOSHKA_REAL_BUDGET (bytes) can force a process-wide budget
+/// so scripts/check.sh spill runs entire suites through the external paths.
+/// Writes the resolved value back so config() reflects what runs.
+std::size_t ResolveRealBudget(ClusterConfig* config) {
+  if (config->real_memory_budget_bytes == 0) {
+    if (const char* env = std::getenv("MATRYOSHKA_REAL_BUDGET")) {
+      config->real_memory_budget_bytes =
+          static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    }
+  }
+  return config->real_memory_budget_bytes;
+}
+
 }  // namespace
 
-Cluster::Cluster(ClusterConfig config) : config_(config) {
+Cluster::Cluster(ClusterConfig config)
+    : config_(config), real_budget_(ResolveRealBudget(&config_)) {
   MATRYOSHKA_CHECK(config_.num_machines >= 1);
   MATRYOSHKA_CHECK(config_.cores_per_machine >= 1);
   // Process-wide A/B switch for the fusion layer: lets scripts/check.sh
@@ -550,6 +565,21 @@ void Cluster::CheckTaskMemory(double bytes, const std::string& what) {
                              std::to_string(config_.task_memory_budget() /
                                             (1 << 20)) +
                              " MB"));
+  }
+}
+
+void Cluster::NoteRealSpill(const external::SpillStats& stats,
+                            const char* label) {
+  if (stats.spill_events == 0) return;
+  metrics_.real_spill_events += stats.spill_events;
+  metrics_.real_spilled_bytes += stats.spilled_bytes;
+  metrics_.real_spill_runs += stats.spill_runs;
+  if (trace_ != nullptr) {
+    // Zero-width span: real spilling happens on the hardware clock, which
+    // the trace's simulated timeline must not (and does not) advance for.
+    trace_->AddDriverSpan(obs::Category::kSpill, label,
+                          metrics_.simulated_time_s, metrics_.simulated_time_s,
+                          stats.spilled_bytes);
   }
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "engine/external/memory_budget.h"
 #include "obs/trace_recorder.h"
 
 namespace matryoshka::engine {
@@ -183,6 +184,22 @@ struct ClusterConfig {
   /// exceeds the execution memory and must be spilled and re-read.
   double spill_penalty = 4.0;
 
+  /// REAL (process RAM) byte budget for wide operators' scratch: scatter
+  /// buffers and keyed-aggregation builds overflow to unlinked temp-file
+  /// runs once their static share of this budget fills, and merge back on
+  /// read. 0 (the default) = unbounded = today's purely in-memory execution,
+  /// byte-identically. For ANY value — and any pool size — output data,
+  /// partition order, key_partitions, and all simulated Metrics are
+  /// bit-identical to the unbounded run (the external determinism contract,
+  /// DESIGN.md); only real wall-clock and the real_* spill counters change.
+  /// Unlike every knob above, this one is NOT simulated: it bounds actual
+  /// engine memory so benches can run inputs larger than the scratch budget.
+  /// The MATRYOSHKA_REAL_BUDGET environment variable (bytes), when set,
+  /// overrides a zero (unbounded) config at Cluster construction —
+  /// scripts/check.sh spill uses it to force whole test suites through the
+  /// external paths; an explicit nonzero config value always wins.
+  std::size_t real_memory_budget_bytes = 0;
+
   /// How many "real" elements one synthetic element of a freshly loaded
   /// dataset stands for (Parallelize stamps it onto new bags). Every bag
   /// carries its own scale from there on: cardinality-preserving operators
@@ -287,6 +304,19 @@ struct Metrics {
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   int64_t cache_evictions = 0;
+  /// --- Real (out-of-core) execution, all zero with
+  /// real_memory_budget_bytes == 0. These count ACTUAL bytes written to
+  /// temp-file runs by the external subsystem — the only Metrics fields
+  /// measured on real execution rather than the simulated cost model
+  /// (spilled_bytes/spill_events above remain the simulated penalty and are
+  /// untouched by the external paths). Deterministic for a fixed budget across
+  /// pool sizes (static per-worker quotas; per-worker counters reduced on
+  /// the driver in worker order), but EXCLUDED from the "simulated Metrics
+  /// identity" of the determinism contract: they legitimately differ
+  /// between budget arms. ---
+  double real_spilled_bytes = 0.0;
+  int64_t real_spill_events = 0;
+  int64_t real_spill_runs = 0;
 };
 
 /// Execution context shared by every Bag of one program run: cost-model
@@ -421,6 +451,20 @@ class Cluster {
   /// applies to the stage compute cost.
   double SpillFactor(double per_machine_bytes);
 
+  /// The real scratch-memory accountant of the external (out-of-core)
+  /// execution subsystem. Unbounded (total 0) when
+  /// real_memory_budget_bytes == 0: wide operators then take the purely
+  /// in-memory paths.
+  const external::MemoryBudget& real_budget() const { return real_budget_; }
+
+  /// Records one bounded phase's REAL spill totals (already reduced in
+  /// worker order by the caller) into the real_* Metrics and, with a trace
+  /// sink attached, as a zero-width kSpill driver span at the current
+  /// simulated time. Never advances the simulated clock and never touches
+  /// the simulated spill counters: real spilling must leave every simulated
+  /// quantity bit-identical to the unbounded run. Driver-side only.
+  void NoteRealSpill(const external::SpillStats& stats, const char* label);
+
   /// Seconds of single-core compute for `n` real elements at weight `w`.
   double ComputeCost(double n, double w) const {
     return n * config_.per_element_cost_s * w;
@@ -552,6 +596,9 @@ class Cluster {
   ClusterConfig config_;
   Metrics metrics_;
   Status status_;
+  /// Real scratch budget (constructed once from the resolved config; the
+  /// accountant itself is thread-safe, the total immutable).
+  external::MemoryBudget real_budget_;
   obs::TraceRecorder* trace_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
   /// The pool operators actually run on: pool_.get(), the config's

@@ -1,0 +1,201 @@
+#ifndef MATRYOSHKA_ENGINE_EXTERNAL_EXTERNAL_GROUP_H_
+#define MATRYOSHKA_ENGINE_EXTERNAL_EXTERNAL_GROUP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/sizing.h"
+#include "engine/external/memory_budget.h"
+#include "engine/external/serde.h"
+#include "engine/external/spill_file.h"
+
+/// Out-of-core keyed aggregation builds (ReduceByKey's combine and merge,
+/// GroupByKey's group build, CoGroup) under a real per-partition byte quota.
+///
+/// Canonical emission order: FIRST OCCURRENCE. Every build — bounded or not
+/// — emits its keys in the order their first element arrived in the input
+/// stream. Hash-map iteration order (the pre-external behavior) cannot be
+/// reproduced by an out-of-core build, so the engine canonicalizes on the
+/// one order both paths can produce exactly; see DESIGN.md, "The external
+/// execution determinism contract".
+///
+/// Why raw-element spilling instead of merging partial aggregate maps: a
+/// partial-map merge applies the combiner as f(partial1, partial2), which
+/// changes the result for non-associative combiners (floating-point sums
+/// included) and would make results depend on the budget. Instead the
+/// bounded build ADMITS keys — the first keys to occur, in stream order,
+/// until the quota is reached — and spills the raw elements of non-admitted
+/// keys, in stream order, to an unlinked temp file. Admitted keys absorb
+/// every one of their elements in exact stream order during that pass, so
+/// their accumulators are finished when the pass ends. The next pass re-runs
+/// the same procedure over the spilled stream, admitting the next tranche of
+/// keys. Since admission happens at a key's first occurrence and the spilled
+/// stream preserves order, pass k's keys all first-occurred before pass
+/// k+1's, and concatenating the passes' outputs IS the global
+/// first-occurrence order with the combiner applied in exact sequential
+/// element order — bit-identical to the unbounded build for any quota,
+/// including non-associative combiners.
+namespace matryoshka::engine::external {
+
+/// Insertion-ordered, quota-bounded aggregation of a stream of (K, P) pairs
+/// into first-occurrence-ordered (K, Acc) output.
+///
+///   Init:   P&& -> Acc         first element of a key opens its accumulator
+///   Absorb: (Acc&, P&&)        subsequent elements fold in, in stream order
+///   Growth: (const P&) -> size_t   bytes Absorb adds to the live build
+///                                  (0 for replace-style combiners)
+///
+/// `quota == SIZE_MAX` (or a non-spillable pair type) never spills: the
+/// build is then exactly an insertion-ordered hash aggregation in memory.
+/// One instance is used by ONE worker (no internal locking); per-worker
+/// SpillStats are reduced driver-side in worker order.
+template <typename K, typename P, typename Acc, typename Init, typename Absorb,
+          typename Growth>
+class BoundedAggregator {
+ public:
+  using Out = std::vector<std::pair<K, Acc>>;
+
+  BoundedAggregator(std::size_t quota, Init init, Absorb absorb, Growth growth,
+                    SpillStats* stats)
+      : quota_(quota),
+        init_(std::move(init)),
+        absorb_(std::move(absorb)),
+        growth_(std::move(growth)),
+        stats_(stats) {}
+
+  /// Feeds the next element in stream order.
+  void Feed(K k, P p) {
+    auto it = index_.find(k);
+    if (it != index_.end()) {
+      used_ += growth_(p);
+      absorb_(out_[it->second].second, std::move(p));
+      return;
+    }
+    if (used_ < quota_ || index_.empty()) {
+      Admit(std::move(k), std::move(p));
+      return;
+    }
+    if constexpr (kSpillable<std::pair<K, P>>) {
+      Spill(k, p);
+    } else {
+      // Unserializable element type: stay in memory (documented fallback;
+      // results are identical either way).
+      Admit(std::move(k), std::move(p));
+    }
+  }
+
+  /// Drains the spilled passes (if any) and returns the finished build in
+  /// global first-occurrence order.
+  Out Finish() {
+    if constexpr (kSpillable<std::pair<K, P>>) {
+      // Flush BEFORE testing the loop condition: a pass whose spilled tail
+      // never reached the chunk threshold lives only in pending_, with no
+      // file yet.
+      FlushPending();
+      while (file_ != nullptr) {
+        // Steal this pass's spill and start a fresh one: elements re-fed
+        // below may spill again (keys beyond the next quota tranche).
+        std::unique_ptr<SpillFile> reading = std::move(file_);
+        std::vector<Chunk> chunks = std::move(chunks_);
+        chunks_.clear();
+        index_.clear();
+        used_ = 0;
+        std::string buf;
+        for (const Chunk& chunk : chunks) {
+          reading->ReadAt(chunk.offset, static_cast<std::size_t>(chunk.bytes),
+                          &buf);
+          const char* p = buf.data();
+          const char* end = buf.data() + buf.size();
+          for (uint32_t i = 0; i < chunk.count; ++i) {
+            std::pair<K, P> kv = SpillSerde<std::pair<K, P>>::Read(&p, end);
+            Feed(std::move(kv.first), std::move(kv.second));
+          }
+        }
+        FlushPending();
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  struct Chunk {
+    uint64_t offset = 0;
+    uint64_t bytes = 0;
+    uint32_t count = 0;
+  };
+
+  void Admit(K&& k, P&& p) {
+    used_ += EstimateSize(k) + EstimateSize(p);
+    index_.emplace(k, out_.size());
+    out_.emplace_back(std::move(k), init_(std::move(p)));
+  }
+
+  void Spill(const K& k, const P& p) {
+    SpillSerde<K>::Write(k, &pending_);
+    SpillSerde<P>::Write(p, &pending_);
+    pending_count_ += 1;
+    // Deterministic chunking: flush at a fixed threshold derived from the
+    // quota alone (clamped so tiny quotas do not write per-element and huge
+    // ones do not buffer unboundedly).
+    const std::size_t threshold =
+        std::clamp<std::size_t>(quota_, std::size_t{1} << 12,
+                                std::size_t{1} << 20);
+    if (pending_.size() >= threshold) FlushPending();
+  }
+
+  void FlushPending() {
+    if (pending_count_ == 0) return;
+    if (file_ == nullptr) file_ = std::make_unique<SpillFile>();
+    Chunk chunk;
+    chunk.bytes = pending_.size();
+    chunk.count = pending_count_;
+    chunk.offset = file_->Append(pending_);
+    chunks_.push_back(chunk);
+    stats_->spill_events += 1;
+    stats_->spill_runs += 1;
+    stats_->spilled_bytes += static_cast<double>(pending_.size());
+    pending_.clear();
+    pending_count_ = 0;
+  }
+
+  const std::size_t quota_;
+  Init init_;
+  Absorb absorb_;
+  Growth growth_;
+  SpillStats* stats_;
+
+  std::unordered_map<K, std::size_t, Hasher> index_;  // key -> slot in out_
+  Out out_;
+  std::size_t used_ = 0;
+
+  // Current pass's spilled stream (elements of non-admitted keys, in order).
+  std::string pending_;
+  uint32_t pending_count_ = 0;
+  std::unique_ptr<SpillFile> file_;
+  std::vector<Chunk> chunks_;
+};
+
+/// Convenience entry point: aggregates one partition's (K, P) stream under
+/// `quota` with the given callbacks. See BoundedAggregator.
+template <typename K, typename P, typename Acc, typename Init, typename Absorb,
+          typename Growth, typename Source>
+std::vector<std::pair<K, Acc>> AggregatePartition(Source&& source,
+                                                  std::size_t quota, Init init,
+                                                  Absorb absorb, Growth growth,
+                                                  SpillStats* stats) {
+  BoundedAggregator<K, P, Acc, Init, Absorb, Growth> agg(
+      quota, std::move(init), std::move(absorb), std::move(growth), stats);
+  source(agg);
+  return agg.Finish();
+}
+
+}  // namespace matryoshka::engine::external
+
+#endif  // MATRYOSHKA_ENGINE_EXTERNAL_EXTERNAL_GROUP_H_

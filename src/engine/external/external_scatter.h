@@ -1,0 +1,160 @@
+#ifndef MATRYOSHKA_ENGINE_EXTERNAL_EXTERNAL_SCATTER_H_
+#define MATRYOSHKA_ENGINE_EXTERNAL_EXTERNAL_SCATTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sizing.h"
+#include "common/thread_pool.h"
+#include "engine/external/memory_budget.h"
+#include "engine/external/serde.h"
+#include "engine/external/spill_file.h"
+
+/// The external (spilling) variant of parallel_shuffle.h's two-phase
+/// scatter. Same determinism contract — the output is bit-identical to the
+/// reference sequential scatter loop
+///
+///   for (p in producer order) for (x in inputs[p]) out[part_of(x)] += x
+///
+/// for ANY budget and ANY pool size — achieved by making every ordering and
+/// every spill decision a pure function of one producer's input stream:
+///
+///  Phase 1 (parallel across producers): producer p buffers elements into
+///  per-bucket vectors under a STATIC quota of budget/producers bytes
+///  (estimated via EstimateSize). When the buffered bytes reach the quota,
+///  the buffers are serialized bucket-by-bucket into one "run" appended to
+///  the producer's own unlinked temp file (a per-bucket offset index stays
+///  in memory) and the buffers reset. The flush points depend only on
+///  producer p's elements and the quota — never on thread timing.
+///
+///  Phase 2 (parallel across output buckets): bucket b concatenates, in
+///  ascending producer order, each producer's runs in chronological order
+///  followed by its in-memory residue. Within a producer, run order equals
+///  arrival order (runs are flushed in stream order and each run stores its
+///  bucket segment in stream order), so the concatenation reproduces the
+///  producer's element order exactly — the same argument that makes the
+///  in-memory kernel deterministic.
+///
+/// Reads use positional pread on the producer's shared descriptor, safe for
+/// concurrent phase-2 tasks. Temp files are unlinked at creation and closed
+/// (freeing the blocks) when the scatter returns, on every path including
+/// sticky-failure early-outs — see SpillFile's cleanup contract.
+namespace matryoshka::engine::external {
+
+namespace scatter_internal {
+
+/// One flushed run: per-bucket (offset, bytes, element count) segments in
+/// the producer's spill file.
+struct RunSegment {
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+  uint32_t count = 0;
+};
+
+template <typename T>
+struct ProducerState {
+  /// In-memory residue: elements buffered since the last flush.
+  std::vector<std::vector<T>> buckets;
+  /// Flushed runs, chronological; runs[r][b] is run r's bucket-b segment.
+  std::vector<std::vector<RunSegment>> runs;
+  SpillFile file;
+  SpillStats stats;
+};
+
+}  // namespace scatter_internal
+
+/// Drop-in replacement for internal::ParallelScatter under a real memory
+/// budget. `budget` must be bounded and T spillable (callers gate on
+/// `budget.unbounded() || !kSpillable<T>` and fall back to the in-memory
+/// kernel otherwise). Per-producer spill counters are reduced into `*stats`
+/// in ascending producer order on the calling (driver) thread.
+template <typename T, typename PartOf>
+std::vector<std::vector<T>> ExternalScatter(
+    ThreadPool* pool, const std::vector<std::vector<T>>& inputs,
+    std::size_t num_parts, const PartOf& part_of, const MemoryBudget& budget,
+    SpillStats* stats) {
+  static_assert(kSpillable<T>, "gate ExternalScatter on kSpillable<T>");
+  std::vector<std::vector<T>> out(num_parts);
+  const std::size_t producers = inputs.size();
+  if (producers == 0 || num_parts == 0) return out;
+
+  const std::size_t quota = budget.ShareFor(producers);
+  std::vector<scatter_internal::ProducerState<T>> state(producers);
+
+  // Phase 1: buffer under the quota, flush full buffers as runs.
+  ParallelFor(pool, producers, [&](std::size_t p) {
+    scatter_internal::ProducerState<T>& st = state[p];
+    st.buckets.resize(num_parts);
+    std::size_t buffered = 0;
+    std::string buf;
+    auto flush = [&] {
+      std::vector<scatter_internal::RunSegment> run(num_parts);
+      buf.clear();
+      for (std::size_t b = 0; b < num_parts; ++b) {
+        const uint64_t at = buf.size();
+        for (const T& x : st.buckets[b]) SpillSerde<T>::Write(x, &buf);
+        run[b].offset = at;  // relative; rebased below
+        run[b].bytes = buf.size() - at;
+        run[b].count = static_cast<uint32_t>(st.buckets[b].size());
+        st.buckets[b].clear();
+        st.stats.spill_runs += run[b].count > 0 ? 1 : 0;
+      }
+      const uint64_t base = st.file.Append(buf);
+      for (auto& seg : run) seg.offset += base;
+      budget.Charge(buffered);  // observational high-water mark
+      budget.Release(buffered);
+      st.stats.spill_events += 1;
+      st.stats.spilled_bytes += static_cast<double>(buf.size());
+      st.runs.push_back(std::move(run));
+      buffered = 0;
+    };
+    for (const T& x : inputs[p]) {
+      const auto b = static_cast<std::size_t>(part_of(x));
+      buffered += EstimateSize(x);
+      st.buckets[b].push_back(x);
+      // >= so a zero quota still makes progress (one element per run).
+      if (buffered >= quota) flush();
+    }
+  });
+
+  // Phase 2: concatenate per bucket — producers ascending, runs
+  // chronological, residue last; element order within every piece is the
+  // producer's arrival order.
+  ParallelFor(pool, num_parts, [&](std::size_t b) {
+    std::size_t total = 0;
+    for (std::size_t p = 0; p < producers; ++p) {
+      for (const auto& run : state[p].runs) total += run[b].count;
+      total += state[p].buckets[b].size();
+    }
+    std::vector<T>& dst = out[b];
+    dst.reserve(total);
+    std::string buf;
+    for (std::size_t p = 0; p < producers; ++p) {
+      scatter_internal::ProducerState<T>& st = state[p];
+      for (const auto& run : st.runs) {
+        const scatter_internal::RunSegment& seg = run[b];
+        if (seg.count == 0) continue;
+        st.file.ReadAt(seg.offset, static_cast<std::size_t>(seg.bytes), &buf);
+        const char* rp = buf.data();
+        const char* rend = buf.data() + buf.size();
+        for (uint32_t i = 0; i < seg.count; ++i) {
+          dst.push_back(SpillSerde<T>::Read(&rp, rend));
+        }
+      }
+      std::vector<T>& residue = st.buckets[b];
+      dst.insert(dst.end(), std::make_move_iterator(residue.begin()),
+                 std::make_move_iterator(residue.end()));
+    }
+  });
+
+  // Driver-side reduction in producer order: deterministic totals.
+  for (const auto& st : state) stats->Add(st.stats);
+  return out;
+}
+
+}  // namespace matryoshka::engine::external
+
+#endif  // MATRYOSHKA_ENGINE_EXTERNAL_EXTERNAL_SCATTER_H_

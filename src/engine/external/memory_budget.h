@@ -1,0 +1,90 @@
+#ifndef MATRYOSHKA_ENGINE_EXTERNAL_MEMORY_BUDGET_H_
+#define MATRYOSHKA_ENGINE_EXTERNAL_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+/// The bounded-memory execution subsystem: wide operators overflow their
+/// scratch (scatter buffers, aggregation builds) to temp-file runs instead
+/// of growing without bound. See DESIGN.md, "The external execution
+/// determinism contract": for ANY budget and ANY pool size the output data,
+/// partition order, and all simulated Metrics are bit-identical to the
+/// unbounded in-memory run.
+namespace matryoshka::engine::external {
+
+/// The real (process-RAM) memory accountant wide operators charge their
+/// scratch against. Two distinct roles, deliberately separated:
+///
+///  * Spill DECISIONS use static quotas (`ShareFor`): the budget divided
+///    evenly over the workers of a phase (producers of a scatter, reduce
+///    partitions of an aggregation). A quota depends only on the worker's
+///    own input stream, never on what other threads have charged, so the
+///    decision — and therefore the spill counters and the data path taken —
+///    is identical for any pool size. A shared racing accountant could not
+///    give that guarantee.
+///
+///  * Observational ACCOUNTING (`Charge`/`Release`/`peak`) tracks what the
+///    bounded structures actually held, for diagnostics and tests. It never
+///    feeds back into behavior.
+///
+/// `total == 0` means unbounded: every wide operator takes today's purely
+/// in-memory path, byte-identically to an engine without this subsystem.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(std::size_t total_bytes = 0) : total_(total_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  bool unbounded() const { return total_ == 0; }
+  std::size_t total() const { return total_; }
+
+  /// The static per-worker share of the budget when `workers` cooperate in
+  /// one parallel phase. Deterministic: a pure function of (total, workers).
+  /// Unbounded budgets have no meaningful share; callers must check
+  /// unbounded() first (returns SIZE_MAX as a safety net).
+  std::size_t ShareFor(std::size_t workers) const {
+    if (unbounded()) return static_cast<std::size_t>(-1);
+    return total_ / (workers > 0 ? workers : 1);
+  }
+
+  /// Observational accounting of live scratch bytes (thread-safe; const
+  /// because it never changes behavior, only the diagnostics below).
+  void Charge(std::size_t bytes) const {
+    const std::size_t now = in_use_.fetch_add(bytes) + bytes;
+    std::size_t prev = peak_.load(std::memory_order_relaxed);
+    while (prev < now &&
+           !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+    }
+  }
+  void Release(std::size_t bytes) const { in_use_.fetch_sub(bytes); }
+
+  std::size_t in_use() const { return in_use_.load(); }
+  std::size_t peak() const { return peak_.load(); }
+
+ private:
+  const std::size_t total_;
+  mutable std::atomic<std::size_t> in_use_{0};
+  mutable std::atomic<std::size_t> peak_{0};
+};
+
+/// Real-spill counters of one bounded phase. Each worker fills its own
+/// instance; the driver reduces them in worker-index order (see
+/// ReduceInOrder), so the totals reported into Metrics are deterministic for
+/// a fixed budget regardless of pool size or thread timing.
+struct SpillStats {
+  int64_t spill_events = 0;  ///< scratch flushes that went to disk
+  double spilled_bytes = 0;  ///< serialized bytes written
+  int64_t spill_runs = 0;    ///< run segments written (merge fan-in)
+
+  void Add(const SpillStats& o) {
+    spill_events += o.spill_events;
+    spilled_bytes += o.spilled_bytes;
+    spill_runs += o.spill_runs;
+  }
+};
+
+}  // namespace matryoshka::engine::external
+
+#endif  // MATRYOSHKA_ENGINE_EXTERNAL_MEMORY_BUDGET_H_

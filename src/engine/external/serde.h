@@ -1,0 +1,156 @@
+#ifndef MATRYOSHKA_ENGINE_EXTERNAL_SERDE_H_
+#define MATRYOSHKA_ENGINE_EXTERNAL_SERDE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+/// Byte serialization for spilled scratch elements. The contract is exact
+/// round-tripping: Read(Write(x)) compares equal to x for every supported
+/// type, including bit-exact doubles (memcpy, no text formatting), so an
+/// element that took the spill-and-reread path is indistinguishable from one
+/// that stayed in memory — a precondition of the external determinism
+/// contract.
+///
+/// Coverage mirrors common/sizing.h: trivially copyable types, std::string,
+/// and pair/tuple/vector/optional compositions thereof. Types outside this
+/// set (e.g. the dynamically-typed lang::Value) report kSpillable == false
+/// and the engine silently keeps their scratch in memory — correct (outputs
+/// are identical by contract), just not memory-bounded for those bags.
+namespace matryoshka::engine::external {
+
+/// True when SpillSerde<T> can serialize T.
+template <typename T>
+inline constexpr bool kSpillable = std::is_trivially_copyable_v<T>;
+
+template <>
+inline constexpr bool kSpillable<std::string> = true;
+
+template <typename A, typename B>
+inline constexpr bool kSpillable<std::pair<A, B>> =
+    kSpillable<A> && kSpillable<B>;
+
+template <typename... Ts>
+inline constexpr bool kSpillable<std::tuple<Ts...>> =
+    (kSpillable<Ts> && ...);
+
+template <typename T>
+inline constexpr bool kSpillable<std::vector<T>> = kSpillable<T>;
+
+template <typename T>
+inline constexpr bool kSpillable<std::optional<T>> = kSpillable<T>;
+
+template <typename T, typename Enable = void>
+struct SpillSerde {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpillSerde: unsupported element type (gate on kSpillable)");
+  static void Write(const T& v, std::string* buf) {
+    buf->append(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+  static T Read(const char** p, const char* end) {
+    MATRYOSHKA_CHECK(*p + sizeof(T) <= end) << "spill run truncated";
+    T v;
+    std::memcpy(&v, *p, sizeof(T));
+    *p += sizeof(T);
+    return v;
+  }
+};
+
+namespace serde_internal {
+
+inline void WriteSize(std::size_t n, std::string* buf) {
+  const auto v = static_cast<uint64_t>(n);
+  buf->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline std::size_t ReadSize(const char** p, const char* end) {
+  MATRYOSHKA_CHECK(*p + sizeof(uint64_t) <= end) << "spill run truncated";
+  uint64_t v;
+  std::memcpy(&v, *p, sizeof(v));
+  *p += sizeof(v);
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace serde_internal
+
+template <>
+struct SpillSerde<std::string> {
+  static void Write(const std::string& s, std::string* buf) {
+    serde_internal::WriteSize(s.size(), buf);
+    buf->append(s);
+  }
+  static std::string Read(const char** p, const char* end) {
+    const std::size_t n = serde_internal::ReadSize(p, end);
+    MATRYOSHKA_CHECK(*p + n <= end) << "spill run truncated";
+    std::string s(*p, n);
+    *p += n;
+    return s;
+  }
+};
+
+template <typename A, typename B>
+struct SpillSerde<std::pair<A, B>> {
+  static void Write(const std::pair<A, B>& v, std::string* buf) {
+    SpillSerde<A>::Write(v.first, buf);
+    SpillSerde<B>::Write(v.second, buf);
+  }
+  static std::pair<A, B> Read(const char** p, const char* end) {
+    A a = SpillSerde<A>::Read(p, end);
+    B b = SpillSerde<B>::Read(p, end);
+    return std::pair<A, B>(std::move(a), std::move(b));
+  }
+};
+
+template <typename... Ts>
+struct SpillSerde<std::tuple<Ts...>> {
+  static void Write(const std::tuple<Ts...>& v, std::string* buf) {
+    std::apply([&](const Ts&... xs) { (SpillSerde<Ts>::Write(xs, buf), ...); },
+               v);
+  }
+  static std::tuple<Ts...> Read(const char** p, const char* end) {
+    // Braced init guarantees left-to-right evaluation of the element reads.
+    return std::tuple<Ts...>{SpillSerde<Ts>::Read(p, end)...};
+  }
+};
+
+template <typename T>
+struct SpillSerde<std::vector<T>> {
+  static void Write(const std::vector<T>& v, std::string* buf) {
+    serde_internal::WriteSize(v.size(), buf);
+    for (const T& x : v) SpillSerde<T>::Write(x, buf);
+  }
+  static std::vector<T> Read(const char** p, const char* end) {
+    const std::size_t n = serde_internal::ReadSize(p, end);
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) v.push_back(SpillSerde<T>::Read(p, end));
+    return v;
+  }
+};
+
+template <typename T>
+struct SpillSerde<std::optional<T>> {
+  static void Write(const std::optional<T>& v, std::string* buf) {
+    buf->push_back(v.has_value() ? 1 : 0);
+    if (v.has_value()) SpillSerde<T>::Write(*v, buf);
+  }
+  static std::optional<T> Read(const char** p, const char* end) {
+    MATRYOSHKA_CHECK(*p < end) << "spill run truncated";
+    const bool has = **p != 0;
+    *p += 1;
+    if (!has) return std::nullopt;
+    return SpillSerde<T>::Read(p, end);
+  }
+};
+
+}  // namespace matryoshka::engine::external
+
+#endif  // MATRYOSHKA_ENGINE_EXTERNAL_SERDE_H_

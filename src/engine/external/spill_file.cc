@@ -1,0 +1,93 @@
+#include "engine/external/spill_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cassert>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace matryoshka::engine::external {
+
+namespace {
+
+std::atomic<int64_t> g_live_spill_files{0};
+
+std::string TempDir() {
+  const char* env = std::getenv("TMPDIR");
+  return (env != nullptr && env[0] != '\0') ? env : "/tmp";
+}
+
+}  // namespace
+
+SpillFile::SpillFile() {
+  std::string tmpl = TempDir() + "/matryoshka-spill-XXXXXX";
+  // mkstemp wants a mutable buffer; std::string data() is contiguous and
+  // NUL-terminated in C++17.
+  fd_ = mkstemp(tmpl.data());
+  MATRYOSHKA_CHECK(fd_ >= 0)
+      << "cannot create spill file in " << TempDir() << ": "
+      << std::strerror(errno);
+  // Unlink before the first write: the blocks live only as long as the
+  // descriptor, so no failure path can leak a file (see header contract).
+  MATRYOSHKA_CHECK(::unlink(tmpl.c_str()) == 0)
+      << "cannot unlink spill file " << tmpl << ": " << std::strerror(errno);
+  g_live_spill_files.fetch_add(1, std::memory_order_relaxed);
+}
+
+SpillFile::~SpillFile() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    g_live_spill_files.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+SpillFile::SpillFile(SpillFile&& other) noexcept
+    : fd_(other.fd_), write_offset_(other.write_offset_) {
+  other.fd_ = -1;
+  other.write_offset_ = 0;
+}
+
+uint64_t SpillFile::Append(const std::string& data) {
+  MATRYOSHKA_DCHECK(fd_ >= 0);
+  const uint64_t at = write_offset_;
+  const char* p = data.data();
+  std::size_t left = data.size();
+  uint64_t off = at;
+  while (left > 0) {
+    const ssize_t n = ::pwrite(fd_, p, left, static_cast<off_t>(off));
+    MATRYOSHKA_CHECK(n > 0) << "spill write failed: " << std::strerror(errno);
+    p += n;
+    off += static_cast<uint64_t>(n);
+    left -= static_cast<std::size_t>(n);
+  }
+  write_offset_ = at + data.size();
+  return at;
+}
+
+void SpillFile::ReadAt(uint64_t offset, std::size_t size,
+                       std::string* out) const {
+  MATRYOSHKA_DCHECK(fd_ >= 0);
+  out->resize(size);
+  char* p = out->empty() ? nullptr : &(*out)[0];
+  std::size_t left = size;
+  uint64_t off = offset;
+  while (left > 0) {
+    const ssize_t n = ::pread(fd_, p, left, static_cast<off_t>(off));
+    MATRYOSHKA_CHECK(n > 0) << "spill read failed (offset " << off
+                            << "): " << (n == 0 ? "EOF" : std::strerror(errno));
+    p += n;
+    off += static_cast<uint64_t>(n);
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+int64_t SpillFile::LiveCount() {
+  return g_live_spill_files.load(std::memory_order_relaxed);
+}
+
+}  // namespace matryoshka::engine::external

@@ -1,0 +1,60 @@
+#ifndef MATRYOSHKA_ENGINE_EXTERNAL_SPILL_FILE_H_
+#define MATRYOSHKA_ENGINE_EXTERNAL_SPILL_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace matryoshka::engine::external {
+
+/// One anonymous temp file holding the spilled runs of one worker (one
+/// scatter producer or one aggregation partition).
+///
+/// Lifecycle / cleanup contract: the file is created with mkstemp under
+/// $TMPDIR (default /tmp) and unlinked IMMEDIATELY, before any data is
+/// written — the kernel reclaims the blocks when the last descriptor
+/// closes. Cleanup is therefore structural, not a code path: a sticky
+/// cost-model failure, a driver retry, an exception, even a crashed process
+/// leaves nothing behind in the filesystem. Tests verify this two ways:
+/// LiveCount() must return to zero after every op (RAII), and no
+/// "matryoshka-spill-*" entries may remain in the temp dir even mid-run
+/// (unlink-before-write).
+///
+/// Thread safety: one worker appends to its own SpillFile (no sharing
+/// during the write phase); the read phase uses positional pread on the
+/// shared descriptor, which is safe from any number of concurrent readers.
+class SpillFile {
+ public:
+  /// Opens (and immediately unlinks) a fresh temp file. Aborts if the temp
+  /// dir is not writable — an environment error, not a data error.
+  SpillFile();
+  ~SpillFile();
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+  SpillFile(SpillFile&& other) noexcept;
+  SpillFile& operator=(SpillFile&&) = delete;
+
+  /// Appends `data` at the end of the file; returns the byte offset the
+  /// block starts at. Caller-serialized (one writer per file by design).
+  uint64_t Append(const std::string& data);
+
+  /// Reads exactly `size` bytes starting at `offset` into `*out` (resized).
+  /// Safe to call concurrently from any thread (positional pread).
+  void ReadAt(uint64_t offset, std::size_t size, std::string* out) const;
+
+  /// Bytes written so far.
+  uint64_t size() const { return write_offset_; }
+
+  /// Number of SpillFile objects currently alive in the process, for the
+  /// temp-file cleanup tests.
+  static int64_t LiveCount();
+
+ private:
+  int fd_ = -1;
+  uint64_t write_offset_ = 0;
+};
+
+}  // namespace matryoshka::engine::external
+
+#endif  // MATRYOSHKA_ENGINE_EXTERNAL_SPILL_FILE_H_

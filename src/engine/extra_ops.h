@@ -147,20 +147,22 @@ Bag<std::pair<K, A>> AggregateByKey(const Bag<std::pair<K, V>>& bag, A zero,
                                     int64_t num_partitions = -1,
                                     double weight = 1.0,
                                     double result_scale = -1.0) {
-  // Absorb values into accumulators map-side, then merge accumulators with
-  // an ordinary ReduceByKey.
+  // Absorb values into accumulators map-side — emitting keys in
+  // first-occurrence order, the canonical keyed-build order (see
+  // external/external_group.h) — then merge accumulators with an ordinary
+  // (budget-aware) ReduceByKey.
   auto partials = MapPartitions(
       bag,
       [zero, seq](const std::vector<std::pair<K, V>>& part) {
-        std::unordered_map<K, A, Hasher> acc;
-        acc.reserve(part.size());
-        for (const auto& [k, v] : part) {
-          auto [it, inserted] = acc.try_emplace(k, zero);
-          it->second = seq(it->second, v);
-        }
+        std::unordered_map<K, std::size_t, Hasher> index;
+        index.reserve(part.size());
         std::vector<std::pair<K, A>> out;
-        out.reserve(acc.size());
-        for (auto& [k, a] : acc) out.emplace_back(k, std::move(a));
+        for (const auto& [k, v] : part) {
+          auto [it, inserted] = index.try_emplace(k, out.size());
+          if (inserted) out.emplace_back(k, zero);
+          A& acc = out[it->second].second;
+          acc = seq(acc, v);
+        }
         return out;
       },
       weight);

@@ -250,18 +250,50 @@ Bag<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
   }
   c->AccrueStage(costs, /*lineage_depth=*/1, StageContext{"cogroup"});
 
-  // Group build, parallel across co-partitions; per-partition maxima are
-  // reduced on the driver so the memory check is order-independent.
+  // Group build, parallel across co-partitions, emitting keys in
+  // first-occurrence order over the left-then-right element stream (the
+  // canonical keyed-build order; see external/external_group.h). Under a
+  // real memory budget, elements of non-admitted keys — wrapped as
+  // (optional<V>, optional<W>) so one stream carries both sides — spill and
+  // re-feed in later passes; group contents stay in exact arrival order for
+  // any budget. Per-partition maxima are reduced on the driver so the
+  // memory check is order-independent.
+  using Side = std::pair<std::optional<V>, std::optional<W>>;
+  using Groups = std::pair<std::vector<V>, std::vector<W>>;
   typename Bag<Out>::Partitions out(static_cast<std::size_t>(parts));
   std::vector<double> max_bytes(static_cast<std::size_t>(parts), 0.0);
+  std::vector<external::SpillStats> spill_stats(
+      static_cast<std::size_t>(parts));
+  const std::size_t quota =
+      internal::WorkerQuota(c, static_cast<std::size_t>(parts));
   ParallelFor(c->pool(), static_cast<std::size_t>(parts), [&](std::size_t i) {
-    std::unordered_map<K, std::pair<std::vector<V>, std::vector<W>>, Hasher>
-        groups;
-    for (auto& [k, v] : ls[i]) groups[k].first.push_back(std::move(v));
-    for (auto& [k, w] : rs[i]) groups[k].second.push_back(std::move(w));
-    auto& part = out[i];
-    part.reserve(groups.size());
-    for (auto& [k, g] : groups) {
+    auto push = [](Groups& g, Side&& s) {
+      if (s.first.has_value()) {
+        g.first.push_back(std::move(*s.first));
+      } else {
+        g.second.push_back(std::move(*s.second));
+      }
+    };
+    auto init = [&push](Side&& s) {
+      Groups g;
+      push(g, std::move(s));
+      return g;
+    };
+    auto growth = [](const Side& s) {
+      return s.first.has_value() ? EstimateSize(*s.first)
+                                 : EstimateSize(*s.second);
+    };
+    external::BoundedAggregator<K, Side, Groups, decltype(init),
+                                decltype(push), decltype(growth)>
+        agg(quota, init, push, growth, &spill_stats[i]);
+    for (auto& [k, v] : ls[i]) {
+      agg.Feed(k, Side(std::move(v), std::nullopt));
+    }
+    for (auto& [k, w] : rs[i]) {
+      agg.Feed(k, Side(std::nullopt, std::move(w)));
+    }
+    out[i] = agg.Finish();
+    for (const auto& [k, g] : out[i]) {
       double bytes = static_cast<double>(sizeof(Out));
       if (!g.first.empty()) {
         bytes += EstimateSize(g.first.front()) *
@@ -272,9 +304,11 @@ Bag<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
                  static_cast<double>(g.second.size()) * right.scale();
       }
       max_bytes[i] = std::max(max_bytes[i], bytes);
-      part.emplace_back(k, std::move(g));
     }
   });
+  external::SpillStats group_spill;
+  for (const auto& s : spill_stats) group_spill.Add(s);
+  c->NoteRealSpill(group_spill, "cogroup");
   double max_group_bytes = 0.0;
   for (double b : max_bytes) max_group_bytes = std::max(max_group_bytes, b);
   c->CheckTaskMemory(max_group_bytes, "cogroup");

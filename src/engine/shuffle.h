@@ -3,13 +3,14 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "common/hash.h"
 #include "engine/bag.h"
+#include "engine/external/external_group.h"
+#include "engine/external/external_scatter.h"
 #include "engine/ops.h"
 #include "engine/parallel_shuffle.h"
 
@@ -50,6 +51,65 @@ bool AlreadyKeyPartitioned(const Bag<T>& bag, int64_t parts) {
   return bag.key_partitions() == parts && bag.num_partitions() == parts;
 }
 
+/// The scatter funnel of every wide operator: the in-memory deterministic
+/// kernel (parallel_shuffle.h) when the real budget is unbounded or the
+/// element type is not spillable, the external spilling kernel otherwise.
+/// Both produce bit-identical output (the external determinism contract);
+/// the external path additionally reports its real spill totals — reduced
+/// in producer order — into the cluster's real_* metrics, driver-side.
+template <typename T, typename PartOf>
+std::vector<std::vector<T>> BudgetedScatter(
+    Cluster* c, const std::vector<std::vector<T>>& inputs,
+    std::size_t num_parts, const PartOf& part_of, const char* label) {
+  if constexpr (external::kSpillable<T>) {
+    if (!c->real_budget().unbounded()) {
+      external::SpillStats stats;
+      auto out = external::ExternalScatter(c->pool(), inputs, num_parts,
+                                           part_of, c->real_budget(), &stats);
+      c->NoteRealSpill(stats, label);
+      return out;
+    }
+  }
+  return ParallelScatter(c->pool(), inputs, num_parts, part_of);
+}
+
+/// Per-worker byte quota for a bounded phase of `workers` parallel tasks;
+/// SIZE_MAX (never spill) when unbounded.
+inline std::size_t WorkerQuota(Cluster* c, std::size_t workers) {
+  return c->real_budget().unbounded() ? static_cast<std::size_t>(-1)
+                                      : c->real_budget().ShareFor(workers);
+}
+
+/// The keyed-reduction build shared by ReduceByKey's three loops (narrow
+/// fast path, map-side combine, reduce-side merge): per input partition, an
+/// insertion-ordered aggregation emitting keys in FIRST-OCCURRENCE order
+/// (the canonical emission order of every keyed build, see
+/// external/external_group.h) that overflows raw elements of non-admitted
+/// keys to temp-file runs under the partition's static budget share. `f` is
+/// applied in exact element stream order per key for any budget.
+template <typename K, typename V, typename F>
+std::vector<std::vector<std::pair<K, V>>> ReduceBuild(
+    Cluster* c, const std::vector<std::vector<std::pair<K, V>>>& in,
+    const F& f, const char* label) {
+  std::vector<std::vector<std::pair<K, V>>> out(in.size());
+  std::vector<external::SpillStats> stats(in.size());
+  const std::size_t quota = WorkerQuota(c, in.size());
+  ParallelFor(c->pool(), in.size(), [&](std::size_t i) {
+    auto init = [](V&& v) { return std::move(v); };
+    auto absorb = [&f](V& acc, V&& v) { acc = f(acc, v); };
+    auto growth = [](const V&) { return std::size_t{0}; };
+    external::BoundedAggregator<K, V, V, decltype(init), decltype(absorb),
+                                decltype(growth)>
+        agg(quota, init, absorb, growth, &stats[i]);
+    for (const auto& [k, v] : in[i]) agg.Feed(k, v);
+    out[i] = agg.Finish();
+  });
+  external::SpillStats total;
+  for (const auto& s : stats) total.Add(s);
+  c->NoteRealSpill(total, label);
+  return out;
+}
+
 /// Redistributes elements into `num_parts` partitions by `part_of(elem)`.
 /// Charges the map-side scan and the network shuffle, not the reduce side.
 /// The data movement runs on the deterministic parallel shuffle kernel
@@ -68,8 +128,8 @@ typename Bag<T>::Partitions ShuffleBy(const Bag<T>& bag, int64_t num_parts,
   bag.Force();
   ChargeScanStage(bag, map_weight, label);
   c->AccrueShuffle(RealBagBytes(bag), label);
-  return ParallelScatter(c->pool(), bag.partitions(),
-                         static_cast<std::size_t>(num_parts), part_of);
+  return BudgetedScatter(c, bag.partitions(),
+                         static_cast<std::size_t>(num_parts), part_of, label);
 }
 
 template <typename K>
@@ -157,34 +217,16 @@ Bag<std::pair<K, V>> ReduceByKey(const Bag<std::pair<K, V>>& bag, F f,
     // Co-partitioned input: the whole reduction is map-side; no shuffle.
     // This path is narrow, so lineage keeps growing.
     internal::ChargeScanStage(bag, weight, "reduceByKey[narrow]");
-    typename Bag<KV>::Partitions out(bag.partitions().size());
-    ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
-      std::unordered_map<K, V, Hasher> acc;
-      acc.reserve(bag.partitions()[i].size());
-      for (const auto& [k, v] : bag.partitions()[i]) {
-        auto [it, inserted] = acc.try_emplace(k, v);
-        if (!inserted) it->second = f(it->second, v);
-      }
-      out[i].reserve(acc.size());
-      for (auto& [k, v] : acc) out[i].emplace_back(k, std::move(v));
-    });
+    typename Bag<KV>::Partitions out = internal::ReduceBuild<K, V>(
+        c, bag.partitions(), f, "reduceByKey[narrow]");
     return internal::MaybeAutoCheckpoint(
         Bag<KV>(c, std::move(out), out_scale, parts, bag.lineage_depth() + 1));
   }
 
   // Map side: per-partition combine at the input scale.
   internal::ChargeScanStage(bag, weight, "reduceByKey[combine]");
-  typename Bag<KV>::Partitions combined(bag.partitions().size());
-  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
-    std::unordered_map<K, V, Hasher> acc;
-    acc.reserve(bag.partitions()[i].size());
-    for (const auto& [k, v] : bag.partitions()[i]) {
-      auto [it, inserted] = acc.try_emplace(k, v);
-      if (!inserted) it->second = f(it->second, v);
-    }
-    combined[i].reserve(acc.size());
-    for (auto& [k, v] : acc) combined[i].emplace_back(k, std::move(v));
-  });
+  typename Bag<KV>::Partitions combined = internal::ReduceBuild<K, V>(
+      c, bag.partitions(), f, "reduceByKey[combine]");
   // The combined intermediate lives at the RESULT scale: when the key space
   // is fixed, combining saturates in the real run just as it does here.
   Bag<KV> combined_bag(c, std::move(combined), out_scale);
@@ -192,11 +234,12 @@ Bag<std::pair<K, V>> ReduceByKey(const Bag<std::pair<K, V>>& bag, F f,
   // Shuffle the combined data, then reduce-side merge. The scatter runs on
   // the deterministic parallel kernel with exact-reserved buckets.
   c->AccrueShuffle(RealBagBytes(combined_bag), "reduceByKey");
-  typename Bag<KV>::Partitions shuffled = internal::ParallelScatter(
-      c->pool(), combined_bag.partitions(), static_cast<std::size_t>(parts),
+  typename Bag<KV>::Partitions shuffled = internal::BudgetedScatter(
+      c, combined_bag.partitions(), static_cast<std::size_t>(parts),
       [&](const KV& kv) {
         return internal::PartitionOfKey(kv.first, parts);
-      });
+      },
+      "reduceByKey");
   const double spill =
       c->SpillFactor(RealBagBytes(combined_bag) /
                      static_cast<double>(c->planning_machines()));
@@ -205,16 +248,8 @@ Bag<std::pair<K, V>> ReduceByKey(const Bag<std::pair<K, V>>& bag, F f,
   c->AccrueStage(costs, /*lineage_depth=*/1,
                  StageContext{"reduceByKey[merge]", spill});
 
-  typename Bag<KV>::Partitions out(static_cast<std::size_t>(parts));
-  ParallelFor(c->pool(), shuffled.size(), [&](std::size_t i) {
-    std::unordered_map<K, V, Hasher> acc;
-    for (const auto& [k, v] : shuffled[i]) {
-      auto [it, inserted] = acc.try_emplace(k, v);
-      if (!inserted) it->second = f(it->second, v);
-    }
-    out[i].reserve(acc.size());
-    for (auto& [k, v] : acc) out[i].emplace_back(k, std::move(v));
-  });
+  typename Bag<KV>::Partitions out =
+      internal::ReduceBuild<K, V>(c, shuffled, f, "reduceByKey[merge]");
   return Bag<KV>(c, std::move(out), out_scale, parts);
 }
 
@@ -251,27 +286,43 @@ Bag<std::pair<K, std::vector<V>>> GroupByKey(const Bag<std::pair<K, V>>& bag,
   c->AccrueStage(costs, /*lineage_depth=*/1,
                  StageContext{"groupByKey[group]", spill});
 
-  // Group build, parallel across reduce partitions. Each partition tracks
-  // its own largest group; the driver reduces the per-partition maxima so
-  // the memory check stays independent of execution order.
+  // Group build, parallel across reduce partitions, emitting groups in
+  // first-occurrence key order (the canonical keyed-build order; see
+  // external/external_group.h). Under a real memory budget the build spills
+  // raw elements of non-admitted keys and re-feeds them in later passes —
+  // group contents stay in exact arrival order for any budget. Each
+  // partition tracks its own largest group; the driver reduces the
+  // per-partition maxima so the memory check stays independent of execution
+  // order.
   typename Bag<KG>::Partitions out(static_cast<std::size_t>(parts));
   std::vector<double> max_bytes(shuffled.size(), 0.0);
+  std::vector<external::SpillStats> spill_stats(shuffled.size());
+  const std::size_t quota = internal::WorkerQuota(c, shuffled.size());
   ParallelFor(c->pool(), shuffled.size(), [&](std::size_t i) {
-    std::unordered_map<K, std::vector<V>, Hasher> groups;
-    for (auto& [k, v] : shuffled[i]) {
-      groups[k].push_back(std::move(v));
-    }
-    out[i].reserve(groups.size());
-    for (auto& [k, vs] : groups) {
+    auto init = [](V&& v) {
+      std::vector<V> g;
+      g.push_back(std::move(v));
+      return g;
+    };
+    auto absorb = [](std::vector<V>& g, V&& v) { g.push_back(std::move(v)); };
+    auto growth = [](const V& v) { return EstimateSize(v); };
+    external::BoundedAggregator<K, V, std::vector<V>, decltype(init),
+                                decltype(absorb), decltype(growth)>
+        agg(quota, init, absorb, growth, &spill_stats[i]);
+    for (auto& [k, v] : shuffled[i]) agg.Feed(k, std::move(v));
+    out[i] = agg.Finish();
+    for (const auto& [k, vs] : out[i]) {
       // Sample-estimate the group footprint.
       double bytes = static_cast<double>(sizeof(KG));
       if (!vs.empty()) {
         bytes += EstimateSize(vs.front()) * static_cast<double>(vs.size());
       }
       max_bytes[i] = std::max(max_bytes[i], bytes);
-      out[i].emplace_back(k, std::move(vs));
     }
   });
+  external::SpillStats group_spill;
+  for (const auto& s : spill_stats) group_spill.Add(s);
+  c->NoteRealSpill(group_spill, "groupByKey[group]");
   double max_group_bytes = 0.0;
   for (double b : max_bytes) max_group_bytes = std::max(max_group_bytes, b);
   c->CheckTaskMemory(max_group_bytes * bag.scale() * group_expansion,
@@ -307,9 +358,10 @@ Bag<T> Distinct(const Bag<T>& bag, int64_t num_partitions = -1,
   Bag<T> pre_bag(c, std::move(pre), out_scale);
 
   c->AccrueShuffle(RealBagBytes(pre_bag), "distinct");
-  typename Bag<T>::Partitions shuffled = internal::ParallelScatter(
-      c->pool(), pre_bag.partitions(), static_cast<std::size_t>(parts),
-      [&](const T& x) { return internal::PartitionOfKey(x, parts); });
+  typename Bag<T>::Partitions shuffled = internal::BudgetedScatter(
+      c, pre_bag.partitions(), static_cast<std::size_t>(parts),
+      [&](const T& x) { return internal::PartitionOfKey(x, parts); },
+      "distinct");
   const double spill =
       c->SpillFactor(RealBagBytes(pre_bag) /
                      static_cast<double>(c->planning_machines()));

@@ -746,6 +746,37 @@ TEST(ServingCacheTest, KeySeparatesPlansParamsAndInputs) {
   EXPECT_EQ(stats.misses, 3);
 }
 
+TEST(ServingCacheTest, EvictionCounterExactUnderConcurrentEvictions) {
+  // N threads insert all-distinct keys into a small cache: every insert
+  // beyond capacity evicts exactly one LRU entry, so the final accounting
+  // must balance to the key: evictions == inserts - capacity, size ==
+  // capacity — exactly, not approximately, even with all threads racing the
+  // eviction path.
+  constexpr std::size_t kCapacity = 7;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 250;
+  MemoCache cache(kCapacity);
+  auto result = std::make_shared<CachedResult>();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &result, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        cache.Insert(CacheKey{"plan", static_cast<uint64_t>(t),
+                              static_cast<uint64_t>(i)},
+                     result);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  MemoCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.size, kCapacity);
+  EXPECT_EQ(stats.evictions,
+            static_cast<int64_t>(kThreads * kPerThread - kCapacity));
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 0);
+}
+
 TEST(ServingCacheTest, ConcurrentIdenticalRequestsStayCoherent) {
   PlanRegistry registry;
   ASSERT_TRUE(registry.Register(SumByKeySpec()).ok());
