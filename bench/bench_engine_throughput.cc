@@ -271,6 +271,51 @@ void BM_ShuffleGroup_Budget(benchmark::State& state) {
       cluster.metrics().real_spilled_bytes / (1 << 20);
 }
 
+// --- Chaos: the out-of-core pipeline under an injected real-fault storm ---
+//
+// A/B of the same bounded shuffle+group as BM_ShuffleGroup_Budget, calm
+// (failpoints disarmed) vs storm (deterministic seeded transient EIO, short
+// transfers, a sprinkle of ENOSPC and bit-rot, fallback-in-memory on). The
+// storm arm measures the wall-clock cost of the hardened IO layer actually
+// absorbing faults; its outputs are still bit-identical to the calm arm
+// (ChaosEngineTest locks that), and its metrics row carries nonzero
+// real_io_faults_injected / real_io_retries / checksum_failures /
+// inmemory_fallbacks while the calm arm keeps all four at exactly zero.
+
+void BM_ShuffleGroup_Chaos(benchmark::State& state) {
+  engine::ClusterConfig cfg = Config(state.range(0) != 0);
+  const bool storm = state.range(1) != 0;
+  cfg.real_memory_budget_bytes = kRealBudgetBytes;
+  if (storm) {
+    cfg.real_faults.seed = 2021;
+    cfg.real_faults.write_eio_prob = 0.1;
+    cfg.real_faults.read_eio_prob = 0.1;
+    cfg.real_faults.short_write_prob = 0.2;
+    cfg.real_faults.short_read_prob = 0.2;
+    cfg.real_faults.write_enospc_prob = 0.002;
+    cfg.real_faults.corrupt_prob = 0.002;
+  }
+  ScaleToTarget(&cfg, 8.0, kLargeN, 80.0);
+  Cluster cluster(cfg);
+  auto bag = engine::Parallelize(&cluster, LargeData(kLargeN), kParts);
+  const char* name =
+      storm ? "chaos/shuffleGroup/storm" : "chaos/shuffleGroup/calm";
+  MeasureOp(state, name, &cluster, bag, [](const auto& b) {
+    auto grouped =
+        engine::GroupByKey(engine::Repartition(b, kParts), kParts);
+    return engine::MapValues(grouped, [](const std::vector<std::string>& g) {
+      return static_cast<int64_t>(g.size());
+    });
+  });
+  state.counters["storm"] = storm ? 1 : 0;
+  state.counters["io_faults"] =
+      static_cast<double>(cluster.metrics().real_io_faults_injected);
+  state.counters["io_retries"] =
+      static_cast<double>(cluster.metrics().real_io_retries);
+  state.counters["fallbacks"] =
+      static_cast<double>(cluster.metrics().inmemory_fallbacks);
+}
+
 // --- Narrow chains: map -> filter -> map -> mapValues, fused vs eager ---
 //
 // The chain benches force the result inside the measured region (chains are
@@ -354,6 +399,9 @@ BENCHMARK(BM_Distinct_Large)->THROUGHPUT_ARGS;
       ->Unit(benchmark::kMillisecond)
 
 BENCHMARK(BM_ShuffleGroup_Budget)->BUDGET_ARGS;
+
+// pool x storm grid for the chaos family.
+BENCHMARK(BM_ShuffleGroup_Chaos)->BUDGET_ARGS;
 
 // pool x fusion grid for the chain family.
 #define CHAIN_ARGS                                                    \

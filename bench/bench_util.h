@@ -297,6 +297,13 @@ class ObsSession {
          << obs::JsonDouble(m.real_spilled_bytes);
       os << ", \"real_spill_events\": " << m.real_spill_events;
       os << ", \"real_spill_runs\": " << m.real_spill_runs;
+      // Additive extension (real-fault contract): injected real-IO faults
+      // and what the hardened IO layer did about them. All zero unless a
+      // RealFaultPlan (or MATRYOSHKA_REAL_FAULTS) armed the failpoints.
+      os << ", \"real_io_faults_injected\": " << m.real_io_faults_injected;
+      os << ", \"real_io_retries\": " << m.real_io_retries;
+      os << ", \"checksum_failures\": " << m.checksum_failures;
+      os << ", \"inmemory_fallbacks\": " << m.inmemory_fallbacks;
       os << "},\n     \"breakdown\": ";
       obs::WriteBreakdownJson(rec.breakdown, os);
       if (rec.has_wall) {

@@ -25,6 +25,15 @@
 #                               # preset AND ASan, then the external/parallel
 #                               # determinism suites under TSan both
 #                               # unbounded and forced
+#   scripts/check.sh chaos      # real-fault contract: the chaos suite, then
+#                               # the spill+faults suites with a recoverable
+#                               # real-IO fault storm AND a tiny budget forced
+#                               # process-wide (MATRYOSHKA_REAL_FAULTS +
+#                               # MATRYOSHKA_REAL_BUDGET) under the default
+#                               # preset and ASan, the chaos suites under
+#                               # TSan, and a chaos-bench A/B with the four
+#                               # real_io counter keys validated (nonzero
+#                               # under storm, exactly zero calm)
 # Any extra arguments are forwarded to ctest.
 set -eu
 
@@ -54,9 +63,11 @@ case "$mode" in
     preset=default; test_preset=serve ;;
   spill)
     preset=default; test_preset="" ;;
+  chaos)
+    preset=default; test_preset=chaos ;;
   *)
     echo "usage: scripts/check.sh" \
-         "[default|asan|faults|obs|recovery|tsan|perf|fusion|serve|spill]" \
+         "[default|asan|faults|obs|recovery|tsan|perf|fusion|serve|spill|chaos]" \
          "[ctest args...]" >&2
     exit 2 ;;
 esac
@@ -182,6 +193,75 @@ if [ "$mode" = spill ]; then
   MATRYOSHKA_REAL_BUDGET="$budget" ctest --preset spill-tsan -j "$(nproc)" "$@"
   echo "== spill: unbounded, tsan =="
   ctest --preset spill-tsan -j "$(nproc)" "$@"
+fi
+
+if [ "$mode" = chaos ]; then
+  # The real-fault contract: first the chaos suite proper (explicit
+  # per-test plans: hard faults, degradation policies, determinism sweeps),
+  # which already ran above via test_preset=chaos. Then force a RECOVERABLE
+  # real-IO storm process-wide — transient EIO plus short transfers at 20%
+  # per site — together with a tiny real budget, and require the whole
+  # spill+faults suite to still pass bit-identically: the hardened IO layer
+  # must absorb every injected fault without changing one byte of output.
+  # (The env storm only applies to configs whose own RealFaultPlan is
+  # inactive, and never arms ENOSPC/corruption/alloc faults by design.)
+  storm="0.2:2021"
+  budget=4096
+  echo "== chaos: storm=$storm budget=$budget, default preset =="
+  MATRYOSHKA_REAL_FAULTS="$storm" MATRYOSHKA_REAL_BUDGET="$budget" \
+    ctest --preset spill -j "$(nproc)" "$@"
+  # The retry/backoff/short-transfer loops must be clean under ASan/UBSan.
+  cmake --preset asan
+  cmake --build --preset asan -j "$(nproc)"
+  echo "== chaos: storm=$storm budget=$budget, asan =="
+  MATRYOSHKA_REAL_FAULTS="$storm" MATRYOSHKA_REAL_BUDGET="$budget" \
+    ctest --preset chaos-asan -j "$(nproc)" "$@"
+  # Concurrent fault draws and the degradation paths must be TSan-clean.
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  echo "== chaos: tsan =="
+  ctest --preset chaos-tsan -j "$(nproc)" "$@"
+  echo "== chaos: storm=$storm, tsan =="
+  MATRYOSHKA_REAL_FAULTS="$storm" ctest --preset chaos-tsan -j "$(nproc)" "$@"
+  # End-to-end A/B: the chaos bench arm, calm vs storm, with the four
+  # real_io counter keys validated in the metrics JSON — nonzero where the
+  # storm must have injected and recovered, exactly zero on the calm arm.
+  out_dir="build/chaos-check"
+  mkdir -p "$out_dir"
+  build/bench/bench_engine_throughput \
+    --benchmark_filter='BM_ShuffleGroup_Chaos' \
+    --benchmark_min_time=0.02 \
+    --benchmark_min_warmup_time=0 \
+    --metrics-json="$out_dir/metrics.json" >/dev/null
+  python3 - "$out_dir/metrics.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "matryoshka-bench-metrics-v1", doc["schema"]
+arms = set()
+keys = ("real_io_faults_injected", "real_io_retries", "checksum_failures",
+        "inmemory_fallbacks")
+for run in doc["runs"]:
+    name = run["name"]
+    if not name.startswith("throughput/chaos/"):
+        continue
+    # throughput/chaos/<op>/<storm arm>/<pool arm>
+    arm = name.split("/")[3]
+    arms.add(arm)
+    m = run["metrics"]
+    for key in keys:
+        assert key in m, f"missing {key} in {name}"
+    assert run["ok"], f"{name} did not recover"
+    if arm == "calm":
+        for key in keys:
+            assert m[key] == 0, f"{name}: {key}={m[key]} on the calm arm"
+    else:
+        assert m["real_io_faults_injected"] > 0, name
+        assert m["real_io_retries"] > 0, name
+        assert m["inmemory_fallbacks"] > 0, name
+assert arms == {"calm", "storm"}, arms
+print("ok:", sys.argv[1], "(chaos A/B counters validated)")
+EOF
 fi
 
 if [ "$mode" = recovery ]; then

@@ -1,0 +1,46 @@
+#include "common/failpoints.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/hash.h"
+
+namespace matryoshka {
+
+double FailpointRegistry::Draw(uint64_t stream, uint64_t salt,
+                               uint64_t key) const {
+  // Same construction as the simulated cluster's UnitDraw: two Mix64 rounds
+  // over the independent components, top 53 bits to a double in [0, 1).
+  const auto e = static_cast<uint64_t>(epoch());
+  uint64_t z =
+      Mix64(plan_.seed ^ Mix64(stream * 0x9e3779b97f4a7c15ULL + salt));
+  z = Mix64(z ^ Mix64(key * 0x2545f4914f6cdd1dULL + e));
+  return static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+}
+
+void FailpointRegistry::MaybeStall(uint64_t stream, uint64_t key) const {
+  if (!Fires(stream, kFpSlowIo, key, plan_.slow_io_prob)) return;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(plan_.slow_io_ms > 0 ? plan_.slow_io_ms : 1));
+}
+
+RealFaultPlan ParseRealFaultStormEnv(const char* value) {
+  RealFaultPlan plan;
+  if (value == nullptr || value[0] == '\0') return plan;
+  char* end = nullptr;
+  const double prob = std::strtod(value, &end);
+  if (end == value || prob <= 0.0) return plan;
+  if (end != nullptr && *end == ':') {
+    plan.seed = std::strtoull(end + 1, nullptr, 10);
+  }
+  // Recoverable faults only (see the header contract).
+  plan.write_eio_prob = prob;
+  plan.read_eio_prob = prob;
+  plan.short_write_prob = prob;
+  plan.short_read_prob = prob;
+  plan.transient_duration = 1;
+  return plan;
+}
+
+}  // namespace matryoshka

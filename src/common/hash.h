@@ -24,6 +24,33 @@ inline std::size_t HashCombine(std::size_t seed, std::size_t v) {
   return seed ^ (Mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
 }
 
+/// xxhash-style 64-bit checksum over a byte range: 8-byte little-endian
+/// lanes folded through Mix64, a tail lane padded with the byte count, and
+/// the length mixed into the final avalanche. Used by the spill layer to
+/// verify runs on merge-on-read; any single flipped bit changes the result.
+inline uint64_t HashBytes(const void* data, std::size_t n,
+                          uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = Mix64(seed ^ (0x27d4eb2f165667c5ULL + n));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t lane = 0;
+    for (int b = 0; b < 8; ++b) {
+      lane |= static_cast<uint64_t>(p[i + static_cast<std::size_t>(b)])
+              << (8 * b);
+    }
+    h = Mix64(h ^ lane) * 0x9e3779b97f4a7c15ULL + 0x165667b19e3779f9ULL;
+  }
+  if (i < n) {
+    uint64_t lane = static_cast<uint64_t>(n);  // length-pads the tail
+    for (int b = 0; i < n; ++i, ++b) {
+      lane = (lane << 8) | p[i];
+    }
+    h = Mix64(h ^ lane) * 0x9e3779b97f4a7c15ULL + 0x165667b19e3779f9ULL;
+  }
+  return Mix64(h ^ (h >> 29));
+}
+
 /// Hash functor covering the key types the engine shuffles on: anything with
 /// a std::hash specialization, plus pairs and tuples of such types.
 struct Hasher {

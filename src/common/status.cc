@@ -24,6 +24,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Deadline exceeded";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kIOError:
+      return "IO error";
+    case StatusCode::kDataCorruption:
+      return "Data corruption";
   }
   return "Unknown";
 }

@@ -29,8 +29,19 @@ enum class StatusCode {
   /// (engine::RetryableForDriver), unlike the deterministic memory failures.
   kDeadlineExceeded,
   /// The serving layer refused to admit a request (queue depth or in-flight
-  /// bound reached). Nothing ran; the caller may retry later or shed load.
+  /// bound reached), or a real resource (spill disk: ENOSPC) ran out.
+  /// Nothing retried inside the process can help; the caller may retry
+  /// later or shed load.
   kResourceExhausted,
+  /// A real IO operation (spill pwrite/pread) failed after exhausting the
+  /// bounded retry budget. Driver-retryable: a re-run (fresh failpoint
+  /// epoch on injected faults; fresh kernel weather on genuine ones) may
+  /// succeed.
+  kIOError,
+  /// A spill run's checksum did not match on merge-on-read: the bytes on
+  /// disk are not the bytes written. Never surfaced as silent wrong data;
+  /// driver-retryable like kIOError (the rewritten runs verify fresh).
+  kDataCorruption,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -87,6 +98,12 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DataCorruption(std::string msg) {
+    return Status(StatusCode::kDataCorruption, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsOutOfMemory() const { return code_ == StatusCode::kOutOfMemory; }
@@ -103,6 +120,10 @@ class Status {
   }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsDataCorruption() const {
+    return code_ == StatusCode::kDataCorruption;
   }
 
   StatusCode code() const { return code_; }

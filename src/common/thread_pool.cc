@@ -2,10 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 #include "common/logging.h"
 
 namespace matryoshka {
+
+namespace {
+std::atomic<int64_t> g_uncaught_task_exceptions{0};
+}  // namespace
+
+int64_t ThreadPool::UncaughtTaskExceptions() {
+  return g_uncaught_task_exceptions.load(std::memory_order_relaxed);
+}
 
 std::size_t ThreadPool::DefaultThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -56,7 +65,21 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    // A fire-and-forget task that throws must not unwind the worker loop:
+    // that would std::terminate the whole process for one bad task. Tasks
+    // with callers that care (ParallelFor) do their own capture/rethrow and
+    // never reach this catch.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      g_uncaught_task_exceptions.fetch_add(1, std::memory_order_relaxed);
+      MATRYOSHKA_LOG(kWarning)
+          << "uncaught exception in fire-and-forget pool task: " << e.what();
+    } catch (...) {
+      g_uncaught_task_exceptions.fetch_add(1, std::memory_order_relaxed);
+      MATRYOSHKA_LOG(kWarning)
+          << "uncaught non-std exception in fire-and-forget pool task";
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;
@@ -78,19 +101,41 @@ struct ParallelForState {
   std::size_t num_chunks = 0;  // total chunks to complete
   const std::function<void(std::size_t)>* body = nullptr;
 
+  /// Fast-path flag: once a body threw, later chunks are claimed and ticked
+  /// but their bodies skipped (the loop's output is void anyway).
+  std::atomic<bool> failed{false};
+
   std::mutex mu;
   std::condition_variable cv;
   std::size_t done_chunks = 0;  // guarded by mu
+  /// First exception by LOWEST chunk start among the bodies that ran
+  /// (guarded by mu). Lowest-index-wins keeps the rethrown error stable in
+  /// the common one-bad-index case regardless of which thread hit it first.
+  std::exception_ptr error;
+  std::size_t error_begin = 0;
 
   /// Claims and runs chunks until none remain. Safe to call from any number
-  /// of threads; every claimed chunk is reported done exactly once.
+  /// of threads; every claimed chunk is reported done exactly once — also
+  /// when its body throws, which is what keeps the caller's barrier from
+  /// deadlocking on a failed loop.
   void RunChunks() {
     for (;;) {
       const std::size_t begin =
           next.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) return;
       const std::size_t end = std::min(n, begin + chunk);
-      for (std::size_t i = begin; i < end; ++i) (*body)(i);
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          for (std::size_t i = begin; i < end; ++i) (*body)(i);
+        } catch (...) {
+          failed.store(true, std::memory_order_relaxed);
+          std::unique_lock<std::mutex> lock(mu);
+          if (error == nullptr || begin < error_begin) {
+            error = std::current_exception();
+            error_begin = begin;
+          }
+        }
+      }
       std::unique_lock<std::mutex> lock(mu);
       if (++done_chunks == num_chunks) cv.notify_all();
     }
@@ -130,6 +175,9 @@ void ParallelFor(ThreadPool* pool, std::size_t n,
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock,
                  [&] { return state->done_chunks == state->num_chunks; });
+  // Rethrow after the barrier: every body has finished (or was skipped), so
+  // the caller's data structures are quiescent when the exception unwinds.
+  if (state->error != nullptr) std::rethrow_exception(state->error);
 }
 
 }  // namespace matryoshka

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -72,12 +73,24 @@ class ThreadPool {
 
   /// Enqueues a task. Never blocks. Tasks may start in any order and run
   /// concurrently with each other and with the submitting thread.
+  ///
+  /// Exception safety: a fire-and-forget task that throws is swallowed on
+  /// the worker (logged and counted, see UncaughtTaskExceptions) instead of
+  /// unwinding the worker loop into std::terminate. Fork-join callers get
+  /// real propagation: ParallelFor rethrows a body's exception on the
+  /// calling thread after the barrier.
   void Submit(TaskFunction task);
 
   /// Blocks until every submitted task has finished executing.
   void WaitIdle();
 
   std::size_t num_threads() const { return threads_.size(); }
+
+  /// Process-wide count of fire-and-forget tasks whose uncaught exception
+  /// was swallowed by a worker. Diagnostics only (tests assert it stays
+  /// zero on healthy paths); ParallelFor bodies never count here — their
+  /// exceptions propagate to the caller.
+  static int64_t UncaughtTaskExceptions();
 
  private:
   void WorkerLoop();
@@ -110,6 +123,12 @@ class ThreadPool {
 ///  - Re-entrant: a body may itself call ParallelFor on the same pool.
 ///    Progress is guaranteed because every caller drains remaining chunks
 ///    itself before waiting; a nested call can never block on pool capacity.
+///  - Exception safety: a body that throws does not terminate the process.
+///    The failure with the LOWEST chunk start index among the bodies that
+///    ran is captured; remaining chunks are claimed but their bodies
+///    skipped; the barrier completes; then the captured exception is
+///    rethrown on the CALLING thread. Bodies already running when another
+///    fails run to completion (they are never interrupted mid-index).
 void ParallelFor(ThreadPool* pool, std::size_t n,
                  const std::function<void(std::size_t)>& body);
 

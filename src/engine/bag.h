@@ -133,7 +133,10 @@ class Bag {
     if (pending_->materialized == nullptr) {
       const PendingState& chain = *pending_;
       auto out = std::make_shared<Partitions>(chain.counts.size());
-      ParallelFor(cluster_->pool(), out->size(), [&](std::size_t i) {
+      // Guarded: a throwing fused UDF fails this program with a typed
+      // status (the partially built output is void behind the sticky
+      // failure) instead of terminating the process.
+      internal::GuardedParallelFor(cluster_, out->size(), [&](std::size_t i) {
         std::vector<T>& dst = (*out)[i];
         if (chain.bounded) dst.reserve(chain.counts[i]);
         chain.feed(i, [&dst](T&& x) { dst.push_back(std::move(x)); });

@@ -43,6 +43,19 @@ std::size_t ResolveRealBudget(ClusterConfig* config) {
   return config->real_memory_budget_bytes;
 }
 
+/// Resolves the real-fault plan: an explicitly active config plan wins;
+/// otherwise MATRYOSHKA_REAL_FAULTS ("<prob>[:<seed>]") can force a
+/// process-wide recoverable-only fault storm so scripts/check.sh chaos runs
+/// entire suites through the hardened IO paths. Writes the resolved plan
+/// back so config() reflects what runs.
+void ResolveRealFaults(ClusterConfig* config) {
+  if (config->real_faults.active()) return;
+  if (const char* env = std::getenv("MATRYOSHKA_REAL_FAULTS")) {
+    const RealFaultPlan storm = ParseRealFaultStormEnv(env);
+    if (storm.active()) config->real_faults = storm;
+  }
+}
+
 }  // namespace
 
 Cluster::Cluster(ClusterConfig config)
@@ -76,6 +89,8 @@ Cluster::Cluster(ClusterConfig config)
   driver_thread_ = std::this_thread::get_id();
   loss_times_ = config_.faults.machine_loss_times_s;
   std::sort(loss_times_.begin(), loss_times_.end());
+  ResolveRealFaults(&config_);
+  failpoints_.Arm(config_.real_faults, config_.real_io);
 }
 
 void Cluster::CheckDriverThread(const char* what) const {
@@ -116,6 +131,9 @@ void Cluster::Reset() {
   next_loss_event_ = 0;
   lost_machines_ = 0;
   attempt_start_s_ = 0.0;
+  // Re-arm the real-fault epoch too: a fresh run draws the same injected
+  // faults as the first one (bit-identical repeated runs).
+  failpoints_.ResetEpoch();
   // A Reset is a run boundary for the trace too.
   if (trace_ != nullptr) trace_->StartRun();
 }
@@ -139,6 +157,11 @@ void Cluster::BeginDriverRetry(double backoff_s, const std::string& why) {
   metrics_.simulated_time_s += backoff_s;
   metrics_.recovery_time_s += backoff_s;
   ArmRunDeadline();
+  // Advance the real-fault epoch: under a bounded storm
+  // (RealFaultPlan::storm_epochs) the retried attempt runs on healthy IO —
+  // the "disk glitched, driver retried, run recovered" scenario, still a
+  // pure function of (seed, epoch).
+  failpoints_.BumpEpoch();
   if (trace_ != nullptr) {
     trace_->AddInstant("driver-retry", why, t0);
     trace_->AddDriverSpan(obs::Category::kRecovery, "driver-retry backoff",
@@ -570,16 +593,35 @@ void Cluster::CheckTaskMemory(double bytes, const std::string& what) {
 
 void Cluster::NoteRealSpill(const external::SpillStats& stats,
                             const char* label) {
-  if (stats.spill_events == 0) return;
+  const bool faulted = stats.io_faults_injected != 0 || stats.io_retries != 0 ||
+                       stats.checksum_failures != 0 ||
+                       stats.inmemory_fallbacks != 0;
+  if (stats.spill_events == 0 && !faulted) return;
   metrics_.real_spill_events += stats.spill_events;
   metrics_.real_spilled_bytes += stats.spilled_bytes;
   metrics_.real_spill_runs += stats.spill_runs;
+  metrics_.real_io_faults_injected += stats.io_faults_injected;
+  metrics_.real_io_retries += stats.io_retries;
+  metrics_.checksum_failures += stats.checksum_failures;
+  metrics_.inmemory_fallbacks += stats.inmemory_fallbacks;
   if (trace_ != nullptr) {
     // Zero-width span: real spilling happens on the hardware clock, which
     // the trace's simulated timeline must not (and does not) advance for.
-    trace_->AddDriverSpan(obs::Category::kSpill, label,
-                          metrics_.simulated_time_s, metrics_.simulated_time_s,
-                          stats.spilled_bytes);
+    if (stats.spill_events != 0) {
+      trace_->AddDriverSpan(obs::Category::kSpill, label,
+                            metrics_.simulated_time_s,
+                            metrics_.simulated_time_s, stats.spilled_bytes);
+    }
+    if (faulted) {
+      trace_->AddInstant(
+          "real-io-fault",
+          std::string(label) + ": " +
+              std::to_string(stats.io_faults_injected) + " injected, " +
+              std::to_string(stats.io_retries) + " retries, " +
+              std::to_string(stats.checksum_failures) + " checksum, " +
+              std::to_string(stats.inmemory_fallbacks) + " fallbacks",
+          metrics_.simulated_time_s);
+    }
   }
 }
 

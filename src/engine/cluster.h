@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoints.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/external/memory_budget.h"
@@ -200,6 +201,27 @@ struct ClusterConfig {
   /// external paths; an explicit nonzero config value always wins.
   std::size_t real_memory_budget_bytes = 0;
 
+  /// Deterministic REAL-fault injection into the external subsystem's
+  /// actual IO (injected ENOSPC/EIO/short transfers/corruption/stalls at
+  /// every spill syscall boundary, allocation failure at scratch charge
+  /// points). Unlike `faults` above — which only perturbs the simulated
+  /// cost model — an active plan exercises the engine's REAL error paths:
+  /// bounded retry, checksum verification, in-memory fallback, typed
+  /// failure. The default plan injects nothing and the disarmed paths are
+  /// byte-identical to an engine without the registry. Draws are pure
+  /// functions of (seed, worker stream, site, byte offset, epoch), so
+  /// injected faults and the real_io_* counters are identical across pool
+  /// sizes. The MATRYOSHKA_REAL_FAULTS environment variable
+  /// ("<prob>[:<seed>]"), when set and this plan is inactive, arms a
+  /// recoverable-only storm (transient EIO + short transfers) at Cluster
+  /// construction — scripts/check.sh chaos uses it to force entire suites
+  /// through the hardened paths. See common/failpoints.h.
+  RealFaultPlan real_faults;
+
+  /// Retry/backoff/fallback policy for real IO faults (injected or from
+  /// actual hardware). See common/failpoints.h.
+  RealIoPolicy real_io;
+
   /// How many "real" elements one synthetic element of a freshly loaded
   /// dataset stands for (Parallelize stamps it onto new bags). Every bag
   /// carries its own scale from there on: cardinality-preserving operators
@@ -317,6 +339,20 @@ struct Metrics {
   double real_spilled_bytes = 0.0;
   int64_t real_spill_events = 0;
   int64_t real_spill_runs = 0;
+  /// --- Real-fault hardening (all zero with ClusterConfig::real_faults
+  /// inactive and healthy hardware; like the real_spill_* counters above
+  /// these are measured on real execution, excluded from the simulated
+  /// Metrics identity, and deterministic for a fixed plan across pool
+  /// sizes). ---
+  /// Failpoint firings at spill-IO syscall and scratch-charge sites.
+  int64_t real_io_faults_injected = 0;
+  /// Bounded-retry attempts after (injected or real) transient IO errors.
+  int64_t real_io_retries = 0;
+  /// Spill runs whose bytes failed checksum verification on merge-on-read.
+  int64_t checksum_failures = 0;
+  /// Bounded ops that re-ran / drained in memory because the disk became
+  /// unusable (graceful degradation; the output stays bit-identical).
+  int64_t inmemory_fallbacks = 0;
 };
 
 /// Execution context shared by every Bag of one program run: cost-model
@@ -456,6 +492,12 @@ class Cluster {
   /// real_memory_budget_bytes == 0: wide operators then take the purely
   /// in-memory paths.
   const external::MemoryBudget& real_budget() const { return real_budget_; }
+
+  /// The real-fault injection registry, armed from config().real_faults at
+  /// construction (possibly via MATRYOSHKA_REAL_FAULTS). External-execution
+  /// workers consult it at every spill syscall boundary; disarmed (the
+  /// default) it is a single-branch no-op. Never null.
+  const FailpointRegistry* failpoints() const { return &failpoints_; }
 
   /// Records one bounded phase's REAL spill totals (already reduced in
   /// worker order by the caller) into the real_* Metrics and, with a trace
@@ -599,6 +641,9 @@ class Cluster {
   /// Real scratch budget (constructed once from the resolved config; the
   /// accountant itself is thread-safe, the total immutable).
   external::MemoryBudget real_budget_;
+  /// Real-fault injection registry (armed once in the ctor; the epoch is
+  /// bumped by driver retries so a retried attempt sees fresh draws).
+  FailpointRegistry failpoints_;
   obs::TraceRecorder* trace_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
   /// The pool operators actually run on: pool_.get(), the config's
@@ -613,6 +658,31 @@ class Cluster {
   /// Simulated time the current driver attempt started (deadline window).
   double attempt_start_s_ = 0.0;
 };
+
+namespace internal {
+
+/// ParallelFor with operator-grade exception safety: a body that throws no
+/// longer unwinds into the pool's WaitIdle (std::terminate) — ParallelFor
+/// itself catches per-chunk exceptions, completes the barrier, and rethrows
+/// the winning (lowest-index) one here, where it becomes the cluster's
+/// sticky typed status. Every engine operator funnels its per-partition
+/// bodies through this wrapper, so a throwing UDF fails the one program
+/// (and, in the serving layer, the one request) instead of the process.
+template <typename Body>
+void GuardedParallelFor(Cluster* c, std::size_t n, const Body& body) {
+  try {
+    ParallelFor(c->pool(), n, body);
+  } catch (const std::exception& e) {
+    c->Fail(Status::Internal(std::string("uncaught exception in parallel "
+                                         "task body: ") +
+                             e.what()));
+  } catch (...) {
+    c->Fail(Status::Internal(
+        "uncaught non-std exception in parallel task body"));
+  }
+}
+
+}  // namespace internal
 
 }  // namespace matryoshka::engine
 

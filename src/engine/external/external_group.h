@@ -10,8 +10,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoints.h"
 #include "common/hash.h"
 #include "common/sizing.h"
+#include "common/status.h"
 #include "engine/external/memory_budget.h"
 #include "engine/external/serde.h"
 #include "engine/external/spill_file.h"
@@ -42,6 +44,29 @@
 /// first-occurrence order with the combiner applied in exact sequential
 /// element order — bit-identical to the unbounded build for any quota,
 /// including non-associative combiners.
+///
+/// Real-fault behavior (DESIGN.md, "The real-fault contract"):
+///
+///  * Every spilled chunk carries a checksum computed in memory before the
+///    write and verified by Finish's merge-on-read. A mismatch fails the
+///    build typed (kDataCorruption) — never a silent wrong answer.
+///
+///  * A WRITE failure (ENOSPC, EIO through the retry budget) with
+///    RealIoPolicy::fallback_in_memory set flips the build to DISK-DOWN
+///    mode: the already-spilled chunks are read back and re-fed (they are
+///    still readable — only the new write failed), the pending buffer is
+///    re-fed from memory, and from then on every key is admitted regardless
+///    of quota. Admitted keys are a PREFIX of the first-occurrence order and
+///    the spilled stream preserves the order of the rest, so the drain
+///    reproduces the in-memory build bit for bit. Counted in
+///    SpillStats::inmemory_fallbacks. Without the fallback the build fails
+///    typed and the job surfaces the Status.
+///
+///  * A READ failure during Finish (corruption, EIO through the retry
+///    budget) always fails typed: the stream elements were consumed into
+///    accumulators as they were read, so a partial re-feed cannot be made
+///    exact. The driver layer (RunWithRecovery, serving) retries the whole
+///    op instead.
 namespace matryoshka::engine::external {
 
 /// Insertion-ordered, quota-bounded aggregation of a stream of (K, P) pairs
@@ -56,6 +81,10 @@ namespace matryoshka::engine::external {
 /// build is then exactly an insertion-ordered hash aggregation in memory.
 /// One instance is used by ONE worker (no internal locking); per-worker
 /// SpillStats are reduced driver-side in worker order.
+///
+/// Callers of the fault-aware ctor MUST check status() after Finish(): a
+/// build that hit an unrecoverable IO fault returns its partial output with
+/// a non-OK status, and that output must be discarded.
 template <typename K, typename P, typename Acc, typename Init, typename Absorb,
           typename Growth>
 class BoundedAggregator {
@@ -63,22 +92,26 @@ class BoundedAggregator {
   using Out = std::vector<std::pair<K, Acc>>;
 
   BoundedAggregator(std::size_t quota, Init init, Absorb absorb, Growth growth,
-                    SpillStats* stats)
+                    SpillStats* stats, const FailpointRegistry* fp = nullptr,
+                    uint64_t stream_id = 0)
       : quota_(quota),
         init_(std::move(init)),
         absorb_(std::move(absorb)),
         growth_(std::move(growth)),
-        stats_(stats) {}
+        stats_(stats),
+        fp_(fp),
+        stream_(stream_id) {}
 
   /// Feeds the next element in stream order.
   void Feed(K k, P p) {
+    if (!status_.ok()) return;  // build already failed; output is void
     auto it = index_.find(k);
     if (it != index_.end()) {
       used_ += growth_(p);
       absorb_(out_[it->second].second, std::move(p));
       return;
     }
-    if (used_ < quota_ || index_.empty()) {
+    if (disk_down_ || used_ < quota_ || index_.empty()) {
       Admit(std::move(k), std::move(p));
       return;
     }
@@ -91,15 +124,19 @@ class BoundedAggregator {
     }
   }
 
+  /// First unrecoverable failure of this build's own IO stream; OK while
+  /// healthy and after a successful disk-down drain.
+  const Status& status() const { return status_; }
+
   /// Drains the spilled passes (if any) and returns the finished build in
-  /// global first-occurrence order.
+  /// global first-occurrence order. Check status() before using the output.
   Out Finish() {
     if constexpr (kSpillable<std::pair<K, P>>) {
       // Flush BEFORE testing the loop condition: a pass whose spilled tail
       // never reached the chunk threshold lives only in pending_, with no
       // file yet.
       FlushPending();
-      while (file_ != nullptr) {
+      while (status_.ok() && file_ != nullptr) {
         // Steal this pass's spill and start a fresh one: elements re-fed
         // below may spill again (keys beyond the next quota tranche).
         std::unique_ptr<SpillFile> reading = std::move(file_);
@@ -109,8 +146,15 @@ class BoundedAggregator {
         used_ = 0;
         std::string buf;
         for (const Chunk& chunk : chunks) {
-          reading->ReadAt(chunk.offset, static_cast<std::size_t>(chunk.bytes),
-                          &buf);
+          const Status st = reading->ReadRun(
+              chunk.offset, static_cast<std::size_t>(chunk.bytes),
+              chunk.checksum, &buf, stats_);
+          if (!st.ok()) {
+            // Elements already read this pass were consumed into
+            // accumulators; no exact re-feed exists. Fail typed.
+            status_ = st;
+            return std::move(out_);
+          }
           const char* p = buf.data();
           const char* end = buf.data() + buf.size();
           for (uint32_t i = 0; i < chunk.count; ++i) {
@@ -129,6 +173,7 @@ class BoundedAggregator {
     uint64_t offset = 0;
     uint64_t bytes = 0;
     uint32_t count = 0;
+    uint64_t checksum = 0;  ///< HashBytes over the chunk, pre-write
   };
 
   void Admit(K&& k, P&& p) {
@@ -151,12 +196,20 @@ class BoundedAggregator {
   }
 
   void FlushPending() {
-    if (pending_count_ == 0) return;
-    if (file_ == nullptr) file_ = std::make_unique<SpillFile>();
+    if (pending_count_ == 0 || !status_.ok()) return;
+    if (file_ == nullptr) {
+      file_ = std::make_unique<SpillFile>();
+      file_->Arm(fp_, stream_);
+    }
     Chunk chunk;
     chunk.bytes = pending_.size();
     chunk.count = pending_count_;
-    chunk.offset = file_->Append(pending_);
+    chunk.checksum = HashBytes(pending_.data(), pending_.size());
+    const Status st = file_->Write(pending_, &chunk.offset, stats_);
+    if (!st.ok()) {
+      HandleWriteFailure(st);
+      return;
+    }
     chunks_.push_back(chunk);
     stats_->spill_events += 1;
     stats_->spill_runs += 1;
@@ -165,15 +218,66 @@ class BoundedAggregator {
     pending_count_ = 0;
   }
 
+  /// The disk refused a new chunk. With the in-memory fallback the build
+  /// flips to disk-down mode and drains everything it spilled back into the
+  /// live (now unbounded) build: chunks in write order, then the pending
+  /// buffer — exactly the spilled stream's element order, so first
+  /// occurrence and absorb order match the in-memory build bit for bit.
+  void HandleWriteFailure(const Status& st) {
+    const bool fallback =
+        fp_ != nullptr ? fp_->policy().fallback_in_memory : true;
+    if (!fallback) {
+      status_ = st;
+      return;
+    }
+    disk_down_ = true;
+    if (stats_ != nullptr) stats_->inmemory_fallbacks += 1;
+    std::unique_ptr<SpillFile> reading = std::move(file_);
+    std::vector<Chunk> chunks = std::move(chunks_);
+    chunks_.clear();
+    std::string spilled = std::move(pending_);
+    const uint32_t spilled_count = pending_count_;
+    pending_.clear();
+    pending_count_ = 0;
+    std::string buf;
+    for (const Chunk& chunk : chunks) {
+      const Status rs = reading->ReadRun(
+          chunk.offset, static_cast<std::size_t>(chunk.bytes), chunk.checksum,
+          &buf, stats_);
+      if (!rs.ok()) {
+        // Disk is failing on the read side too: nothing left to fall back
+        // on. Surface the read error (it names the corrupt/unreadable run).
+        status_ = rs;
+        return;
+      }
+      const char* p = buf.data();
+      const char* end = buf.data() + buf.size();
+      for (uint32_t i = 0; i < chunk.count; ++i) {
+        std::pair<K, P> kv = SpillSerde<std::pair<K, P>>::Read(&p, end);
+        Feed(std::move(kv.first), std::move(kv.second));
+      }
+    }
+    const char* p = spilled.data();
+    const char* end = spilled.data() + spilled.size();
+    for (uint32_t i = 0; i < spilled_count; ++i) {
+      std::pair<K, P> kv = SpillSerde<std::pair<K, P>>::Read(&p, end);
+      Feed(std::move(kv.first), std::move(kv.second));
+    }
+  }
+
   const std::size_t quota_;
   Init init_;
   Absorb absorb_;
   Growth growth_;
   SpillStats* stats_;
+  const FailpointRegistry* fp_;
+  uint64_t stream_;
 
   std::unordered_map<K, std::size_t, Hasher> index_;  // key -> slot in out_
   Out out_;
   std::size_t used_ = 0;
+  bool disk_down_ = false;  ///< write failed; admit everything from now on
+  Status status_;           ///< sticky first unrecoverable failure
 
   // Current pass's spilled stream (elements of non-admitted keys, in order).
   std::string pending_;

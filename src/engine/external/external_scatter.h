@@ -7,7 +7,11 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoints.h"
+#include "common/hash.h"
+#include "common/logging.h"
 #include "common/sizing.h"
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "engine/external/memory_budget.h"
 #include "engine/external/serde.h"
@@ -38,6 +42,17 @@
 ///  producer's element order exactly — the same argument that makes the
 ///  in-memory kernel deterministic.
 ///
+/// Real-fault hardening (DESIGN.md, "The real-fault contract"): every run
+/// segment carries a checksum computed over its bytes BEFORE they left
+/// memory and verified on merge-on-read; every IO failure surfaces as a
+/// typed Status through the scatter's return value instead of aborting.
+/// Error determinism: each producer (phase 1) and each bucket (phase 2)
+/// records its own first failure; the scatter reports the failure of the
+/// lowest producer index, then the lowest bucket index — independent of
+/// thread timing. The caller (BudgetedScatter in shuffle.h) applies the
+/// fallback policy: the inputs are untouched, so a whole-op in-memory
+/// re-run reproduces the reference output bit for bit.
+///
 /// Reads use positional pread on the producer's shared descriptor, safe for
 /// concurrent phase-2 tasks. Temp files are unlinked at creation and closed
 /// (freeing the blocks) when the scatter returns, on every path including
@@ -46,12 +61,14 @@ namespace matryoshka::engine::external {
 
 namespace scatter_internal {
 
-/// One flushed run: per-bucket (offset, bytes, element count) segments in
-/// the producer's spill file.
+/// One flushed run: per-bucket (offset, bytes, count, checksum) segments in
+/// the producer's spill file. Checksums live in memory (trusted); only the
+/// run bytes round-trip through the disk.
 struct RunSegment {
   uint64_t offset = 0;
   uint64_t bytes = 0;
   uint32_t count = 0;
+  uint64_t checksum = 0;
 };
 
 template <typename T>
@@ -62,6 +79,8 @@ struct ProducerState {
   std::vector<std::vector<RunSegment>> runs;
   SpillFile file;
   SpillStats stats;
+  /// First IO/alloc failure of this producer's own stream (phase 1).
+  Status status;
 };
 
 }  // namespace scatter_internal
@@ -70,27 +89,46 @@ struct ProducerState {
 /// budget. `budget` must be bounded and T spillable (callers gate on
 /// `budget.unbounded() || !kSpillable<T>` and fall back to the in-memory
 /// kernel otherwise). Per-producer spill counters are reduced into `*stats`
-/// in ascending producer order on the calling (driver) thread.
+/// in ascending producer order on the calling (driver) thread; `*out` holds
+/// the scattered partitions on success (contents unspecified on failure —
+/// callers either fall back in memory or fail the job).
 template <typename T, typename PartOf>
-std::vector<std::vector<T>> ExternalScatter(
-    ThreadPool* pool, const std::vector<std::vector<T>>& inputs,
-    std::size_t num_parts, const PartOf& part_of, const MemoryBudget& budget,
-    SpillStats* stats) {
+Status ExternalScatter(ThreadPool* pool,
+                       const std::vector<std::vector<T>>& inputs,
+                       std::size_t num_parts, const PartOf& part_of,
+                       const MemoryBudget& budget,
+                       const FailpointRegistry* fp, SpillStats* stats,
+                       std::vector<std::vector<T>>* out) {
   static_assert(kSpillable<T>, "gate ExternalScatter on kSpillable<T>");
-  std::vector<std::vector<T>> out(num_parts);
+  out->assign(num_parts, {});
   const std::size_t producers = inputs.size();
-  if (producers == 0 || num_parts == 0) return out;
+  if (producers == 0 || num_parts == 0) return Status::OK();
 
   const std::size_t quota = budget.ShareFor(producers);
   std::vector<scatter_internal::ProducerState<T>> state(producers);
+  const bool armed = fp != nullptr && fp->armed();
 
-  // Phase 1: buffer under the quota, flush full buffers as runs.
+  // Phase 1: buffer under the quota, flush full buffers as runs. A
+  // producer that hits a hard IO/alloc fault records it and stops feeding
+  // its own stream (the whole scatter is void on failure anyway); other
+  // producers run to completion, keeping every per-producer counter a pure
+  // function of that producer's input.
   ParallelFor(pool, producers, [&](std::size_t p) {
     scatter_internal::ProducerState<T>& st = state[p];
+    st.file.Arm(fp, /*stream_id=*/p);
     st.buckets.resize(num_parts);
     std::size_t buffered = 0;
     std::string buf;
-    auto flush = [&] {
+    auto flush = [&]() -> Status {
+      // Real scratch charge point: injected allocation failure surfaces
+      // here, before the serialization buffers grow.
+      if (armed && fp->Fires(p, kFpAlloc,
+                             static_cast<uint64_t>(st.stats.spill_events),
+                             fp->plan().alloc_failure_prob)) {
+        st.stats.io_faults_injected += 1;
+        return Status::OutOfMemory(
+            "injected allocation failure charging scatter scratch");
+      }
       std::vector<scatter_internal::RunSegment> run(num_parts);
       buf.clear();
       for (std::size_t b = 0; b < num_parts; ++b) {
@@ -99,10 +137,15 @@ std::vector<std::vector<T>> ExternalScatter(
         run[b].offset = at;  // relative; rebased below
         run[b].bytes = buf.size() - at;
         run[b].count = static_cast<uint32_t>(st.buckets[b].size());
+        // Checksum over the segment's serialized bytes, in memory, before
+        // the write: disk contents must reproduce exactly this.
+        run[b].checksum =
+            HashBytes(buf.data() + at, static_cast<std::size_t>(run[b].bytes));
         st.buckets[b].clear();
         st.stats.spill_runs += run[b].count > 0 ? 1 : 0;
       }
-      const uint64_t base = st.file.Append(buf);
+      uint64_t base = 0;
+      MATRYOSHKA_RETURN_NOT_OK(st.file.Write(buf, &base, &st.stats));
       for (auto& seg : run) seg.offset += base;
       budget.Charge(buffered);  // observational high-water mark
       budget.Release(buffered);
@@ -110,48 +153,91 @@ std::vector<std::vector<T>> ExternalScatter(
       st.stats.spilled_bytes += static_cast<double>(buf.size());
       st.runs.push_back(std::move(run));
       buffered = 0;
+      return Status::OK();
     };
     for (const T& x : inputs[p]) {
       const auto b = static_cast<std::size_t>(part_of(x));
       buffered += EstimateSize(x);
       st.buckets[b].push_back(x);
       // >= so a zero quota still makes progress (one element per run).
-      if (buffered >= quota) flush();
+      if (buffered >= quota) {
+        st.status = flush();
+        if (!st.status.ok()) break;
+      }
     }
   });
+
+  // First failure by ascending producer index: deterministic for any pool.
+  Status failure;
+  for (const auto& st : state) {
+    if (!st.status.ok()) {
+      failure = st.status;
+      break;
+    }
+  }
 
   // Phase 2: concatenate per bucket — producers ascending, runs
   // chronological, residue last; element order within every piece is the
-  // producer's arrival order.
-  ParallelFor(pool, num_parts, [&](std::size_t b) {
-    std::size_t total = 0;
-    for (std::size_t p = 0; p < producers; ++p) {
-      for (const auto& run : state[p].runs) total += run[b].count;
-      total += state[p].buckets[b].size();
-    }
-    std::vector<T>& dst = out[b];
-    dst.reserve(total);
-    std::string buf;
-    for (std::size_t p = 0; p < producers; ++p) {
-      scatter_internal::ProducerState<T>& st = state[p];
-      for (const auto& run : st.runs) {
-        const scatter_internal::RunSegment& seg = run[b];
-        if (seg.count == 0) continue;
-        st.file.ReadAt(seg.offset, static_cast<std::size_t>(seg.bytes), &buf);
-        const char* rp = buf.data();
-        const char* rend = buf.data() + buf.size();
-        for (uint32_t i = 0; i < seg.count; ++i) {
-          dst.push_back(SpillSerde<T>::Read(&rp, rend));
-        }
+  // producer's arrival order. Each bucket verifies every segment's
+  // checksum as it reads and records its own first failure.
+  std::vector<Status> bucket_status(num_parts);
+  std::vector<SpillStats> bucket_stats(num_parts);
+  if (failure.ok()) {
+    ParallelFor(pool, num_parts, [&](std::size_t b) {
+      std::size_t total = 0;
+      for (std::size_t p = 0; p < producers; ++p) {
+        for (const auto& run : state[p].runs) total += run[b].count;
+        total += state[p].buckets[b].size();
       }
-      std::vector<T>& residue = st.buckets[b];
-      dst.insert(dst.end(), std::make_move_iterator(residue.begin()),
-                 std::make_move_iterator(residue.end()));
+      std::vector<T>& dst = (*out)[b];
+      dst.reserve(total);
+      std::string buf;
+      for (std::size_t p = 0; p < producers; ++p) {
+        scatter_internal::ProducerState<T>& st = state[p];
+        for (const auto& run : st.runs) {
+          const scatter_internal::RunSegment& seg = run[b];
+          if (seg.count == 0) continue;
+          bucket_status[b] = st.file.ReadRun(
+              seg.offset, static_cast<std::size_t>(seg.bytes), seg.checksum,
+              &buf, &bucket_stats[b]);
+          if (!bucket_status[b].ok()) return;
+          const char* rp = buf.data();
+          const char* rend = buf.data() + buf.size();
+          for (uint32_t i = 0; i < seg.count; ++i) {
+            dst.push_back(SpillSerde<T>::Read(&rp, rend));
+          }
+        }
+        std::vector<T>& residue = st.buckets[b];
+        dst.insert(dst.end(), std::make_move_iterator(residue.begin()),
+                   std::make_move_iterator(residue.end()));
+      }
+    });
+    for (std::size_t b = 0; b < num_parts; ++b) {
+      if (!bucket_status[b].ok()) {
+        failure = bucket_status[b];
+        break;
+      }
     }
-  });
+  }
 
-  // Driver-side reduction in producer order: deterministic totals.
+  // Driver-side reduction: producers ascending, then buckets ascending —
+  // deterministic totals for any pool size.
   for (const auto& st : state) stats->Add(st.stats);
+  for (const auto& s : bucket_stats) stats->Add(s);
+  return failure;
+}
+
+/// Legacy convenience (fault-free paths and direct kernel tests): aborts on
+/// IO failure instead of returning it.
+template <typename T, typename PartOf>
+std::vector<std::vector<T>> ExternalScatter(
+    ThreadPool* pool, const std::vector<std::vector<T>>& inputs,
+    std::size_t num_parts, const PartOf& part_of, const MemoryBudget& budget,
+    SpillStats* stats) {
+  std::vector<std::vector<T>> out;
+  const Status st = ExternalScatter(pool, inputs, num_parts, part_of, budget,
+                                    /*fp=*/nullptr, stats, &out);
+  MATRYOSHKA_CHECK(st.ok()) << st.ToString();
   return out;
 }
 

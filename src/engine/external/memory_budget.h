@@ -77,11 +77,21 @@ struct SpillStats {
   int64_t spill_events = 0;  ///< scratch flushes that went to disk
   double spilled_bytes = 0;  ///< serialized bytes written
   int64_t spill_runs = 0;    ///< run segments written (merge fan-in)
+  /// --- Real-fault hardening (all zero with the failpoint registry
+  /// disarmed and healthy hardware; see common/failpoints.h) ---
+  int64_t io_faults_injected = 0;  ///< failpoint firings at IO sites
+  int64_t io_retries = 0;          ///< bounded-retry attempts after EIO
+  int64_t checksum_failures = 0;   ///< runs that failed verify on read
+  int64_t inmemory_fallbacks = 0;  ///< ops re-run in memory (disk unusable)
 
   void Add(const SpillStats& o) {
     spill_events += o.spill_events;
     spilled_bytes += o.spilled_bytes;
     spill_runs += o.spill_runs;
+    io_faults_injected += o.io_faults_injected;
+    io_retries += o.io_retries;
+    checksum_failures += o.checksum_failures;
+    inmemory_fallbacks += o.inmemory_fallbacks;
   }
 };
 

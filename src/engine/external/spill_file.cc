@@ -6,9 +6,12 @@
 #include <atomic>
 #include <cassert>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace matryoshka::engine::external {
@@ -20,6 +23,20 @@ std::atomic<int64_t> g_live_spill_files{0};
 std::string TempDir() {
   const char* env = std::getenv("TMPDIR");
   return (env != nullptr && env[0] != '\0') ? env : "/tmp";
+}
+
+/// Exponential backoff before retry `attempt` (0-based). A zero-ms policy
+/// still retries, just without sleeping — the default keeps tests fast
+/// while production configs can set real waits.
+void Backoff(const RealIoPolicy& policy, int attempt) {
+  if (policy.retry_backoff_ms <= 0) return;
+  const int64_t ms = static_cast<int64_t>(policy.retry_backoff_ms)
+                     << (attempt < 20 ? attempt : 20);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+void Bump(SpillStats* stats, int64_t SpillStats::*field) {
+  if (stats != nullptr) (stats->*field) += 1;
 }
 
 }  // namespace
@@ -47,43 +64,200 @@ SpillFile::~SpillFile() {
 }
 
 SpillFile::SpillFile(SpillFile&& other) noexcept
-    : fd_(other.fd_), write_offset_(other.write_offset_) {
+    : fd_(other.fd_),
+      write_offset_(other.write_offset_),
+      fp_(other.fp_),
+      stream_(other.stream_) {
   other.fd_ = -1;
   other.write_offset_ = 0;
 }
 
-uint64_t SpillFile::Append(const std::string& data) {
+Status SpillFile::Write(const std::string& data, uint64_t* offset,
+                        SpillStats* stats) {
   MATRYOSHKA_DCHECK(fd_ >= 0);
   const uint64_t at = write_offset_;
+  const bool armed = fp_ != nullptr && fp_->armed();
+  const RealIoPolicy policy = armed ? fp_->policy() : RealIoPolicy{};
+
+  if (armed) {
+    const RealFaultPlan& plan = fp_->plan();
+    fp_->MaybeStall(stream_, at);
+    // ENOSPC is hard: a full disk does not drain by retrying the same
+    // write. Surface it typed; the caller's fallback policy decides.
+    if (fp_->Fires(stream_, kFpWriteEnospc, at, plan.write_enospc_prob)) {
+      Bump(stats, &SpillStats::io_faults_injected);
+      return Status::ResourceExhausted(
+          "injected ENOSPC writing spill run at offset " +
+          std::to_string(at));
+    }
+    // Transient EIO: the site fails transient_duration attempts, then
+    // recovers — the bounded retry/backoff loop models a glitching disk.
+    for (int attempt = 0;; ++attempt) {
+      if (!fp_->FiresTransient(stream_, kFpWriteEio, at, attempt,
+                               plan.write_eio_prob)) {
+        break;
+      }
+      Bump(stats, &SpillStats::io_faults_injected);
+      if (attempt >= policy.max_io_retries) {
+        return Status::IOError("injected EIO writing spill run at offset " +
+                               std::to_string(at) + " persisted through " +
+                               std::to_string(policy.max_io_retries) +
+                               " retries");
+      }
+      Bump(stats, &SpillStats::io_retries);
+      Backoff(policy, attempt);
+    }
+  }
+
   const char* p = data.data();
   std::size_t left = data.size();
   uint64_t off = at;
+  int errors = 0;
   while (left > 0) {
-    const ssize_t n = ::pwrite(fd_, p, left, static_cast<off_t>(off));
-    MATRYOSHKA_CHECK(n > 0) << "spill write failed: " << std::strerror(errno);
+    std::size_t ask = left;
+    if (armed && left > 1 &&
+        fp_->Fires(stream_, kFpShortWrite, off, fp_->plan().short_write_prob)) {
+      // Injected partial transfer: at least one byte always moves, so the
+      // loop terminates even at probability 1.
+      Bump(stats, &SpillStats::io_faults_injected);
+      ask = left / 2 > 0 ? left / 2 : 1;
+    }
+    const ssize_t n = ::pwrite(fd_, p, ask, static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;  // signal; not an error, not a retry
+      if (errno == ENOSPC) {
+        return Status::ResourceExhausted(
+            std::string("spill write: ") + std::strerror(errno));
+      }
+      if (errors >= policy.max_io_retries) {
+        return Status::IOError(std::string("spill write failed after ") +
+                               std::to_string(errors) +
+                               " retries: " + std::strerror(errno));
+      }
+      Bump(stats, &SpillStats::io_retries);
+      Backoff(policy, errors);
+      ++errors;
+      continue;
+    }
     p += n;
     off += static_cast<uint64_t>(n);
     left -= static_cast<std::size_t>(n);
   }
+
+  if (armed && !data.empty() &&
+      fp_->Fires(stream_, kFpCorrupt, at, fp_->plan().corrupt_prob)) {
+    // Bit-rot on disk: flip one deterministic byte AFTER the caller
+    // computed the run's checksum in memory — read-side verification must
+    // catch it (kDataCorruption), never a silent wrong answer.
+    Bump(stats, &SpillStats::io_faults_injected);
+    const std::size_t idx =
+        static_cast<std::size_t>(Mix64(at ^ kFpCorrupt) % data.size());
+    const char flipped = static_cast<char>(data[idx] ^ 0x40);
+    ssize_t n;
+    do {
+      n = ::pwrite(fd_, &flipped, 1, static_cast<off_t>(at + idx));
+    } while (n < 0 && errno == EINTR);
+    MATRYOSHKA_CHECK(n == 1) << "corruption injection write failed";
+  }
+
   write_offset_ = at + data.size();
+  if (offset != nullptr) *offset = at;
+  return Status::OK();
+}
+
+Status SpillFile::Read(uint64_t offset, std::size_t size, std::string* out,
+                       SpillStats* stats) const {
+  MATRYOSHKA_DCHECK(fd_ >= 0);
+  out->resize(size);
+  const bool armed = fp_ != nullptr && fp_->armed();
+  const RealIoPolicy policy = armed ? fp_->policy() : RealIoPolicy{};
+
+  if (armed) {
+    const RealFaultPlan& plan = fp_->plan();
+    fp_->MaybeStall(stream_, offset ^ kFpReadEio);
+    for (int attempt = 0;; ++attempt) {
+      if (!fp_->FiresTransient(stream_, kFpReadEio, offset, attempt,
+                               plan.read_eio_prob)) {
+        break;
+      }
+      Bump(stats, &SpillStats::io_faults_injected);
+      if (attempt >= policy.max_io_retries) {
+        return Status::IOError("injected EIO reading spill run at offset " +
+                               std::to_string(offset) +
+                               " persisted through " +
+                               std::to_string(policy.max_io_retries) +
+                               " retries");
+      }
+      Bump(stats, &SpillStats::io_retries);
+      Backoff(policy, attempt);
+    }
+  }
+
+  char* p = out->empty() ? nullptr : &(*out)[0];
+  std::size_t left = size;
+  uint64_t off = offset;
+  int errors = 0;
+  while (left > 0) {
+    std::size_t ask = left;
+    if (armed && left > 1 &&
+        fp_->Fires(stream_, kFpShortRead, off, fp_->plan().short_read_prob)) {
+      Bump(stats, &SpillStats::io_faults_injected);
+      ask = left / 2 > 0 ? left / 2 : 1;
+    }
+    const ssize_t n = ::pread(fd_, p, ask, static_cast<off_t>(off));
+    if (n == 0) {
+      // EOF inside a recorded run means the file is shorter than the index
+      // says — truncated on disk, not a transient condition.
+      return Status::IOError("spill read hit EOF at offset " +
+                             std::to_string(off) + " (" +
+                             std::to_string(left) + " bytes short)");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errors >= policy.max_io_retries) {
+        return Status::IOError(std::string("spill read failed after ") +
+                               std::to_string(errors) +
+                               " retries (offset " + std::to_string(off) +
+                               "): " + std::strerror(errno));
+      }
+      Bump(stats, &SpillStats::io_retries);
+      Backoff(policy, errors);
+      ++errors;
+      continue;
+    }
+    p += n;
+    off += static_cast<uint64_t>(n);
+    left -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status SpillFile::ReadRun(uint64_t offset, std::size_t size,
+                          uint64_t expected_checksum, std::string* out,
+                          SpillStats* stats) const {
+  MATRYOSHKA_RETURN_NOT_OK(Read(offset, size, out, stats));
+  const uint64_t actual = HashBytes(out->data(), out->size());
+  if (actual != expected_checksum) {
+    Bump(stats, &SpillStats::checksum_failures);
+    return Status::DataCorruption(
+        "spill run at offset " + std::to_string(offset) + " (" +
+        std::to_string(size) + " bytes) failed checksum verification: the "
+        "bytes on disk are not the bytes written");
+  }
+  return Status::OK();
+}
+
+uint64_t SpillFile::Append(const std::string& data) {
+  uint64_t at = 0;
+  const Status st = Write(data, &at, nullptr);
+  MATRYOSHKA_CHECK(st.ok()) << st.ToString();
   return at;
 }
 
 void SpillFile::ReadAt(uint64_t offset, std::size_t size,
                        std::string* out) const {
-  MATRYOSHKA_DCHECK(fd_ >= 0);
-  out->resize(size);
-  char* p = out->empty() ? nullptr : &(*out)[0];
-  std::size_t left = size;
-  uint64_t off = offset;
-  while (left > 0) {
-    const ssize_t n = ::pread(fd_, p, left, static_cast<off_t>(off));
-    MATRYOSHKA_CHECK(n > 0) << "spill read failed (offset " << off
-                            << "): " << (n == 0 ? "EOF" : std::strerror(errno));
-    p += n;
-    off += static_cast<uint64_t>(n);
-    left -= static_cast<std::size_t>(n);
-  }
+  const Status st = Read(offset, size, out, nullptr);
+  MATRYOSHKA_CHECK(st.ok()) << st.ToString();
 }
 
 int64_t SpillFile::LiveCount() {

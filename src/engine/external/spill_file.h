@@ -5,6 +5,10 @@
 #include <cstdint>
 #include <string>
 
+#include "common/failpoints.h"
+#include "common/status.h"
+#include "engine/external/memory_budget.h"
+
 namespace matryoshka::engine::external {
 
 /// One anonymous temp file holding the spilled runs of one worker (one
@@ -20,9 +24,26 @@ namespace matryoshka::engine::external {
 /// "matryoshka-spill-*" entries may remain in the temp dir even mid-run
 /// (unlink-before-write).
 ///
+/// Hardened IO (the real-fault contract, DESIGN.md): Write/Read loop over
+/// partial pwrite/pread transfers, swallow EINTR, retry transient syscall
+/// errors up to RealIoPolicy::max_io_retries with exponential backoff, and
+/// surface everything else as a typed Status (kResourceExhausted for
+/// ENOSPC, kIOError otherwise) — never an abort, never silent truncation.
+/// WriteRun/ReadRun additionally carry a checksum over the run's bytes so a
+/// flipped bit on disk is detected on merge-on-read (kDataCorruption).
+///
+/// Fault injection: Arm() attaches a FailpointRegistry and this file's
+/// deterministic stream id; every syscall boundary then consults the
+/// registry, keyed on (stream, site salt, byte offset, epoch) — a pure
+/// function of the worker's own stream, so injected faults and the
+/// counters they feed are identical across pool sizes. Unarmed files take
+/// a single-branch fast path.
+///
 /// Thread safety: one worker appends to its own SpillFile (no sharing
 /// during the write phase); the read phase uses positional pread on the
-/// shared descriptor, which is safe from any number of concurrent readers.
+/// shared descriptor, which is safe from any number of concurrent readers
+/// (read draws are pure functions of the read arguments, so concurrent
+/// readers never race a counter).
 class SpillFile {
  public:
   /// Opens (and immediately unlinks) a fresh temp file. Aborts if the temp
@@ -35,12 +56,35 @@ class SpillFile {
   SpillFile(SpillFile&& other) noexcept;
   SpillFile& operator=(SpillFile&&) = delete;
 
-  /// Appends `data` at the end of the file; returns the byte offset the
-  /// block starts at. Caller-serialized (one writer per file by design).
-  uint64_t Append(const std::string& data);
+  /// Attaches the failpoint registry and this file's stream id (e.g. the
+  /// scatter producer index). Null registry (or a disarmed one) keeps the
+  /// fault-free fast path.
+  void Arm(const FailpointRegistry* fp, uint64_t stream_id) {
+    fp_ = fp;
+    stream_ = stream_id;
+  }
+
+  /// Appends `data` at the end of the file, storing the start offset in
+  /// `*offset`. Caller-serialized (one writer per file by design). `stats`
+  /// (may be null) receives injected-fault and retry counts.
+  Status Write(const std::string& data, uint64_t* offset, SpillStats* stats);
 
   /// Reads exactly `size` bytes starting at `offset` into `*out` (resized).
   /// Safe to call concurrently from any thread (positional pread).
+  Status Read(uint64_t offset, std::size_t size, std::string* out,
+              SpillStats* stats) const;
+
+  /// Read + checksum verify: fails with kDataCorruption (and counts
+  /// stats->checksum_failures) when the bytes on disk do not hash to
+  /// `expected_checksum` (HashBytes over the run, computed by the writer
+  /// BEFORE the data left memory).
+  Status ReadRun(uint64_t offset, std::size_t size, uint64_t expected_checksum,
+                 std::string* out, SpillStats* stats) const;
+
+  /// Legacy convenience used by tests and fault-free paths: aborts on IO
+  /// failure instead of returning it. Appends `data`, returns its offset.
+  uint64_t Append(const std::string& data);
+  /// Legacy convenience: exact read that aborts on failure.
   void ReadAt(uint64_t offset, std::size_t size, std::string* out) const;
 
   /// Bytes written so far.
@@ -53,6 +97,8 @@ class SpillFile {
  private:
   int fd_ = -1;
   uint64_t write_offset_ = 0;
+  const FailpointRegistry* fp_ = nullptr;
+  uint64_t stream_ = 0;
 };
 
 }  // namespace matryoshka::engine::external

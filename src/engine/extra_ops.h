@@ -55,7 +55,7 @@ Bag<T> Sample(const Bag<T>& bag, double fraction, uint64_t seed) {
   internal::ChargeScanStage(bag, 0.25, "sample");
   const auto& parts = bag.partitions();
   typename Bag<T>::Partitions out(parts.size());
-  ParallelFor(c->pool(), parts.size(), [&](std::size_t i) {
+  internal::GuardedParallelFor(c, parts.size(), [&](std::size_t i) {
     uint64_t pos = i * 0x9e3779b97f4a7c15ULL;
     for (const auto& x : parts[i]) {
       pos += 0x2545f4914f6cdd1dULL;
@@ -93,7 +93,7 @@ Bag<T> Subtract(const Bag<T>& a, const Bag<T>& b,
   }
   c->AccrueStage(costs, /*lineage_depth=*/1, StageContext{"subtract"});
   typename Bag<T>::Partitions out(static_cast<std::size_t>(parts));
-  ParallelFor(c->pool(), static_cast<std::size_t>(parts), [&](std::size_t i) {
+  internal::GuardedParallelFor(c, static_cast<std::size_t>(parts), [&](std::size_t i) {
     std::unordered_set<T, Hasher> exclude(bs[i].begin(), bs[i].end());
     for (const auto& x : as[i]) {
       if (!exclude.count(x)) out[i].push_back(x);
@@ -126,7 +126,7 @@ Bag<T> Intersection(const Bag<T>& a, const Bag<T>& b,
   }
   c->AccrueStage(costs, /*lineage_depth=*/1, StageContext{"intersection"});
   typename Bag<T>::Partitions out(static_cast<std::size_t>(parts));
-  ParallelFor(c->pool(), static_cast<std::size_t>(parts), [&](std::size_t i) {
+  internal::GuardedParallelFor(c, static_cast<std::size_t>(parts), [&](std::size_t i) {
     std::unordered_set<T, Hasher> right(bs[i].begin(), bs[i].end());
     std::unordered_set<T, Hasher> seen;
     for (const auto& x : as[i]) {

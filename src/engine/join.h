@@ -90,18 +90,19 @@ Bag<std::pair<K, std::pair<V, W>>> RepartitionJoin(
                  StageContext{"repartitionJoin", spill});
 
   typename Bag<Out>::Partitions out(static_cast<std::size_t>(parts));
-  ParallelFor(c->pool(), static_cast<std::size_t>(parts), [&](std::size_t i) {
-    std::unordered_map<K, std::vector<W>, Hasher> build;
-    build.reserve(rs[i].size());
-    for (const auto& [k, w] : rs[i]) build[k].push_back(w);
-    for (const auto& [k, v] : ls[i]) {
-      auto it = build.find(k);
-      if (it == build.end()) continue;
-      for (const auto& w : it->second) {
-        out[i].emplace_back(k, std::pair<V, W>(v, w));
-      }
-    }
-  });
+  internal::GuardedParallelFor(
+      c, static_cast<std::size_t>(parts), [&](std::size_t i) {
+        std::unordered_map<K, std::vector<W>, Hasher> build;
+        build.reserve(rs[i].size());
+        for (const auto& [k, w] : rs[i]) build[k].push_back(w);
+        for (const auto& [k, v] : ls[i]) {
+          auto it = build.find(k);
+          if (it == build.end()) continue;
+          for (const auto& w : it->second) {
+            out[i].emplace_back(k, std::pair<V, W>(v, w));
+          }
+        }
+      });
   return Bag<Out>(c, std::move(out), out_scale, parts);
 }
 
@@ -158,7 +159,7 @@ Bag<std::pair<K, std::pair<V, W>>> BroadcastJoin(
                    StageContext{"broadcastJoin[probe]"});
   }
   typename Bag<Out>::Partitions out(left.partitions().size());
-  ParallelFor(c->pool(), left.partitions().size(), [&](std::size_t i) {
+  internal::GuardedParallelFor(c, left.partitions().size(), [&](std::size_t i) {
     for (const auto& [k, v] : left.partitions()[i]) {
       auto it = build.find(k);
       if (it == build.end()) continue;
@@ -204,21 +205,23 @@ Bag<std::pair<K, std::pair<V, std::optional<W>>>> LeftOuterJoin(
   c->AccrueStage(costs, /*lineage_depth=*/1, StageContext{"leftOuterJoin"});
 
   typename Bag<Out>::Partitions out(static_cast<std::size_t>(parts));
-  ParallelFor(c->pool(), static_cast<std::size_t>(parts), [&](std::size_t i) {
-    std::unordered_map<K, std::vector<W>, Hasher> build;
-    build.reserve(rs[i].size());
-    for (const auto& [k, w] : rs[i]) build[k].push_back(w);
-    for (const auto& [k, v] : ls[i]) {
-      auto it = build.find(k);
-      if (it == build.end()) {
-        out[i].emplace_back(k, std::pair<V, std::optional<W>>(v, std::nullopt));
-      } else {
-        for (const auto& w : it->second) {
-          out[i].emplace_back(k, std::pair<V, std::optional<W>>(v, w));
+  internal::GuardedParallelFor(
+      c, static_cast<std::size_t>(parts), [&](std::size_t i) {
+        std::unordered_map<K, std::vector<W>, Hasher> build;
+        build.reserve(rs[i].size());
+        for (const auto& [k, w] : rs[i]) build[k].push_back(w);
+        for (const auto& [k, v] : ls[i]) {
+          auto it = build.find(k);
+          if (it == build.end()) {
+            out[i].emplace_back(
+                k, std::pair<V, std::optional<W>>(v, std::nullopt));
+          } else {
+            for (const auto& w : it->second) {
+              out[i].emplace_back(k, std::pair<V, std::optional<W>>(v, w));
+            }
+          }
         }
-      }
-    }
-  });
+      });
   return Bag<Out>(c, std::move(out), out_scale, parts);
 }
 
@@ -264,9 +267,11 @@ Bag<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
   std::vector<double> max_bytes(static_cast<std::size_t>(parts), 0.0);
   std::vector<external::SpillStats> spill_stats(
       static_cast<std::size_t>(parts));
+  std::vector<Status> build_status(static_cast<std::size_t>(parts));
   const std::size_t quota =
       internal::WorkerQuota(c, static_cast<std::size_t>(parts));
-  ParallelFor(c->pool(), static_cast<std::size_t>(parts), [&](std::size_t i) {
+  internal::GuardedParallelFor(
+      c, static_cast<std::size_t>(parts), [&](std::size_t i) {
     auto push = [](Groups& g, Side&& s) {
       if (s.first.has_value()) {
         g.first.push_back(std::move(*s.first));
@@ -285,7 +290,8 @@ Bag<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
     };
     external::BoundedAggregator<K, Side, Groups, decltype(init),
                                 decltype(push), decltype(growth)>
-        agg(quota, init, push, growth, &spill_stats[i]);
+        agg(quota, init, push, growth, &spill_stats[i], c->failpoints(),
+            /*stream_id=*/i);
     for (auto& [k, v] : ls[i]) {
       agg.Feed(k, Side(std::move(v), std::nullopt));
     }
@@ -293,6 +299,7 @@ Bag<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
       agg.Feed(k, Side(std::nullopt, std::move(w)));
     }
     out[i] = agg.Finish();
+    build_status[i] = agg.status();
     for (const auto& [k, g] : out[i]) {
       double bytes = static_cast<double>(sizeof(Out));
       if (!g.first.empty()) {
@@ -309,6 +316,12 @@ Bag<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> CoGroup(
   external::SpillStats group_spill;
   for (const auto& s : spill_stats) group_spill.Add(s);
   c->NoteRealSpill(group_spill, "cogroup");
+  for (const Status& st : build_status) {
+    if (!st.ok()) {
+      c->Fail(st);
+      return Bag<Out>(c);
+    }
+  }
   double max_group_bytes = 0.0;
   for (double b : max_bytes) max_group_bytes = std::max(max_group_bytes, b);
   c->CheckTaskMemory(max_group_bytes, "cogroup");
@@ -341,7 +354,7 @@ Bag<std::pair<A, B>> Cartesian(const Bag<A>& left, const Bag<B>& right) {
   c->AccrueStage(costs, left.lineage_depth(), StageContext{"cartesian"});
 
   typename Bag<Out>::Partitions out(left.partitions().size());
-  ParallelFor(c->pool(), left.partitions().size(), [&](std::size_t i) {
+  internal::GuardedParallelFor(c, left.partitions().size(), [&](std::size_t i) {
     out[i].reserve(left.partitions()[i].size() * rhs.size());
     for (const auto& a : left.partitions()[i]) {
       for (const auto& b : rhs) out[i].emplace_back(a, b);

@@ -127,7 +127,7 @@ auto Map(const Bag<T>& bag, F f, double weight = 1.0)
   internal::ChargeScanStage(bag, weight, "map");
   const auto& parts = bag.partitions();
   typename Bag<U>::Partitions out(parts.size());
-  ParallelFor(c->pool(), parts.size(), [&](std::size_t i) {
+  internal::GuardedParallelFor(c, parts.size(), [&](std::size_t i) {
     const auto& part = parts[i];
     out[i].reserve(part.size());
     for (const auto& x : part) out[i].push_back(f(x));
@@ -161,7 +161,7 @@ Bag<T> Filter(const Bag<T>& bag, P pred, double weight = 1.0) {
   internal::ChargeScanStage(bag, weight, "filter");
   const auto& parts = bag.partitions();
   typename Bag<T>::Partitions out(parts.size());
-  ParallelFor(c->pool(), parts.size(), [&](std::size_t i) {
+  internal::GuardedParallelFor(c, parts.size(), [&](std::size_t i) {
     const auto& part = parts[i];
     // Selectivity-free capacity bound: the input size. Removes push_back
     // growth reallocations so the non-fused baseline is fair to A/B against.
@@ -203,7 +203,7 @@ auto FlatMap(const Bag<T>& bag, F f, double weight = 1.0)
   internal::ChargeScanStage(bag, weight, "flatMap");
   const auto& parts = bag.partitions();
   typename Bag<U>::Partitions out(parts.size());
-  ParallelFor(c->pool(), parts.size(), [&](std::size_t i) {
+  internal::GuardedParallelFor(c, parts.size(), [&](std::size_t i) {
     for (const auto& x : parts[i]) {
       for (auto&& y : f(x)) out[i].push_back(std::move(y));
     }
@@ -227,7 +227,7 @@ auto MapPartitions(const Bag<T>& bag, F f, double weight = 1.0)
   internal::ChargeScanStage(bag, weight, "mapPartitions");
   const auto& parts = bag.partitions();
   typename Bag<U>::Partitions out(parts.size());
-  ParallelFor(c->pool(), parts.size(), [&](std::size_t i) {
+  internal::GuardedParallelFor(c, parts.size(), [&](std::size_t i) {
     out[i] = f(parts[i]);
   });
   return internal::MaybeAutoCheckpoint(
@@ -273,7 +273,7 @@ auto MapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0)
   internal::ChargeScanStage(bag, weight, "mapValues");
   const auto& parts = bag.partitions();
   typename Bag<Out>::Partitions out(parts.size());
-  ParallelFor(c->pool(), parts.size(), [&](std::size_t i) {
+  internal::GuardedParallelFor(c, parts.size(), [&](std::size_t i) {
     const auto& part = parts[i];
     out[i].reserve(part.size());
     for (const auto& [k, v] : part) out[i].emplace_back(k, f(v));
@@ -313,7 +313,7 @@ auto FlatMapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0)
   internal::ChargeScanStage(bag, weight, "flatMapValues");
   const auto& parts = bag.partitions();
   typename Bag<Out>::Partitions out(parts.size());
-  ParallelFor(c->pool(), parts.size(), [&](std::size_t i) {
+  internal::GuardedParallelFor(c, parts.size(), [&](std::size_t i) {
     for (const auto& [k, v] : parts[i]) {
       for (auto&& w : f(v)) out[i].emplace_back(k, std::move(w));
     }
@@ -385,7 +385,7 @@ Bag<std::pair<uint64_t, T>> ZipWithUniqueId(const Bag<T>& bag) {
   internal::ChargeScanStage(bag, 1.0, "zipWithUniqueId");
   const auto& parts = bag.partitions();
   typename Bag<Out>::Partitions out(parts.size());
-  ParallelFor(c->pool(), parts.size(), [&](std::size_t i) {
+  internal::GuardedParallelFor(c, parts.size(), [&](std::size_t i) {
     const auto& part = parts[i];
     out[i].reserve(part.size());
     for (std::size_t j = 0; j < part.size(); ++j) {

@@ -28,10 +28,14 @@
 namespace matryoshka::engine {
 
 /// True when the driver may re-run a failed program: transient task-retry
-/// exhaustion and blown deadlines are retryable; the deterministic memory
-/// model's OOM and programming errors are not (re-running reproduces them).
+/// exhaustion, blown deadlines, and real IO faults (EIO through the retry
+/// budget, spill-run corruption — the disk may behave on a re-run, and
+/// under an injected storm the retry bumps the fault epoch) are retryable;
+/// the deterministic memory model's OOM and programming errors are not
+/// (re-running reproduces them).
 inline bool RetryableForDriver(const Status& status) {
-  return status.IsTaskFailed() || status.IsDeadlineExceeded();
+  return status.IsTaskFailed() || status.IsDeadlineExceeded() ||
+         status.IsIOError() || status.IsDataCorruption();
 }
 
 /// Writes `bag` to the simulated replicated store and returns the same data

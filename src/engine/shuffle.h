@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/logging.h"
 #include "engine/bag.h"
 #include "engine/external/external_group.h"
 #include "engine/external/external_scatter.h"
@@ -57,6 +58,16 @@ bool AlreadyKeyPartitioned(const Bag<T>& bag, int64_t parts) {
 /// Both produce bit-identical output (the external determinism contract);
 /// the external path additionally reports its real spill totals — reduced
 /// in producer order — into the cluster's real_* metrics, driver-side.
+///
+/// Graceful degradation (the real-fault contract): when the external
+/// scatter's spill IO fails — ENOSPC, EIO through the retry budget, a
+/// checksum mismatch on merge-on-read — the inputs are still untouched, so
+/// with RealIoPolicy::fallback_in_memory (the default) the op re-runs on
+/// the in-memory kernel, ignoring the scratch budget for this one op:
+/// bit-identical output, counted in inmemory_fallbacks and logged. With the
+/// fallback off, or on an injected allocation failure (falling back to
+/// MORE memory use would be self-defeating), the job fails with the typed
+/// Status instead.
 template <typename T, typename PartOf>
 std::vector<std::vector<T>> BudgetedScatter(
     Cluster* c, const std::vector<std::vector<T>>& inputs,
@@ -64,10 +75,27 @@ std::vector<std::vector<T>> BudgetedScatter(
   if constexpr (external::kSpillable<T>) {
     if (!c->real_budget().unbounded()) {
       external::SpillStats stats;
-      auto out = external::ExternalScatter(c->pool(), inputs, num_parts,
-                                           part_of, c->real_budget(), &stats);
+      std::vector<std::vector<T>> out;
+      const Status st = external::ExternalScatter(
+          c->pool(), inputs, num_parts, part_of, c->real_budget(),
+          c->failpoints(), &stats, &out);
+      if (st.ok()) {
+        c->NoteRealSpill(stats, label);
+        return out;
+      }
+      const bool disk_failure =
+          st.IsResourceExhausted() || st.IsIOError() || st.IsDataCorruption();
+      if (disk_failure && c->failpoints()->policy().fallback_in_memory) {
+        stats.inmemory_fallbacks += 1;
+        c->NoteRealSpill(stats, label);
+        MATRYOSHKA_LOG(kWarning)
+            << label << ": spill IO failed (" << st.ToString()
+            << "); re-running the scatter in memory";
+        return ParallelScatter(c->pool(), inputs, num_parts, part_of);
+      }
       c->NoteRealSpill(stats, label);
-      return out;
+      c->Fail(st);
+      return std::vector<std::vector<T>>(num_parts);
     }
   }
   return ParallelScatter(c->pool(), inputs, num_parts, part_of);
@@ -93,20 +121,32 @@ std::vector<std::vector<std::pair<K, V>>> ReduceBuild(
     const F& f, const char* label) {
   std::vector<std::vector<std::pair<K, V>>> out(in.size());
   std::vector<external::SpillStats> stats(in.size());
+  std::vector<Status> status(in.size());
   const std::size_t quota = WorkerQuota(c, in.size());
-  ParallelFor(c->pool(), in.size(), [&](std::size_t i) {
+  GuardedParallelFor(c, in.size(), [&](std::size_t i) {
     auto init = [](V&& v) { return std::move(v); };
     auto absorb = [&f](V& acc, V&& v) { acc = f(acc, v); };
     auto growth = [](const V&) { return std::size_t{0}; };
     external::BoundedAggregator<K, V, V, decltype(init), decltype(absorb),
                                 decltype(growth)>
-        agg(quota, init, absorb, growth, &stats[i]);
+        agg(quota, init, absorb, growth, &stats[i], c->failpoints(),
+            /*stream_id=*/i);
     for (const auto& [k, v] : in[i]) agg.Feed(k, v);
     out[i] = agg.Finish();
+    status[i] = agg.status();
   });
   external::SpillStats total;
   for (const auto& s : stats) total.Add(s);
   c->NoteRealSpill(total, label);
+  // First unrecoverable build failure by ascending partition index —
+  // deterministic for any pool size. (Write failures with the in-memory
+  // fallback never reach here; the aggregator drained and finished.)
+  for (const Status& st : status) {
+    if (!st.ok()) {
+      c->Fail(st);
+      break;
+    }
+  }
   return out;
 }
 
@@ -297,8 +337,9 @@ Bag<std::pair<K, std::vector<V>>> GroupByKey(const Bag<std::pair<K, V>>& bag,
   typename Bag<KG>::Partitions out(static_cast<std::size_t>(parts));
   std::vector<double> max_bytes(shuffled.size(), 0.0);
   std::vector<external::SpillStats> spill_stats(shuffled.size());
+  std::vector<Status> build_status(shuffled.size());
   const std::size_t quota = internal::WorkerQuota(c, shuffled.size());
-  ParallelFor(c->pool(), shuffled.size(), [&](std::size_t i) {
+  internal::GuardedParallelFor(c, shuffled.size(), [&](std::size_t i) {
     auto init = [](V&& v) {
       std::vector<V> g;
       g.push_back(std::move(v));
@@ -308,9 +349,11 @@ Bag<std::pair<K, std::vector<V>>> GroupByKey(const Bag<std::pair<K, V>>& bag,
     auto growth = [](const V& v) { return EstimateSize(v); };
     external::BoundedAggregator<K, V, std::vector<V>, decltype(init),
                                 decltype(absorb), decltype(growth)>
-        agg(quota, init, absorb, growth, &spill_stats[i]);
+        agg(quota, init, absorb, growth, &spill_stats[i], c->failpoints(),
+            /*stream_id=*/i);
     for (auto& [k, v] : shuffled[i]) agg.Feed(k, std::move(v));
     out[i] = agg.Finish();
+    build_status[i] = agg.status();
     for (const auto& [k, vs] : out[i]) {
       // Sample-estimate the group footprint.
       double bytes = static_cast<double>(sizeof(KG));
@@ -323,6 +366,12 @@ Bag<std::pair<K, std::vector<V>>> GroupByKey(const Bag<std::pair<K, V>>& bag,
   external::SpillStats group_spill;
   for (const auto& s : spill_stats) group_spill.Add(s);
   c->NoteRealSpill(group_spill, "groupByKey[group]");
+  for (const Status& st : build_status) {
+    if (!st.ok()) {
+      c->Fail(st);
+      return Bag<KG>(c);
+    }
+  }
   double max_group_bytes = 0.0;
   for (double b : max_bytes) max_group_bytes = std::max(max_group_bytes, b);
   c->CheckTaskMemory(max_group_bytes * bag.scale() * group_expansion,
@@ -348,7 +397,7 @@ Bag<T> Distinct(const Bag<T>& bag, int64_t num_partitions = -1,
   // value per partition (Spark implements distinct via reduceByKey).
   internal::ChargeScanStage(bag, 0.5, "distinct[pre]");
   typename Bag<T>::Partitions pre(bag.partitions().size());
-  ParallelFor(c->pool(), bag.partitions().size(), [&](std::size_t i) {
+  internal::GuardedParallelFor(c, bag.partitions().size(), [&](std::size_t i) {
     std::unordered_set<T, Hasher> seen;
     seen.reserve(bag.partitions()[i].size());
     for (const auto& x : bag.partitions()[i]) {
@@ -371,7 +420,7 @@ Bag<T> Distinct(const Bag<T>& bag, int64_t num_partitions = -1,
                  StageContext{"distinct[dedup]", spill});
 
   typename Bag<T>::Partitions out(static_cast<std::size_t>(parts));
-  ParallelFor(c->pool(), shuffled.size(), [&](std::size_t i) {
+  internal::GuardedParallelFor(c, shuffled.size(), [&](std::size_t i) {
     std::unordered_set<T, Hasher> seen;
     seen.reserve(shuffled[i].size());
     for (const auto& x : shuffled[i]) {

@@ -43,6 +43,13 @@ void Accumulate(engine::Metrics* into, const engine::Metrics& m) {
   into->checkpoint_bytes += m.checkpoint_bytes;
   into->driver_retries += m.driver_retries;
   into->plan_fallbacks += m.plan_fallbacks;
+  into->real_spilled_bytes += m.real_spilled_bytes;
+  into->real_spill_events += m.real_spill_events;
+  into->real_spill_runs += m.real_spill_runs;
+  into->real_io_faults_injected += m.real_io_faults_injected;
+  into->real_io_retries += m.real_io_retries;
+  into->checksum_failures += m.checksum_failures;
+  into->inmemory_fallbacks += m.inmemory_fallbacks;
 }
 
 std::string RunName(const PlanSpec& spec, const PlanParams& params) {
@@ -226,6 +233,11 @@ void ServingDriver::WorkerLoop() {
       ++stats_.completed;
       if (!resp.status.ok()) ++stats_.failed;
       if (resp.status.IsDeadlineExceeded()) ++stats_.deadline_exceeded;
+      if (resp.status.IsIOError()) ++stats_.io_errors;
+      if (resp.status.IsDataCorruption()) ++stats_.corruptions;
+      // Only executed requests reach this loop (admission rejects complete
+      // in Submit), so ResourceExhausted here means the run was shed.
+      if (resp.status.IsResourceExhausted()) ++stats_.shed;
       if (resp.cache_hit) ++stats_.cache_hits;
       Accumulate(&stats_.aggregate, resp.metrics);
       --executing_;
@@ -265,18 +277,58 @@ ServeResponse ServingDriver::RunOne(const QueuedItem& item) {
   cfg.recovery.run_deadline_s =
       req.deadline_s >= 0.0 ? req.deadline_s : config_.default_deadline_s;
 
+  // Serving-level real-fault retry: when a run ends in kIOError /
+  // kDataCorruption after the engine's own recovery gave up, re-run the
+  // whole plan on a fresh Cluster with the fault epoch advanced (fresh
+  // deterministic draws), after a doubling real-time backoff.
+  // kResourceExhausted is shed, never retried.
   obs::TraceRecorder recorder;
-  engine::Cluster cluster(cfg);
-  if (config_.record_traces) {
-    recorder.SetRunNameHint(RunName(spec, req.params));
-    cluster.set_trace(&recorder);
-  }
+  int fault_retries = 0;
+  const int max_attempts = std::max(0, config_.real_fault_retries) + 1;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++fault_retries;
+      if (config_.real_fault_backoff_ms > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            config_.real_fault_backoff_ms *
+            static_cast<double>(int64_t{1} << (attempt - 1))));
+      }
+      recorder = obs::TraceRecorder();  // keep only this attempt's lane
+    }
+    cfg.real_faults.initial_epoch =
+        config_.cluster.real_faults.initial_epoch + attempt;
+    engine::Cluster cluster(cfg);
+    if (config_.record_traces) {
+      recorder.SetRunNameHint(RunName(spec, req.params));
+      cluster.set_trace(&recorder);
+    }
 
-  resp.status = engine::RunWithRecovery(
-      &cluster,
-      [&](int /*attempt*/) { resp.output = spec.body(&cluster, req.params); },
-      "serve");
-  resp.metrics = cluster.metrics();
+    resp.status = engine::RunWithRecovery(
+        &cluster,
+        [&](int /*attempt*/) {
+          // A plan body that throws fails THIS request typed instead of
+          // unwinding the serving worker into std::terminate.
+          try {
+            resp.output = spec.body(&cluster, req.params);
+          } catch (const std::exception& e) {
+            cluster.Fail(Status::Internal(
+                std::string("uncaught exception in plan body: ") + e.what()));
+          } catch (...) {
+            cluster.Fail(
+                Status::Internal("uncaught non-std exception in plan body"));
+          }
+        },
+        "serve");
+    resp.metrics = cluster.metrics();
+    if (resp.status.ok() ||
+        !(resp.status.IsIOError() || resp.status.IsDataCorruption())) {
+      break;
+    }
+  }
+  if (fault_retries > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.real_fault_retries += fault_retries;
+  }
   if (config_.record_traces) {
     resp.trace_json = obs::ChromeTraceToString(recorder);
     std::lock_guard<std::mutex> lock(mu_);

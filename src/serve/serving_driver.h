@@ -74,6 +74,16 @@ struct ServingConfig {
   /// weight w is served up to w queued requests per turn before the
   /// scheduler moves on. Unlisted tenants weigh 1.
   std::unordered_map<std::string, int> tenant_weights;
+  /// Extra serving-level attempts for requests that fail with kIOError or
+  /// kDataCorruption even after the engine's own driver recovery gives up.
+  /// Each retry re-runs the plan on a FRESH Cluster with the real-fault
+  /// epoch advanced (fresh deterministic draws — a transient storm may have
+  /// passed). kResourceExhausted is never retried here: the request is shed
+  /// (retrying against a full disk or budget only adds load). 0 = off.
+  int real_fault_retries = 0;
+  /// Real wall-clock backoff before serving-level retry k, doubling:
+  /// real_fault_backoff_ms * 2^(k-1) milliseconds. 0 = retry immediately.
+  double real_fault_backoff_ms = 0.0;
 };
 
 struct ServeRequest {
@@ -148,6 +158,17 @@ class ServingDriver {
     int64_t completed = 0;  // executed to any terminal status
     int64_t failed = 0;     // completed with !status.ok()
     int64_t deadline_exceeded = 0;
+    /// Requests whose final status was kIOError / kDataCorruption (after
+    /// all serving-level retries).
+    int64_t io_errors = 0;
+    int64_t corruptions = 0;
+    /// Serving-level re-runs taken for IO failures (ServingConfig::
+    /// real_fault_retries); the engine's own driver retries are counted in
+    /// aggregate.driver_retries instead.
+    int64_t real_fault_retries = 0;
+    /// Executed requests shed with kResourceExhausted (admission rejects
+    /// are counted in `rejected`, not here).
+    int64_t shed = 0;
     int64_t cache_hits = 0;
     MemoCache::Stats cache;
     /// Sum of per-request Metrics (peaks are maxed), plus the cache
