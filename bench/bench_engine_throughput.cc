@@ -12,9 +12,10 @@
 //   variant suffix: small (16-byte pair<int64,int64>) vs large
 //         (pair<int64,string> with a 48-char heap payload).
 //
-// The chain/ family additionally takes arg1: ClusterConfig::fusion on/off,
-// A/B-ing the fused narrow-op pipeline against the eager per-op passes on a
-// map -> filter -> map -> mapValues chain (results and simulated metrics
+// The chain/ families additionally take arg1: the fusion arm (0 = eager,
+// 1 = fused with type-erased feeds, 2 = fused with static feeds), A/B/C-ing
+// the narrow-op pipeline representations on a map -> filter -> map ->
+// mapValues chain and a 10-op deep chain (results and simulated metrics
 // are bit-identical across the arms; only wall-clock moves).
 //
 // Reported time is manual wall time of the operator alone (datagen and
@@ -319,17 +320,38 @@ void BM_ShuffleGroup_Chaos(benchmark::State& state) {
 // --- Narrow chains: map -> filter -> map -> mapValues, fused vs eager ---
 //
 // The chain benches force the result inside the measured region (chains are
-// pending until forced with fusion on); the fusion arm is carried in the
-// run name so the metrics JSON gets fusion-on/off A/B rows per pool arm.
+// pending until forced with fusion on); the arm is carried in the run name
+// so the metrics JSON gets an A/B/C grid per pool arm:
+//   fusion0        eager per-op passes (fusion disabled)
+//   fusion1static0 fused, legacy type-erased std::function feed chain
+//   fusion1static1 fused, static CRTP feed chain (one monomorphic loop)
+// Results and simulated metrics are bit-identical across all three arms;
+// only wall-clock moves.
+
+void ApplyChainArm(engine::ClusterConfig* cfg, int64_t arm) {
+  cfg->fusion.enabled = arm != 0;
+  cfg->fusion.static_feeds = arm == 2;
+}
+
+const char* ChainArmName(int64_t arm) {
+  switch (arm) {
+    case 0:
+      return "fusion0";
+    case 1:
+      return "fusion1static0";
+    default:
+      return "fusion1static1";
+  }
+}
 
 void BM_Chain_Small(benchmark::State& state) {
   engine::ClusterConfig cfg = Config(state.range(0) != 0);
-  cfg.fusion.enabled = state.range(1) != 0;
+  ApplyChainArm(&cfg, state.range(1));
   Cluster cluster(cfg);
   auto bag = engine::Parallelize(&cluster, SmallData(kSmallN), kParts);
-  const char* name =
-      cfg.fusion.enabled ? "chain/small/fusion1" : "chain/small/fusion0";
-  MeasureOp(state, name, &cluster, bag, [](const auto& b) {
+  std::string name =
+      std::string("chain/small/") + ChainArmName(state.range(1));
+  MeasureOp(state, name.c_str(), &cluster, bag, [](const auto& b) {
     auto m1 = engine::Map(b, [](const std::pair<int64_t, int64_t>& p) {
       return std::pair<int64_t, int64_t>(p.first, p.second + 1);
     });
@@ -344,16 +366,17 @@ void BM_Chain_Small(benchmark::State& state) {
     return mv;
   });
   state.counters["fusion"] = cfg.fusion.enabled ? 1 : 0;
+  state.counters["static"] = cfg.fusion.static_feeds ? 1 : 0;
 }
 
 void BM_Chain_Large(benchmark::State& state) {
   engine::ClusterConfig cfg = Config(state.range(0) != 0);
-  cfg.fusion.enabled = state.range(1) != 0;
+  ApplyChainArm(&cfg, state.range(1));
   Cluster cluster(cfg);
   auto bag = engine::Parallelize(&cluster, LargeData(kLargeN), kParts);
-  const char* name =
-      cfg.fusion.enabled ? "chain/large/fusion1" : "chain/large/fusion0";
-  MeasureOp(state, name, &cluster, bag, [](const auto& b) {
+  std::string name =
+      std::string("chain/large/") + ChainArmName(state.range(1));
+  MeasureOp(state, name.c_str(), &cluster, bag, [](const auto& b) {
     auto m1 = engine::Map(b, [](const std::pair<int64_t, std::string>& p) {
       return std::pair<int64_t, std::string>(p.first, p.second + "y");
     });
@@ -372,6 +395,82 @@ void BM_Chain_Large(benchmark::State& state) {
     return mv;
   });
   state.counters["fusion"] = cfg.fusion.enabled ? 1 : 0;
+  state.counters["static"] = cfg.fusion.static_feeds ? 1 : 0;
+}
+
+// --- Deep narrow chains: 10 composed size-preserving ops ---
+//
+// The deep family is where per-element dispatch cost compounds: every
+// element crosses 10 op boundaries, so with type-erased feeds it pays 10
+// std::function calls, while the static chain folds all 10 into one
+// monomorphic loop body. All ops are size-preserving (map / mapValues), so
+// the whole chain fuses into a single pass with no forced boundary.
+
+void BM_ChainDeep_Small(benchmark::State& state) {
+  engine::ClusterConfig cfg = Config(state.range(0) != 0);
+  ApplyChainArm(&cfg, state.range(1));
+  Cluster cluster(cfg);
+  auto bag = engine::Parallelize(&cluster, SmallData(kSmallN), kParts);
+  std::string name =
+      std::string("chain/deep/small/") + ChainArmName(state.range(1));
+  MeasureOp(state, name.c_str(), &cluster, bag, [](const auto& b) {
+    using P = std::pair<int64_t, int64_t>;
+    auto s1 = engine::Map(b, [](const P& p) { return P(p.first, p.second + 1); });
+    auto s2 = engine::MapValues(s1, [](int64_t v) { return v * 3; });
+    auto s3 = engine::Map(s2, [](const P& p) { return P(p.first ^ 1, p.second); });
+    auto s4 = engine::MapValues(s3, [](int64_t v) { return v - 7; });
+    auto s5 = engine::Map(s4, [](const P& p) { return P(p.first, p.second ^ p.first); });
+    auto s6 = engine::MapValues(s5, [](int64_t v) { return v + 11; });
+    auto s7 = engine::Map(s6, [](const P& p) { return P(p.first + 2, p.second); });
+    auto s8 = engine::MapValues(s7, [](int64_t v) { return v * 5; });
+    auto s9 = engine::Map(s8, [](const P& p) { return P(p.first, p.second - 13); });
+    auto s10 = engine::MapValues(s9, [](int64_t v) { return v ^ 255; });
+    s10.Force();
+    return s10;
+  });
+  state.counters["fusion"] = cfg.fusion.enabled ? 1 : 0;
+  state.counters["static"] = cfg.fusion.static_feeds ? 1 : 0;
+}
+
+void BM_ChainDeep_Large(benchmark::State& state) {
+  engine::ClusterConfig cfg = Config(state.range(0) != 0);
+  ApplyChainArm(&cfg, state.range(1));
+  Cluster cluster(cfg);
+  auto bag = engine::Parallelize(&cluster, LargeData(kLargeN), kParts);
+  std::string name =
+      std::string("chain/deep/large/") + ChainArmName(state.range(1));
+  MeasureOp(state, name.c_str(), &cluster, bag, [](const auto& b) {
+    using P = std::pair<int64_t, std::string>;
+    auto s1 = engine::Map(b, [](const P& p) { return P(p.first + 1, p.second); });
+    auto s2 = engine::MapValues(s1, [](std::string v) {
+      v[0] = 'a';
+      return v;
+    });
+    auto s3 = engine::Map(s2, [](const P& p) { return P(p.first ^ 3, p.second); });
+    auto s4 = engine::MapValues(s3, [](std::string v) {
+      v.back() = 'q';
+      return v;
+    });
+    auto s5 = engine::Map(s4, [](const P& p) { return P(p.first * 2, p.second); });
+    auto s6 = engine::MapValues(s5, [](std::string v) {
+      v[1] = 'b';
+      return v;
+    });
+    auto s7 = engine::Map(s6, [](const P& p) { return P(p.first - 5, p.second); });
+    auto s8 = engine::MapValues(s7, [](std::string v) {
+      v[2] = 'c';
+      return v;
+    });
+    auto s9 = engine::Map(s8, [](const P& p) { return P(p.first ^ 9, p.second); });
+    auto s10 = engine::MapValues(s9, [](std::string v) {
+      v[3] = 'd';
+      return v;
+    });
+    s10.Force();
+    return s10;
+  });
+  state.counters["fusion"] = cfg.fusion.enabled ? 1 : 0;
+  state.counters["static"] = cfg.fusion.static_feeds ? 1 : 0;
 }
 
 #define THROUGHPUT_ARGS                                               \
@@ -403,14 +502,17 @@ BENCHMARK(BM_ShuffleGroup_Budget)->BUDGET_ARGS;
 // pool x storm grid for the chaos family.
 BENCHMARK(BM_ShuffleGroup_Chaos)->BUDGET_ARGS;
 
-// pool x fusion grid for the chain family.
+// pool x arm grid for the chain families (arm: 0 = fusion off,
+// 1 = fused type-erased feeds, 2 = fused static feeds).
 #define CHAIN_ARGS                                                    \
-  ArgsProduct({{0, 1}, {0, 1}})                                       \
+  ArgsProduct({{0, 1}, {0, 1, 2}})                                    \
       ->UseManualTime()                                               \
       ->Unit(benchmark::kMillisecond)
 
 BENCHMARK(BM_Chain_Small)->CHAIN_ARGS;
 BENCHMARK(BM_Chain_Large)->CHAIN_ARGS;
+BENCHMARK(BM_ChainDeep_Small)->CHAIN_ARGS;
+BENCHMARK(BM_ChainDeep_Large)->CHAIN_ARGS;
 
 }  // namespace
 }  // namespace matryoshka::bench

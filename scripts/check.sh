@@ -103,15 +103,19 @@ assert doc["runs"], "no runs recorded"
 arms = set()
 chain_arms = set()
 budget_arms = set()
+chain_rates = {}
 for run in doc["runs"]:
     name = run["name"]
     assert name.startswith("throughput/"), name
     arms.add(name.rsplit("/", 1)[-1])
     parts = name.split("/")
     if parts[1] == "chain":
-        # throughput/chain/<size>/<fusion arm>/<pool arm>
-        assert parts[3] in ("fusion0", "fusion1"), name
-        chain_arms.add(parts[3])
+        # throughput/chain[/deep]/<size>/<feed arm>/<pool arm>
+        arm = parts[-2]
+        assert arm in ("fusion0", "fusion1static0", "fusion1static1"), name
+        chain_arms.add(arm)
+        chain_rates[(tuple(parts[1:-2]), parts[-1], arm)] = \
+            run["wall"]["elements_per_s"]
     if parts[1] == "budget":
         # throughput/budget/<op>/<budget arm>/<pool arm>
         assert parts[3] in ("unbounded", "bounded4mb"), name
@@ -132,9 +136,22 @@ for run in doc["runs"]:
     assert wall["elements"] > 0, name
     assert wall["elements_per_s"] > 0, name
 assert arms == {"pool0", "pool1"}, arms
-assert chain_arms == {"fusion0", "fusion1"}, chain_arms
+assert chain_arms == {"fusion0", "fusion1static0", "fusion1static1"}, \
+    chain_arms
 assert budget_arms == {"unbounded", "bounded4mb"}, budget_arms
-print("ok:", sys.argv[1], f"({len(doc['runs'])} runs)")
+# Representation contract on the heap-payload chains, pool off (the arm the
+# headline numbers quote). Floors are deliberately conservative — this is a
+# short smoke run on a host with ±10-20% run-to-run noise, not the committed
+# BENCH_throughput.json measurement — but they catch the two real
+# regressions: fusion that stopped paying at all, and a static
+# representation materially slower than the erased chains it replaces.
+for fam in (("chain", "large"), ("chain", "deep", "large")):
+    base = chain_rates[(fam, "pool0", "fusion0")]
+    erased = chain_rates[(fam, "pool0", "fusion1static0")]
+    static = chain_rates[(fam, "pool0", "fusion1static1")]
+    assert static / base >= 1.3, ("/".join(fam), static / base)
+    assert static / erased >= 0.9, ("/".join(fam), static / erased)
+print("ok:", sys.argv[1], f"({len(doc['runs'])} runs, chain arms validated)")
 EOF
   # The parallel kernel must also be clean under ThreadSanitizer.
   cmake --preset tsan
@@ -144,28 +161,41 @@ fi
 
 if [ "$mode" = fusion ]; then
   # Fusion contract: the determinism, fault-injection, and recovery suites
-  # must pass with the fused narrow-op pipeline forced on AND forced off
-  # (the suites themselves assert the two arms are bit-identical, but
+  # must pass with the fused narrow-op pipeline forced on AND forced off,
+  # and — when fused — with the static feed representation forced on AND
+  # off (the suites themselves assert the arms are bit-identical, but
   # running the whole suite under each process-wide override also locks the
-  # surrounding tests' exact-value expectations both ways).
-  for arm in 1 0; do
-    echo "== fusion=$arm: faults+recovery suites =="
-    MATRYOSHKA_FUSION="$arm" ctest --preset recovery -j "$(nproc)" "$@"
+  # surrounding tests' exact-value expectations every way). fusion=0 makes
+  # the feed representation irrelevant, so that axis is only swept fused.
+  for fusion in 1 0; do
+    for feeds in 1 0; do
+      [ "$fusion" = 0 ] && [ "$feeds" = 0 ] && continue
+      echo "== fusion=$fusion static_feeds=$feeds: faults+recovery suites =="
+      MATRYOSHKA_FUSION="$fusion" MATRYOSHKA_STATIC_FEEDS="$feeds" \
+        ctest --preset recovery -j "$(nproc)" "$@"
+    done
   done
-  # The fused single-pass kernel must also be clean under ThreadSanitizer:
-  # run the parallel-determinism suite both ways, then exercise the fused
-  # chain bench (pool on) under TSan directly.
+  # The fused single-pass kernel must also be clean under ThreadSanitizer
+  # in both feed representations: run the parallel-determinism suite under
+  # every arm, then exercise the chain benches (pool on) under TSan
+  # directly, static feeds off and on.
   cmake --preset tsan
   cmake --build --preset tsan -j "$(nproc)"
-  for arm in 1 0; do
-    echo "== fusion=$arm: tsan suites =="
-    MATRYOSHKA_FUSION="$arm" ctest --preset tsan -j "$(nproc)" "$@"
+  for fusion in 1 0; do
+    for feeds in 1 0; do
+      [ "$fusion" = 0 ] && [ "$feeds" = 0 ] && continue
+      echo "== fusion=$fusion static_feeds=$feeds: tsan suites =="
+      MATRYOSHKA_FUSION="$fusion" MATRYOSHKA_STATIC_FEEDS="$feeds" \
+        ctest --preset tsan -j "$(nproc)" "$@"
+    done
   done
-  build-tsan/bench/bench_engine_throughput \
-    --benchmark_filter='BM_Chain' \
-    --benchmark_min_time=0.02 \
-    --benchmark_min_warmup_time=0 >/dev/null
-  echo "ok: fused chain bench clean under TSan"
+  for feeds in 0 1; do
+    MATRYOSHKA_STATIC_FEEDS="$feeds" build-tsan/bench/bench_engine_throughput \
+      --benchmark_filter='BM_Chain' \
+      --benchmark_min_time=0.02 \
+      --benchmark_min_warmup_time=0 >/dev/null
+  done
+  echo "ok: fused chain benches clean under TSan (both feed representations)"
 fi
 
 if [ "$mode" = spill ]; then

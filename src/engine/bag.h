@@ -51,6 +51,12 @@ class Bag {
   /// Streams partition `p` of a pending chain into `emit`, applying every
   /// composed narrow transform on the fly (built by ops.h / extra_ops.h).
   using Feed = std::function<void(std::size_t p, const Sink& emit)>;
+  /// Optional fast-path twin of `Feed` used by Force(): materializes
+  /// partition `p` of the chain directly into `dst`. Set when the chain has
+  /// a static (expression-template) representation — see fused_feed.h —
+  /// whose whole pipeline runs as one monomorphic loop behind this single
+  /// erased call per partition (instead of one erased call per element).
+  using Run = std::function<void(std::size_t p, std::vector<T>& dst)>;
 
   /// An empty bag with zero partitions (the result of operators that ran
   /// after the cluster entered a failed state).
@@ -76,11 +82,13 @@ class Bag {
   static Bag<T> Deferred(Cluster* cluster, Feed feed,
                          std::vector<std::size_t> counts, bool counts_exact,
                          bool counts_bounded, int chain_ops, double scale,
-                         int64_t key_partitions, int lineage_depth) {
+                         int64_t key_partitions, int lineage_depth,
+                         Run run = nullptr) {
     Bag<T> out(cluster);
     out.parts_.reset();
     auto pending = std::make_shared<PendingState>();
     pending->feed = std::move(feed);
+    pending->run = std::move(run);
     pending->counts = std::move(counts);
     pending->exact = counts_exact;
     pending->bounded = counts_bounded;
@@ -115,6 +123,15 @@ class Bag {
     return pending_->feed;
   }
 
+  /// True when this handle is still pending but a sibling handle already
+  /// forced the shared chain state: the memoized result exists and Force()
+  /// on this handle is a free pointer flip. Composing consumers check this
+  /// to reuse the shared materialization instead of copying the pending
+  /// `std::function` chain.
+  bool pending_materialized() const {
+    return pending_ != nullptr && pending_->materialized != nullptr;
+  }
+
   /// Materializes any pending chain in ONE fused pass per partition: the
   /// whole composed transform runs per element and the output vector is
   /// reserved exactly for size-preserving chains (the tracked counts play
@@ -139,7 +156,13 @@ class Bag {
       internal::GuardedParallelFor(cluster_, out->size(), [&](std::size_t i) {
         std::vector<T>& dst = (*out)[i];
         if (chain.bounded) dst.reserve(chain.counts[i]);
-        chain.feed(i, [&dst](T&& x) { dst.push_back(std::move(x)); });
+        if (chain.run != nullptr) {
+          // Static chain: the whole fused pipeline runs as one monomorphic
+          // loop pushing straight into dst (fused_feed.h).
+          chain.run(i, dst);
+        } else {
+          chain.feed(i, [&dst](T&& x) { dst.push_back(std::move(x)); });
+        }
       });
       pending_->materialized = std::move(out);
     }
@@ -238,6 +261,8 @@ class Bag {
   /// handles so a single Force materializes for all of them.
   struct PendingState {
     Feed feed;
+    /// Fast-path twin of `feed` for static chains (see `Run`); may be null.
+    Run run;
     /// Tracked per-partition output cardinalities (see Deferred).
     std::vector<std::size_t> counts;
     bool exact = true;

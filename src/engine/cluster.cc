@@ -56,17 +56,38 @@ void ResolveRealFaults(ClusterConfig* config) {
   }
 }
 
+/// Strict parse for binary ("0"/"1") environment overrides. Anything else —
+/// empty string, "true", "2", trailing junk — CHECK-fails with the offending
+/// value instead of silently picking a fallback, so a typo'd A/B sweep in
+/// scripts/check.sh cannot quietly run both arms in the same mode.
+bool ParseBinaryEnv(const char* name, const char* value) {
+  if (value[0] != '\0' && value[1] == '\0') {
+    if (value[0] == '0') return false;
+    if (value[0] == '1') return true;
+  }
+  MATRYOSHKA_CHECK(false)
+      << name << "=\"" << value
+      << "\" is not a valid binary override: set it to exactly \"0\" or "
+         "\"1\" (or unset it to use the configured default).";
+  return false;
+}
+
 }  // namespace
 
 Cluster::Cluster(ClusterConfig config)
     : config_(config), real_budget_(ResolveRealBudget(&config_)) {
   MATRYOSHKA_CHECK(config_.num_machines >= 1);
   MATRYOSHKA_CHECK(config_.cores_per_machine >= 1);
-  // Process-wide A/B switch for the fusion layer: lets scripts/check.sh
-  // fusion re-run whole suites with the fused path forced on and off
-  // without recompiling or threading a flag through every test.
+  // Process-wide A/B switches for the fusion layer: let scripts/check.sh
+  // fusion re-run whole suites with the fused path (and its static-feed
+  // representation) forced on and off without recompiling or threading a
+  // flag through every test.
   if (const char* env = std::getenv("MATRYOSHKA_FUSION")) {
-    config_.fusion.enabled = env[0] != '\0' && env[0] != '0';
+    config_.fusion.enabled = ParseBinaryEnv("MATRYOSHKA_FUSION", env);
+  }
+  if (const char* env = std::getenv("MATRYOSHKA_STATIC_FEEDS")) {
+    config_.fusion.static_feeds =
+        ParseBinaryEnv("MATRYOSHKA_STATIC_FEEDS", env);
   }
   // default_parallelism <= 0 means "auto": the paper's 3x total cores,
   // resolved here so it tracks whatever cluster shape was configured.

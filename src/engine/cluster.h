@@ -135,6 +135,15 @@ struct FusionConfig {
   /// materialization boundary. Bounds the per-element closure nesting depth
   /// (each composed op adds one indirect call per element).
   int max_chain_depth = 16;
+  /// Feed representation of the pending chain. On (the default), composing
+  /// narrow ops builds a statically-typed expression-template chain
+  /// (fused_feed.h) whose forced materialization is one monomorphic loop
+  /// per partition; off retains the type-erased per-element `std::function`
+  /// composition for A/B. Results, Metrics, and traces are bit-identical
+  /// either way; only real wall-clock changes. The MATRYOSHKA_STATIC_FEEDS
+  /// environment variable ("0"/"1"), when set, overrides this at Cluster
+  /// construction. Ignored while `enabled` is false.
+  bool static_feeds = true;
 };
 
 /// Static description of the (simulated) cluster a program runs on, plus the

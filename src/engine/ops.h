@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "engine/bag.h"
 #include "engine/cluster.h"
+#include "engine/fused_feed.h"
 #include "engine/recovery.h"
 
 /// Narrow (pipelined) transformations and actions of the flat dataflow
@@ -88,6 +89,11 @@ int NextChainOps(const Bag<T>& bag) {
 /// pass-through ops can move instead of copy.
 template <typename U, typename T, typename MakeSink>
 typename Bag<U>::Feed ComposeFeed(const Bag<T>& bag, MakeSink make_sink) {
+  // When a sibling handle already forced the shared chain state, compose on
+  // the memoized partitions instead of deep-copying the pending
+  // `std::function` chain into yet another consumer (the copy bought
+  // nothing: every consumer would stream the same shared materialization).
+  if (bag.pending_materialized()) bag.Force();
   if (bag.pending()) {
     return [prev = bag.pending_feed(), make_sink](
                std::size_t p, const typename Bag<U>::Sink& emit) {
@@ -102,27 +108,83 @@ typename Bag<U>::Feed ComposeFeed(const Bag<T>& bag, MakeSink make_sink) {
   };
 }
 
+/// Builds the deferred (feed, run, chain) triple of a narrow op whose
+/// static representation is `ChainT`. With static feeds on, `make_chain()`
+/// produces the concrete chain value and both erased closures wrap the one
+/// shared instance; otherwise only the legacy type-erased feed from
+/// `make_feed()` is built. Factored out so each operator's two overloads
+/// stay declarative.
+template <typename ChainT, typename MakeChain, typename MakeFeed>
+struct DeferredRepr {
+  typename Bag<typename ChainT::Out>::Feed feed;
+  typename Bag<typename ChainT::Out>::Run run;
+  std::shared_ptr<const ChainT> chain;
+
+  DeferredRepr(const Cluster* c, MakeChain make_chain, MakeFeed make_feed) {
+    if (StaticFeedsOn(c)) {
+      chain = std::make_shared<const ChainT>(make_chain());
+      EraseChain(chain, &feed, &run);
+    } else {
+      feed = make_feed();
+    }
+  }
+};
+
+template <typename ChainT, typename MakeChain, typename MakeFeed>
+DeferredRepr<ChainT, MakeChain, MakeFeed> MakeDeferredRepr(
+    const Cluster* c, MakeChain make_chain, MakeFeed make_feed) {
+  return DeferredRepr<ChainT, MakeChain, MakeFeed>(c, std::move(make_chain),
+                                                   std::move(make_feed));
+}
+
+/// True when a narrow op on this FusedBag handle should extend the concrete
+/// chain in place (the zero-erasure path). Call AFTER ComposeReady enforced
+/// the forced boundaries: a still-pending input is then size-preserving and
+/// under the depth cap by construction. Declines when a sibling handle
+/// already forced the shared state (extending would re-run the chain the
+/// memoized result already paid for) — the caller re-roots at the
+/// materialization instead.
+template <typename Chain>
+bool ExtendReady(const FusedBag<Chain>& bag) {
+  return StaticFeedsOn(bag.cluster()) && bag.chain() != nullptr &&
+         bag.pending() && !bag.pending_materialized();
+}
+
 }  // namespace internal
 
 /// Applies `f` to every element. f: T -> U.
+///
+/// Like every narrow operator below, Map returns an internal::FusedBag — a
+/// Bag subclass additionally carrying the pending chain's concrete feed
+/// type (fused_feed.h). Holding the result in `auto` lets the next narrow
+/// op extend that static chain without type erasure; assigning to a plain
+/// Bag<U> slices the handle and still works through the erased pending
+/// state (at one erased hop per such boundary).
 template <typename T, typename F>
-auto Map(const Bag<T>& bag, F f, double weight = 1.0)
-    -> Bag<std::decay_t<decltype(f(std::declval<const T&>()))>> {
+auto Map(const Bag<T>& bag, F f, double weight = 1.0) {
   using U = std::decay_t<decltype(f(std::declval<const T&>()))>;
+  using ChainT = internal::MapFeed<F, internal::SourceFeed<T>>;
   Cluster* c = bag.cluster();
-  if (!c->ok()) return Bag<U>(c);
+  if (!c->ok()) return internal::FusedBag<ChainT>(Bag<U>(c), nullptr);
   if (internal::ComposeReady(bag)) {
     // Deferred: charge the cost model now, execute later in one fused pass.
     internal::ChargeScanStage(bag, weight, "map");
     const int chain = internal::NextChainOps(bag);
-    auto feed = internal::ComposeFeed<U>(
-        bag, [f](std::size_t, const typename Bag<U>::Sink& emit) {
-          return [f, &emit](auto&& x) { emit(f(x)); };
+    auto repr = internal::MakeDeferredRepr<ChainT>(
+        c,
+        [&] { return ChainT{internal::MakeSourceFeed(bag), f}; },
+        [&] {
+          return internal::ComposeFeed<U>(
+              bag, [f](std::size_t, const typename Bag<U>::Sink& emit) {
+                return [f, &emit](auto&& x) { emit(f(x)); };
+              });
         });
-    return internal::MaybeAutoCheckpoint(Bag<U>::Deferred(
-        c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/true,
-        /*counts_bounded=*/true, chain, bag.scale(), 0,
-        bag.lineage_depth() + 1));
+    return internal::FusedBag<ChainT>(
+        internal::MaybeAutoCheckpoint(Bag<U>::Deferred(
+            c, std::move(repr.feed), bag.PartitionSizes(),
+            /*counts_exact=*/true, /*counts_bounded=*/true, chain,
+            bag.scale(), 0, bag.lineage_depth() + 1, std::move(repr.run))),
+        std::move(repr.chain));
   }
   internal::ChargeScanStage(bag, weight, "map");
   const auto& parts = bag.partitions();
@@ -132,31 +194,72 @@ auto Map(const Bag<T>& bag, F f, double weight = 1.0)
     out[i].reserve(part.size());
     for (const auto& x : part) out[i].push_back(f(x));
   });
-  return internal::MaybeAutoCheckpoint(
-      Bag<U>(c, std::move(out), bag.scale(), 0, bag.lineage_depth() + 1));
+  return internal::FusedBag<ChainT>(
+      internal::MaybeAutoCheckpoint(
+          Bag<U>(c, std::move(out), bag.scale(), 0, bag.lineage_depth() + 1)),
+      nullptr);
+}
+
+/// Map over a FusedBag: extends the concrete chain type in place — the
+/// composed pipeline stays ONE monomorphic loop — falling back to the
+/// Bag<T> overload (re-rooted at the erased or materialized state) at any
+/// runtime boundary: knob off, chain forced, depth cap, shared
+/// materialization.
+template <typename Chain, typename F>
+auto Map(const internal::FusedBag<Chain>& bag, F f, double weight = 1.0) {
+  using T = typename Chain::Out;
+  using U = std::decay_t<decltype(f(std::declval<const T&>()))>;
+  using ExtT = internal::MapFeed<F, Chain>;
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return internal::FusedBag<ExtT>(Bag<U>(c), nullptr);
+  if (internal::ComposeReady(bag) && internal::ExtendReady(bag)) {
+    internal::ChargeScanStage(bag, weight, "map");
+    const int chain = internal::NextChainOps(bag);
+    auto st = std::make_shared<const ExtT>(ExtT{*bag.chain(), f});
+    typename Bag<U>::Feed feed;
+    typename Bag<U>::Run run;
+    internal::EraseChain(st, &feed, &run);
+    return internal::FusedBag<ExtT>(
+        internal::MaybeAutoCheckpoint(Bag<U>::Deferred(
+            c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/true,
+            /*counts_bounded=*/true, chain, bag.scale(), 0,
+            bag.lineage_depth() + 1, std::move(run))),
+        std::move(st));
+  }
+  return internal::FusedBag<ExtT>(
+      Map(static_cast<const Bag<T>&>(bag), f, weight), nullptr);
 }
 
 /// Keeps the elements for which `pred` returns true.
 template <typename T, typename P>
-Bag<T> Filter(const Bag<T>& bag, P pred, double weight = 1.0) {
+auto Filter(const Bag<T>& bag, P pred, double weight = 1.0) {
+  using ChainT = internal::FilterFeed<P, internal::SourceFeed<T>>;
   Cluster* c = bag.cluster();
-  if (!c->ok()) return Bag<T>(c);
+  if (!c->ok()) return internal::FusedBag<ChainT>(Bag<T>(c), nullptr);
   if (internal::ComposeReady(bag)) {
     internal::ChargeScanStage(bag, weight, "filter");
     const int chain = internal::NextChainOps(bag);
-    auto feed = internal::ComposeFeed<T>(
-        bag, [pred](std::size_t, const typename Bag<T>::Sink& emit) {
-          return [pred, &emit](auto&& x) {
-            if (pred(x)) emit(T(std::forward<decltype(x)>(x)));
-          };
+    auto repr = internal::MakeDeferredRepr<ChainT>(
+        c,
+        [&] { return ChainT{internal::MakeSourceFeed(bag), pred}; },
+        [&] {
+          return internal::ComposeFeed<T>(
+              bag, [pred](std::size_t, const typename Bag<T>::Sink& emit) {
+                return [pred, &emit](auto&& x) {
+                  if (pred(x)) emit(T(std::forward<decltype(x)>(x)));
+                };
+              });
         });
     // Output cardinality is now data-dependent: the tracked counts demote
     // to an upper bound (counts_exact=false), making this chain a forced
     // boundary for the next narrow op. Key partitioning survives filtering.
-    return internal::MaybeAutoCheckpoint(Bag<T>::Deferred(
-        c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/false,
-        /*counts_bounded=*/true, chain, bag.scale(), bag.key_partitions(),
-        bag.lineage_depth() + 1));
+    return internal::FusedBag<ChainT>(
+        internal::MaybeAutoCheckpoint(Bag<T>::Deferred(
+            c, std::move(repr.feed), bag.PartitionSizes(),
+            /*counts_exact=*/false, /*counts_bounded=*/true, chain,
+            bag.scale(), bag.key_partitions(), bag.lineage_depth() + 1,
+            std::move(repr.run))),
+        std::move(repr.chain));
   }
   internal::ChargeScanStage(bag, weight, "filter");
   const auto& parts = bag.partitions();
@@ -171,34 +274,69 @@ Bag<T> Filter(const Bag<T>& bag, P pred, double weight = 1.0) {
     }
   });
   // Filtering never moves elements: key partitioning survives.
-  return internal::MaybeAutoCheckpoint(Bag<T>(
-      c, std::move(out), bag.scale(), bag.key_partitions(),
-      bag.lineage_depth() + 1));
+  return internal::FusedBag<ChainT>(
+      internal::MaybeAutoCheckpoint(
+          Bag<T>(c, std::move(out), bag.scale(), bag.key_partitions(),
+                 bag.lineage_depth() + 1)),
+      nullptr);
+}
+
+/// Filter over a FusedBag: extends the concrete chain (see Map).
+template <typename Chain, typename P>
+auto Filter(const internal::FusedBag<Chain>& bag, P pred,
+            double weight = 1.0) {
+  using T = typename Chain::Out;
+  using ExtT = internal::FilterFeed<P, Chain>;
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return internal::FusedBag<ExtT>(Bag<T>(c), nullptr);
+  if (internal::ComposeReady(bag) && internal::ExtendReady(bag)) {
+    internal::ChargeScanStage(bag, weight, "filter");
+    const int chain = internal::NextChainOps(bag);
+    auto st = std::make_shared<const ExtT>(ExtT{*bag.chain(), pred});
+    typename Bag<T>::Feed feed;
+    typename Bag<T>::Run run;
+    internal::EraseChain(st, &feed, &run);
+    return internal::FusedBag<ExtT>(
+        internal::MaybeAutoCheckpoint(Bag<T>::Deferred(
+            c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/false,
+            /*counts_bounded=*/true, chain, bag.scale(),
+            bag.key_partitions(), bag.lineage_depth() + 1, std::move(run))),
+        std::move(st));
+  }
+  return internal::FusedBag<ExtT>(
+      Filter(static_cast<const Bag<T>&>(bag), pred, weight), nullptr);
 }
 
 /// Applies `f` to every element and concatenates the results.
 /// f: T -> iterable of U.
 template <typename T, typename F>
-auto FlatMap(const Bag<T>& bag, F f, double weight = 1.0)
-    -> Bag<std::decay_t<decltype(*std::begin(f(std::declval<const T&>())))>> {
+auto FlatMap(const Bag<T>& bag, F f, double weight = 1.0) {
   using U = std::decay_t<decltype(*std::begin(f(std::declval<const T&>())))>;
+  using ChainT = internal::FlatMapFeed<F, internal::SourceFeed<T>>;
   Cluster* c = bag.cluster();
-  if (!c->ok()) return Bag<U>(c);
+  if (!c->ok()) return internal::FusedBag<ChainT>(Bag<U>(c), nullptr);
   if (internal::ComposeReady(bag)) {
     internal::ChargeScanStage(bag, weight, "flatMap");
     const int chain = internal::NextChainOps(bag);
-    auto feed = internal::ComposeFeed<U>(
-        bag, [f](std::size_t, const typename Bag<U>::Sink& emit) {
-          return [f, &emit](auto&& x) {
-            for (auto&& y : f(x)) emit(std::move(y));
-          };
+    auto repr = internal::MakeDeferredRepr<ChainT>(
+        c,
+        [&] { return ChainT{internal::MakeSourceFeed(bag), f}; },
+        [&] {
+          return internal::ComposeFeed<U>(
+              bag, [f](std::size_t, const typename Bag<U>::Sink& emit) {
+                return [f, &emit](auto&& x) {
+                  for (auto&& y : f(x)) emit(std::move(y));
+                };
+              });
         });
     // Expansion is unbounded: counts keep only the partition count
     // (counts_bounded=false disables output reservation at force time).
-    return internal::MaybeAutoCheckpoint(Bag<U>::Deferred(
-        c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/false,
-        /*counts_bounded=*/false, chain, bag.scale(), 0,
-        bag.lineage_depth() + 1));
+    return internal::FusedBag<ChainT>(
+        internal::MaybeAutoCheckpoint(Bag<U>::Deferred(
+            c, std::move(repr.feed), bag.PartitionSizes(),
+            /*counts_exact=*/false, /*counts_bounded=*/false, chain,
+            bag.scale(), 0, bag.lineage_depth() + 1, std::move(repr.run))),
+        std::move(repr.chain));
   }
   internal::ChargeScanStage(bag, weight, "flatMap");
   const auto& parts = bag.partitions();
@@ -208,8 +346,36 @@ auto FlatMap(const Bag<T>& bag, F f, double weight = 1.0)
       for (auto&& y : f(x)) out[i].push_back(std::move(y));
     }
   });
-  return internal::MaybeAutoCheckpoint(
-      Bag<U>(c, std::move(out), bag.scale(), 0, bag.lineage_depth() + 1));
+  return internal::FusedBag<ChainT>(
+      internal::MaybeAutoCheckpoint(
+          Bag<U>(c, std::move(out), bag.scale(), 0, bag.lineage_depth() + 1)),
+      nullptr);
+}
+
+/// FlatMap over a FusedBag: extends the concrete chain (see Map).
+template <typename Chain, typename F>
+auto FlatMap(const internal::FusedBag<Chain>& bag, F f, double weight = 1.0) {
+  using T = typename Chain::Out;
+  using ExtT = internal::FlatMapFeed<F, Chain>;
+  using U = typename ExtT::Out;
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return internal::FusedBag<ExtT>(Bag<U>(c), nullptr);
+  if (internal::ComposeReady(bag) && internal::ExtendReady(bag)) {
+    internal::ChargeScanStage(bag, weight, "flatMap");
+    const int chain = internal::NextChainOps(bag);
+    auto st = std::make_shared<const ExtT>(ExtT{*bag.chain(), f});
+    typename Bag<U>::Feed feed;
+    typename Bag<U>::Run run;
+    internal::EraseChain(st, &feed, &run);
+    return internal::FusedBag<ExtT>(
+        internal::MaybeAutoCheckpoint(Bag<U>::Deferred(
+            c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/false,
+            /*counts_bounded=*/false, chain, bag.scale(), 0,
+            bag.lineage_depth() + 1, std::move(run))),
+        std::move(st));
+  }
+  return internal::FusedBag<ExtT>(
+      FlatMap(static_cast<const Bag<T>&>(bag), f, weight), nullptr);
 }
 
 /// Transforms whole partitions. f: const std::vector<T>& -> std::vector<U>.
@@ -236,13 +402,13 @@ auto MapPartitions(const Bag<T>& bag, F f, double weight = 1.0)
 
 /// First components of a bag of pairs.
 template <typename K, typename V>
-Bag<K> Keys(const Bag<std::pair<K, V>>& bag) {
+auto Keys(const Bag<std::pair<K, V>>& bag) {
   return Map(bag, [](const std::pair<K, V>& p) { return p.first; });
 }
 
 /// Second components of a bag of pairs.
 template <typename K, typename V>
-Bag<V> Values(const Bag<std::pair<K, V>>& bag) {
+auto Values(const Bag<std::pair<K, V>>& bag) {
   return Map(bag, [](const std::pair<K, V>& p) { return p.second; });
 }
 
@@ -250,25 +416,38 @@ Bag<V> Values(const Bag<std::pair<K, V>>& bag) {
 /// do not change — preserving the bag's key partitioning (Spark's
 /// mapValues-with-preservesPartitioning).
 template <typename K, typename V, typename F>
-auto MapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0)
-    -> Bag<std::pair<K, std::decay_t<decltype(f(std::declval<const V&>()))>>> {
+auto MapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0) {
   using W = std::decay_t<decltype(f(std::declval<const V&>()))>;
   using Out = std::pair<K, W>;
+  using ChainT =
+      internal::MapValuesFeed<F, internal::SourceFeed<std::pair<K, V>>>;
   Cluster* c = bag.cluster();
-  if (!c->ok()) return Bag<Out>(c);
+  if (!c->ok()) return internal::FusedBag<ChainT>(Bag<Out>(c), nullptr);
   if (internal::ComposeReady(bag)) {
     internal::ChargeScanStage(bag, weight, "mapValues");
     const int chain = internal::NextChainOps(bag);
-    auto feed = internal::ComposeFeed<Out>(
-        bag, [f](std::size_t, const typename Bag<Out>::Sink& emit) {
-          return [f, &emit](auto&& kv) {
-            emit(Out(std::forward<decltype(kv)>(kv).first, f(kv.second)));
-          };
+    auto repr = internal::MakeDeferredRepr<ChainT>(
+        c,
+        [&] { return ChainT{internal::MakeSourceFeed(bag), f}; },
+        [&] {
+          return internal::ComposeFeed<Out>(
+              bag, [f](std::size_t, const typename Bag<Out>::Sink& emit) {
+                return [f, &emit](auto&& kv) {
+                  // Forward the value so a chain temporary's payload moves
+                  // through a by-value f instead of reallocating (same
+                  // bytes; mirrors MapValuesFeed in fused_feed.h).
+                  emit(Out(std::forward<decltype(kv)>(kv).first,
+                           f(std::forward<decltype(kv)>(kv).second)));
+                };
+              });
         });
-    return internal::MaybeAutoCheckpoint(Bag<Out>::Deferred(
-        c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/true,
-        /*counts_bounded=*/true, chain, bag.scale(), bag.key_partitions(),
-        bag.lineage_depth() + 1));
+    return internal::FusedBag<ChainT>(
+        internal::MaybeAutoCheckpoint(Bag<Out>::Deferred(
+            c, std::move(repr.feed), bag.PartitionSizes(),
+            /*counts_exact=*/true, /*counts_bounded=*/true, chain,
+            bag.scale(), bag.key_partitions(), bag.lineage_depth() + 1,
+            std::move(repr.run))),
+        std::move(repr.chain));
   }
   internal::ChargeScanStage(bag, weight, "mapValues");
   const auto& parts = bag.partitions();
@@ -278,37 +457,74 @@ auto MapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0)
     out[i].reserve(part.size());
     for (const auto& [k, v] : part) out[i].emplace_back(k, f(v));
   });
-  return internal::MaybeAutoCheckpoint(Bag<Out>(
-      c, std::move(out), bag.scale(), bag.key_partitions(),
-      bag.lineage_depth() + 1));
+  return internal::FusedBag<ChainT>(
+      internal::MaybeAutoCheckpoint(
+          Bag<Out>(c, std::move(out), bag.scale(), bag.key_partitions(),
+                   bag.lineage_depth() + 1)),
+      nullptr);
+}
+
+/// MapValues over a FusedBag: extends the concrete chain (see Map).
+template <typename Chain, typename F>
+auto MapValues(const internal::FusedBag<Chain>& bag, F f,
+               double weight = 1.0) {
+  using T = typename Chain::Out;
+  using ExtT = internal::MapValuesFeed<F, Chain>;
+  using Out = typename ExtT::Out;
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return internal::FusedBag<ExtT>(Bag<Out>(c), nullptr);
+  if (internal::ComposeReady(bag) && internal::ExtendReady(bag)) {
+    internal::ChargeScanStage(bag, weight, "mapValues");
+    const int chain = internal::NextChainOps(bag);
+    auto st = std::make_shared<const ExtT>(ExtT{*bag.chain(), f});
+    typename Bag<Out>::Feed feed;
+    typename Bag<Out>::Run run;
+    internal::EraseChain(st, &feed, &run);
+    return internal::FusedBag<ExtT>(
+        internal::MaybeAutoCheckpoint(Bag<Out>::Deferred(
+            c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/true,
+            /*counts_bounded=*/true, chain, bag.scale(),
+            bag.key_partitions(), bag.lineage_depth() + 1, std::move(run))),
+        std::move(st));
+  }
+  return internal::FusedBag<ExtT>(
+      MapValues(static_cast<const Bag<T>&>(bag), f, weight), nullptr);
 }
 
 /// Applies `f` to the value of every pair and emits one output pair per
 /// produced value, under the same key; preserves key partitioning.
 /// f: V -> iterable of W.
 template <typename K, typename V, typename F>
-auto FlatMapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0)
-    -> Bag<std::pair<
-        K, std::decay_t<decltype(*std::begin(f(std::declval<const V&>())))>>> {
+auto FlatMapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0) {
   using W = std::decay_t<decltype(*std::begin(f(std::declval<const V&>())))>;
   using Out = std::pair<K, W>;
+  using ChainT =
+      internal::FlatMapValuesFeed<F, internal::SourceFeed<std::pair<K, V>>>;
   Cluster* c = bag.cluster();
-  if (!c->ok()) return Bag<Out>(c);
+  if (!c->ok()) return internal::FusedBag<ChainT>(Bag<Out>(c), nullptr);
   if (internal::ComposeReady(bag)) {
     internal::ChargeScanStage(bag, weight, "flatMapValues");
     const int chain = internal::NextChainOps(bag);
-    auto feed = internal::ComposeFeed<Out>(
-        bag, [f](std::size_t, const typename Bag<Out>::Sink& emit) {
-          return [f, &emit](auto&& kv) {
-            for (auto&& w : f(kv.second)) {
-              emit(Out(kv.first, std::move(w)));
-            }
-          };
+    auto repr = internal::MakeDeferredRepr<ChainT>(
+        c,
+        [&] { return ChainT{internal::MakeSourceFeed(bag), f}; },
+        [&] {
+          return internal::ComposeFeed<Out>(
+              bag, [f](std::size_t, const typename Bag<Out>::Sink& emit) {
+                return [f, &emit](auto&& kv) {
+                  for (auto&& w : f(kv.second)) {
+                    emit(Out(kv.first, std::move(w)));
+                  }
+                };
+              });
         });
-    return internal::MaybeAutoCheckpoint(Bag<Out>::Deferred(
-        c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/false,
-        /*counts_bounded=*/false, chain, bag.scale(), bag.key_partitions(),
-        bag.lineage_depth() + 1));
+    return internal::FusedBag<ChainT>(
+        internal::MaybeAutoCheckpoint(Bag<Out>::Deferred(
+            c, std::move(repr.feed), bag.PartitionSizes(),
+            /*counts_exact=*/false, /*counts_bounded=*/false, chain,
+            bag.scale(), bag.key_partitions(), bag.lineage_depth() + 1,
+            std::move(repr.run))),
+        std::move(repr.chain));
   }
   internal::ChargeScanStage(bag, weight, "flatMapValues");
   const auto& parts = bag.partitions();
@@ -318,9 +534,38 @@ auto FlatMapValues(const Bag<std::pair<K, V>>& bag, F f, double weight = 1.0)
       for (auto&& w : f(v)) out[i].emplace_back(k, std::move(w));
     }
   });
-  return internal::MaybeAutoCheckpoint(Bag<Out>(
-      c, std::move(out), bag.scale(), bag.key_partitions(),
-      bag.lineage_depth() + 1));
+  return internal::FusedBag<ChainT>(
+      internal::MaybeAutoCheckpoint(
+          Bag<Out>(c, std::move(out), bag.scale(), bag.key_partitions(),
+                   bag.lineage_depth() + 1)),
+      nullptr);
+}
+
+/// FlatMapValues over a FusedBag: extends the concrete chain (see Map).
+template <typename Chain, typename F>
+auto FlatMapValues(const internal::FusedBag<Chain>& bag, F f,
+                   double weight = 1.0) {
+  using T = typename Chain::Out;
+  using ExtT = internal::FlatMapValuesFeed<F, Chain>;
+  using Out = typename ExtT::Out;
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return internal::FusedBag<ExtT>(Bag<Out>(c), nullptr);
+  if (internal::ComposeReady(bag) && internal::ExtendReady(bag)) {
+    internal::ChargeScanStage(bag, weight, "flatMapValues");
+    const int chain = internal::NextChainOps(bag);
+    auto st = std::make_shared<const ExtT>(ExtT{*bag.chain(), f});
+    typename Bag<Out>::Feed feed;
+    typename Bag<Out>::Run run;
+    internal::EraseChain(st, &feed, &run);
+    return internal::FusedBag<ExtT>(
+        internal::MaybeAutoCheckpoint(Bag<Out>::Deferred(
+            c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/false,
+            /*counts_bounded=*/false, chain, bag.scale(),
+            bag.key_partitions(), bag.lineage_depth() + 1, std::move(run))),
+        std::move(st));
+  }
+  return internal::FusedBag<ExtT>(
+      FlatMapValues(static_cast<const Bag<T>&>(bag), f, weight), nullptr);
 }
 
 /// Bag union (multiset semantics, like Spark's union): concatenates the two
@@ -359,10 +604,11 @@ Bag<T> Union(const Bag<T>& a, const Bag<T>& b) {
 /// the partition index and the offset within the partition, like Spark's
 /// zipWithUniqueId).
 template <typename T>
-Bag<std::pair<uint64_t, T>> ZipWithUniqueId(const Bag<T>& bag) {
+auto ZipWithUniqueId(const Bag<T>& bag) {
   using Out = std::pair<uint64_t, T>;
+  using ChainT = internal::ZipUniqueIdFeed<internal::SourceFeed<T>>;
   Cluster* c = bag.cluster();
-  if (!c->ok()) return Bag<Out>(c);
+  if (!c->ok()) return internal::FusedBag<ChainT>(Bag<Out>(c), nullptr);
   const uint64_t stride =
       static_cast<uint64_t>(std::max<int64_t>(1, bag.num_partitions()));
   if (internal::ComposeReady(bag)) {
@@ -371,16 +617,24 @@ Bag<std::pair<uint64_t, T>> ZipWithUniqueId(const Bag<T>& bag) {
     // Composing is only legal on size-preserving chains (ComposeReady
     // forces otherwise), so the stream offset of each element equals its
     // materialized offset and the assigned ids match the eager path.
-    auto feed = internal::ComposeFeed<Out>(
-        bag, [stride](std::size_t p, const typename Bag<Out>::Sink& emit) {
-          return [stride, p, j = uint64_t{0}, &emit](auto&& x) mutable {
-            emit(Out(j++ * stride + p, std::forward<decltype(x)>(x)));
-          };
+    auto repr = internal::MakeDeferredRepr<ChainT>(
+        c,
+        [&] { return ChainT{internal::MakeSourceFeed(bag), stride}; },
+        [&] {
+          return internal::ComposeFeed<Out>(
+              bag,
+              [stride](std::size_t p, const typename Bag<Out>::Sink& emit) {
+                return [stride, p, j = uint64_t{0}, &emit](auto&& x) mutable {
+                  emit(Out(j++ * stride + p, std::forward<decltype(x)>(x)));
+                };
+              });
         });
-    return internal::MaybeAutoCheckpoint(Bag<Out>::Deferred(
-        c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/true,
-        /*counts_bounded=*/true, chain, bag.scale(), 0,
-        bag.lineage_depth() + 1));
+    return internal::FusedBag<ChainT>(
+        internal::MaybeAutoCheckpoint(Bag<Out>::Deferred(
+            c, std::move(repr.feed), bag.PartitionSizes(),
+            /*counts_exact=*/true, /*counts_bounded=*/true, chain,
+            bag.scale(), 0, bag.lineage_depth() + 1, std::move(repr.run))),
+        std::move(repr.chain));
   }
   internal::ChargeScanStage(bag, 1.0, "zipWithUniqueId");
   const auto& parts = bag.partitions();
@@ -392,8 +646,39 @@ Bag<std::pair<uint64_t, T>> ZipWithUniqueId(const Bag<T>& bag) {
       out[i].emplace_back(static_cast<uint64_t>(j) * stride + i, part[j]);
     }
   });
-  return internal::MaybeAutoCheckpoint(Bag<Out>(
-      c, std::move(out), bag.scale(), 0, bag.lineage_depth() + 1));
+  return internal::FusedBag<ChainT>(
+      internal::MaybeAutoCheckpoint(
+          Bag<Out>(c, std::move(out), bag.scale(), 0,
+                   bag.lineage_depth() + 1)),
+      nullptr);
+}
+
+/// ZipWithUniqueId over a FusedBag: extends the concrete chain (see Map).
+template <typename Chain>
+auto ZipWithUniqueId(const internal::FusedBag<Chain>& bag) {
+  using T = typename Chain::Out;
+  using Out = std::pair<uint64_t, T>;
+  using ExtT = internal::ZipUniqueIdFeed<Chain>;
+  Cluster* c = bag.cluster();
+  if (!c->ok()) return internal::FusedBag<ExtT>(Bag<Out>(c), nullptr);
+  const uint64_t stride =
+      static_cast<uint64_t>(std::max<int64_t>(1, bag.num_partitions()));
+  if (internal::ComposeReady(bag) && internal::ExtendReady(bag)) {
+    internal::ChargeScanStage(bag, 1.0, "zipWithUniqueId");
+    const int chain = internal::NextChainOps(bag);
+    auto st = std::make_shared<const ExtT>(ExtT{*bag.chain(), stride});
+    typename Bag<Out>::Feed feed;
+    typename Bag<Out>::Run run;
+    internal::EraseChain(st, &feed, &run);
+    return internal::FusedBag<ExtT>(
+        internal::MaybeAutoCheckpoint(Bag<Out>::Deferred(
+            c, std::move(feed), bag.PartitionSizes(), /*counts_exact=*/true,
+            /*counts_bounded=*/true, chain, bag.scale(), 0,
+            bag.lineage_depth() + 1, std::move(run))),
+        std::move(st));
+  }
+  return internal::FusedBag<ExtT>(
+      ZipWithUniqueId(static_cast<const Bag<T>&>(bag)), nullptr);
 }
 
 // --- Actions ---

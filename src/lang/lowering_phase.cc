@@ -7,6 +7,7 @@
 #include "core/matryoshka.h"
 #include "engine/ops.h"
 #include "engine/shuffle.h"
+#include "lang/row_kernels.h"
 
 namespace matryoshka::lang {
 
@@ -27,36 +28,10 @@ using RuntimeValue =
 
 using Env = std::unordered_map<std::string, RuntimeValue>;
 
+/// Scalar binop semantics live in row_kernels.h (EvalRowBinOp) so the
+/// tree-walking interpreter and the compiled kernels share one definition.
 Value EvalBinOp(BinOpKind op, const Value& a, const Value& b) {
-  switch (op) {
-    case BinOpKind::kAdd:
-      if (a.is_int() && b.is_int()) return Value(a.AsInt() + b.AsInt());
-      return Value(a.AsDouble() + b.AsDouble());
-    case BinOpKind::kSub:
-      if (a.is_int() && b.is_int()) return Value(a.AsInt() - b.AsInt());
-      return Value(a.AsDouble() - b.AsDouble());
-    case BinOpKind::kMul:
-      if (a.is_int() && b.is_int()) return Value(a.AsInt() * b.AsInt());
-      return Value(a.AsDouble() * b.AsDouble());
-    case BinOpKind::kDiv: {
-      const double d = b.AsDouble();
-      return Value(d == 0.0 ? 0.0 : a.AsDouble() / d);
-    }
-    case BinOpKind::kEq:
-      return Value(a == b);
-    case BinOpKind::kNe:
-      return Value(a != b);
-    case BinOpKind::kLt:
-      return Value(a < b);
-    case BinOpKind::kLe:
-      return Value(a < b || a == b);
-    case BinOpKind::kAnd:
-      return Value(a.AsBool() && b.AsBool());
-    case BinOpKind::kOr:
-      return Value(a.AsBool() || b.AsBool());
-  }
-  MATRYOSHKA_CHECK(false) << "unknown binop";
-  return Value();
+  return EvalRowBinOp(op, a, b);
 }
 
 /// Evaluates a scalar expression against an environment of Values — the
@@ -207,6 +182,13 @@ class Interpreter {
         switch (e.kind) {
           case ExprKind::kMap: {
             MATRYOSHKA_ASSIGN_OR_RETURN(ScalarEnv cap, CaptureEnv(*e.lambda));
+            // Common projection shapes run as a compiled concrete functor
+            // (row_kernels.h) instead of the per-element tree interpreter;
+            // the engine's static feed chain then inlines it into the fused
+            // partition loop.
+            if (auto kern = rowkernel::CompileProjection(*e.lambda, cap)) {
+              return RuntimeValue(engine::Map(in, *kern));
+            }
             LambdaPtr lam = e.lambda;
             return RuntimeValue(engine::Map(in, [lam, cap](const Value& x) {
               return ApplyLambda(*lam, cap, {x});
@@ -214,6 +196,9 @@ class Interpreter {
           }
           case ExprKind::kFilter: {
             MATRYOSHKA_ASSIGN_OR_RETURN(ScalarEnv cap, CaptureEnv(*e.lambda));
+            if (auto kern = rowkernel::CompilePredicate(*e.lambda, cap)) {
+              return RuntimeValue(engine::Filter(in, *kern));
+            }
             LambdaPtr lam = e.lambda;
             return RuntimeValue(
                 engine::Filter(in, [lam, cap](const Value& x) {
@@ -222,6 +207,10 @@ class Interpreter {
           }
           case ExprKind::kFlatMap: {
             MATRYOSHKA_ASSIGN_OR_RETURN(ScalarEnv cap, CaptureEnv(*e.lambda));
+            if (auto kern =
+                    rowkernel::CompileFlatProjection(*e.lambda, cap)) {
+              return RuntimeValue(engine::FlatMap(in, *kern));
+            }
             LambdaPtr lam = e.lambda;
             return RuntimeValue(
                 engine::FlatMap(in, [lam, cap](const Value& x) {
@@ -240,17 +229,25 @@ class Interpreter {
       case ExprKind::kReduceByKey: {
         MATRYOSHKA_ASSIGN_OR_RETURN(Bag<Value> in, EvalBag(*e.inputs[0], env));
         LambdaPtr f2 = e.lambda2;
+        // The key-extract map is already a concrete pair projection; a
+        // binop-shaped merge function additionally compiles to a concrete
+        // combiner, taking the interpreter out of the (map-side and
+        // reduce-side) merge loop.
         auto kv = engine::Map(in, [](const Value& x) {
           return std::pair<Value, Value>(x.Field(0), x.Field(1));
         });
+        auto retuple = [](const std::pair<Value, Value>& p) {
+          return Value::MakeTuple({p.first, p.second});
+        };
+        if (auto kern = rowkernel::CompileCombiner(*f2)) {
+          return RuntimeValue(
+              engine::Map(engine::ReduceByKey(kv, *kern), retuple));
+        }
         auto red = engine::ReduceByKey(
             kv, [f2](const Value& a, const Value& b) {
               return ApplyLambda(*f2, {}, {a, b});
             });
-        return RuntimeValue(
-            engine::Map(red, [](const std::pair<Value, Value>& p) {
-              return Value::MakeTuple({p.first, p.second});
-            }));
+        return RuntimeValue(engine::Map(red, retuple));
       }
       case ExprKind::kUnion: {
         MATRYOSHKA_ASSIGN_OR_RETURN(Bag<Value> a, EvalBag(*e.inputs[0], env));

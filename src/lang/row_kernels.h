@@ -1,0 +1,269 @@
+#ifndef MATRYOSHKA_LANG_ROW_KERNELS_H_
+#define MATRYOSHKA_LANG_ROW_KERNELS_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "lang/expr.h"
+#include "lang/value.h"
+
+/// Pre-instantiated fused kernels for the dynamically-typed Row (`Value`)
+/// path.
+///
+/// The lowering phase's generic element UDF is a tree-walking interpreter:
+/// per element it copies a `ScalarEnv` (an unordered_map of captured
+/// scalars), binds the parameter, and recursively walks the shared `Expr`
+/// nodes. For the common DiQL shapes — a comparison predicate, a tuple
+/// projection, a flat tuple projection, a binop reduce combiner — that
+/// interpretive overhead dominates the per-element cost.
+///
+/// The compilers here recognize those shapes at lowering time and produce
+/// small concrete functors (no map, no tree, captures folded to constants)
+/// that the engine's static feed chains (engine/fused_feed.h) then inline
+/// into their monomorphic per-partition loops. Compilation is best-effort:
+/// any unrecognized shape returns nullopt and the caller falls back to the
+/// interpreter closure. Both arms evaluate scalars through the same
+/// EvalRowBinOp, so results are identical by construction.
+namespace matryoshka::lang {
+
+/// Scalar binop semantics shared by the tree-walking interpreter
+/// (lowering_phase.cc) and the compiled kernels — a single definition so
+/// the two evaluation arms cannot drift.
+inline Value EvalRowBinOp(BinOpKind op, const Value& a, const Value& b) {
+  switch (op) {
+    case BinOpKind::kAdd:
+      if (a.is_int() && b.is_int()) return Value(a.AsInt() + b.AsInt());
+      return Value(a.AsDouble() + b.AsDouble());
+    case BinOpKind::kSub:
+      if (a.is_int() && b.is_int()) return Value(a.AsInt() - b.AsInt());
+      return Value(a.AsDouble() - b.AsDouble());
+    case BinOpKind::kMul:
+      if (a.is_int() && b.is_int()) return Value(a.AsInt() * b.AsInt());
+      return Value(a.AsDouble() * b.AsDouble());
+    case BinOpKind::kDiv: {
+      const double d = b.AsDouble();
+      return Value(d == 0.0 ? 0.0 : a.AsDouble() / d);
+    }
+    case BinOpKind::kEq:
+      return Value(a == b);
+    case BinOpKind::kNe:
+      return Value(a != b);
+    case BinOpKind::kLt:
+      return Value(a < b);
+    case BinOpKind::kLe:
+      return Value(a < b || a == b);
+    case BinOpKind::kAnd:
+      return Value(a.AsBool() && b.AsBool());
+    case BinOpKind::kOr:
+      return Value(a.AsBool() || b.AsBool());
+  }
+  MATRYOSHKA_CHECK(false) << "unknown binop";
+  return Value();
+}
+
+namespace rowkernel {
+
+/// The captured driver scalars a lambda closes over, as the lowering
+/// phase's CaptureEnv resolves them.
+using CaptureMap = std::unordered_map<std::string, Value>;
+
+/// One leaf of a compiled scalar expression: the lambda parameter itself, a
+/// field of it, or a constant (literals, and captured names folded to their
+/// driver-scalar values at compile time).
+struct Operand {
+  enum class Kind { kParam, kField, kConst };
+
+  Kind kind = Kind::kConst;
+  std::size_t field = 0;
+  Value literal;
+
+  const Value& Get(const Value& x) const {
+    switch (kind) {
+      case Kind::kParam:
+        return x;
+      case Kind::kField:
+        return x.Field(field);
+      case Kind::kConst:
+        break;
+    }
+    return literal;
+  }
+};
+
+/// A compiled scalar atom: an operand, or one binop over two operands. One
+/// level of arithmetic/comparison is the depth the common DiQL predicate
+/// and projection shapes need; deeper trees stay on the interpreter.
+struct Atom {
+  bool has_op = false;
+  BinOpKind op = BinOpKind::kAdd;
+  Operand a;
+  Operand b;
+
+  Value Eval(const Value& x) const {
+    if (!has_op) return a.Get(x);
+    return EvalRowBinOp(op, a.Get(x), b.Get(x));
+  }
+};
+
+/// filter(x => <atom>): one map-free, tree-free call per element.
+struct Predicate {
+  Atom atom;
+  bool operator()(const Value& x) const { return atom.Eval(x).AsBool(); }
+};
+
+/// map(x => (<atom>, ...)) or map(x => <atom>).
+struct Projection {
+  bool make_tuple = false;
+  std::vector<Atom> slots;
+
+  Value operator()(const Value& x) const {
+    if (!make_tuple) return slots.front().Eval(x);
+    Value::Tuple t;
+    t.reserve(slots.size());
+    for (const Atom& s : slots) t.push_back(s.Eval(x));
+    return Value(std::move(t));
+  }
+};
+
+/// flatMap(x => (<atom>, ...)): each slot becomes one output element.
+struct FlatProjection {
+  std::vector<Atom> slots;
+
+  Value::Tuple operator()(const Value& x) const {
+    Value::Tuple t;
+    t.reserve(slots.size());
+    for (const Atom& s : slots) t.push_back(s.Eval(x));
+    return t;
+  }
+};
+
+/// reduceByKey((a, b) => a <op> b): the key-extract map around it is
+/// already a concrete pair projection in the lowering phase; this removes
+/// the interpreter from the merge side.
+struct Combiner {
+  BinOpKind op = BinOpKind::kAdd;
+  Value operator()(const Value& a, const Value& b) const {
+    return EvalRowBinOp(op, a, b);
+  }
+};
+
+inline std::optional<Operand> CompileOperand(const Expr& e,
+                                             const std::string& param,
+                                             const CaptureMap& cap) {
+  Operand out;
+  switch (e.kind) {
+    case ExprKind::kVar: {
+      if (e.name == param) {
+        out.kind = Operand::Kind::kParam;
+        return out;
+      }
+      auto it = cap.find(e.name);
+      if (it == cap.end()) return std::nullopt;
+      out.kind = Operand::Kind::kConst;
+      out.literal = it->second;
+      return out;
+    }
+    case ExprKind::kConst:
+      out.kind = Operand::Kind::kConst;
+      out.literal = e.literal;
+      return out;
+    case ExprKind::kTupleField: {
+      const Expr& in = *e.inputs[0];
+      if (in.kind != ExprKind::kVar || in.name != param) return std::nullopt;
+      out.kind = Operand::Kind::kField;
+      out.field = e.index;
+      return out;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+inline std::optional<Atom> CompileAtom(const Expr& e, const std::string& param,
+                                       const CaptureMap& cap) {
+  Atom out;
+  if (e.kind == ExprKind::kBinOp) {
+    auto a = CompileOperand(*e.inputs[0], param, cap);
+    auto b = CompileOperand(*e.inputs[1], param, cap);
+    if (!a.has_value() || !b.has_value()) return std::nullopt;
+    out.has_op = true;
+    out.op = e.op;
+    out.a = std::move(*a);
+    out.b = std::move(*b);
+    return out;
+  }
+  auto a = CompileOperand(e, param, cap);
+  if (!a.has_value()) return std::nullopt;
+  out.a = std::move(*a);
+  return out;
+}
+
+/// True when `lam` is a pure single-parameter lambda whose whole body is
+/// its result expression — the only shape the kernels compile.
+inline bool IsPureUnary(const Lambda& lam) {
+  return lam.params.size() == 1 && lam.body.empty();
+}
+
+inline std::optional<Predicate> CompilePredicate(const Lambda& lam,
+                                                 const CaptureMap& cap) {
+  if (!IsPureUnary(lam)) return std::nullopt;
+  auto atom = CompileAtom(*lam.result, lam.params[0], cap);
+  if (!atom.has_value()) return std::nullopt;
+  return Predicate{std::move(*atom)};
+}
+
+inline std::optional<Projection> CompileProjection(const Lambda& lam,
+                                                   const CaptureMap& cap) {
+  if (!IsPureUnary(lam)) return std::nullopt;
+  const Expr& r = *lam.result;
+  Projection out;
+  if (r.kind == ExprKind::kTupleMake) {
+    out.make_tuple = true;
+    out.slots.reserve(r.inputs.size());
+    for (const ExprPtr& in : r.inputs) {
+      auto atom = CompileAtom(*in, lam.params[0], cap);
+      if (!atom.has_value()) return std::nullopt;
+      out.slots.push_back(std::move(*atom));
+    }
+    return out;
+  }
+  auto atom = CompileAtom(r, lam.params[0], cap);
+  if (!atom.has_value()) return std::nullopt;
+  out.slots.push_back(std::move(*atom));
+  return out;
+}
+
+inline std::optional<FlatProjection> CompileFlatProjection(
+    const Lambda& lam, const CaptureMap& cap) {
+  if (!IsPureUnary(lam)) return std::nullopt;
+  const Expr& r = *lam.result;
+  if (r.kind != ExprKind::kTupleMake) return std::nullopt;
+  FlatProjection out;
+  out.slots.reserve(r.inputs.size());
+  for (const ExprPtr& in : r.inputs) {
+    auto atom = CompileAtom(*in, lam.params[0], cap);
+    if (!atom.has_value()) return std::nullopt;
+    out.slots.push_back(std::move(*atom));
+  }
+  return out;
+}
+
+inline std::optional<Combiner> CompileCombiner(const Lambda& lam) {
+  if (lam.params.size() != 2 || !lam.body.empty()) return std::nullopt;
+  const Expr& r = *lam.result;
+  if (r.kind != ExprKind::kBinOp) return std::nullopt;
+  const Expr& a = *r.inputs[0];
+  const Expr& b = *r.inputs[1];
+  if (a.kind != ExprKind::kVar || a.name != lam.params[0]) return std::nullopt;
+  if (b.kind != ExprKind::kVar || b.name != lam.params[1]) return std::nullopt;
+  return Combiner{r.op};
+}
+
+}  // namespace rowkernel
+}  // namespace matryoshka::lang
+
+#endif  // MATRYOSHKA_LANG_ROW_KERNELS_H_

@@ -419,6 +419,11 @@ ClusterConfig WithFusion(ClusterConfig cfg, bool enabled) {
   return cfg;
 }
 
+ClusterConfig WithStaticFeeds(ClusterConfig cfg, bool enabled) {
+  cfg.fusion.static_feeds = enabled;
+  return cfg;
+}
+
 ClusterConfig WithRecovery(ClusterConfig cfg) {
   cfg.faults.seed = 5;
   cfg.faults.task_failure_prob = 0.05;
@@ -446,12 +451,14 @@ PairBag NarrowChain(Cluster* c) {
   return MapValues(filtered, [](int64_t v) { return v * 7; });
 }
 
-/// Runs `make_op` (Cluster* -> Bag) with fusion off and on — pool off/on ×
-/// {clean, active FaultPlan, FaultPlan + RecoveryPolicy with
-/// auto-checkpointing} — and requires bit-identical bags (contents AND
-/// order, key_partitions) and full Metrics each time. Metrics are compared
-/// BEFORE the fused result is materialized: the fusion contract charges
-/// everything at composition time, and forcing must charge nothing.
+/// Runs `make_op` (Cluster* -> Bag) with fusion off and on (the fused arm
+/// under BOTH feed representations: legacy type-erased std::function chains
+/// and static CRTP chains) — pool off/on × {clean, active FaultPlan,
+/// FaultPlan + RecoveryPolicy with auto-checkpointing} — and requires
+/// bit-identical bags (contents AND order, key_partitions) and full Metrics
+/// each time. Metrics are compared BEFORE the fused result is materialized:
+/// the fusion contract charges everything at composition time, and forcing
+/// must charge nothing — under either feed representation.
 template <typename MakeOp>
 void ExpectFusionBitIdentical(const MakeOp& make_op) {
   for (int regime = 0; regime < 3; ++regime) {
@@ -460,16 +467,23 @@ void ExpectFusionBitIdentical(const MakeOp& make_op) {
       if (regime == 1) base = WithFaults(base);
       if (regime == 2) base = WithRecovery(base);
       Cluster off(WithFusion(base, false));
-      Cluster on(WithFusion(base, true));
-      auto eager = make_op(&off);
-      auto fused = make_op(&on);
-      ASSERT_EQ(off.ok(), on.ok())
+      Cluster erased(WithStaticFeeds(WithFusion(base, true), false));
+      Cluster fused(WithStaticFeeds(WithFusion(base, true), true));
+      auto eager_bag = make_op(&off);
+      auto erased_bag = make_op(&erased);
+      auto fused_bag = make_op(&fused);
+      ASSERT_EQ(off.ok(), erased.ok())
           << "regime " << regime << " pool " << parallel;
-      ExpectSameMetrics(off.metrics(), on.metrics());
-      ExpectBitIdenticalBags(eager, fused);
+      ASSERT_EQ(off.ok(), fused.ok())
+          << "regime " << regime << " pool " << parallel;
+      ExpectSameMetrics(off.metrics(), erased.metrics());
+      ExpectSameMetrics(off.metrics(), fused.metrics());
+      ExpectBitIdenticalBags(eager_bag, erased_bag);
+      ExpectBitIdenticalBags(eager_bag, fused_bag);
       // ExpectBitIdenticalBags forced any pending chain; that must not have
-      // added a single charge.
-      ExpectSameMetrics(off.metrics(), on.metrics());
+      // added a single charge on either fused arm.
+      ExpectSameMetrics(off.metrics(), erased.metrics());
+      ExpectSameMetrics(off.metrics(), fused.metrics());
     }
   }
 }
@@ -570,25 +584,28 @@ TEST(FusionDeterminismTest, CardinalityChangingChainBitIdentical) {
 
 TEST(FusionDeterminismTest, DepthCapForcesBoundary) {
   // A chain longer than max_chain_depth must force mid-chain and keep both
-  // data and metrics identical to eager.
-  for (bool parallel : {false, true}) {
-    ClusterConfig on_cfg = WithFusion(Config(parallel), true);
-    on_cfg.fusion.max_chain_depth = 2;
-    Cluster off(WithFusion(Config(parallel), false));
-    Cluster on(on_cfg);
-    auto program = [](Cluster* c) {
-      auto bag = MakePairs(c);
-      for (int i = 0; i < 5; ++i) {
-        bag = Map(bag, [](const std::pair<int64_t, int64_t>& p) {
-          return std::pair<int64_t, int64_t>(p.first, p.second + 1);
-        });
-      }
-      return bag;
-    };
-    auto eager = program(&off);
-    auto fused = program(&on);
-    ExpectSameMetrics(off.metrics(), on.metrics());
-    ExpectBitIdenticalBags(eager, fused);
+  // data and metrics identical to eager — under either feed representation.
+  for (bool static_feeds : {false, true}) {
+    for (bool parallel : {false, true}) {
+      ClusterConfig on_cfg =
+          WithStaticFeeds(WithFusion(Config(parallel), true), static_feeds);
+      on_cfg.fusion.max_chain_depth = 2;
+      Cluster off(WithFusion(Config(parallel), false));
+      Cluster on(on_cfg);
+      auto program = [](Cluster* c) {
+        auto bag = MakePairs(c);
+        for (int i = 0; i < 5; ++i) {
+          bag = Map(bag, [](const std::pair<int64_t, int64_t>& p) {
+            return std::pair<int64_t, int64_t>(p.first, p.second + 1);
+          });
+        }
+        return bag;
+      };
+      auto eager = program(&off);
+      auto fused = program(&on);
+      ExpectSameMetrics(off.metrics(), on.metrics());
+      ExpectBitIdenticalBags(eager, fused);
+    }
   }
 }
 
@@ -695,7 +712,8 @@ TEST(FusionDeterminismTest, ActionsForceAndMatch) {
     if (regime == 1) base = WithFaults(base);
     if (regime == 2) base = WithRecovery(base);
     Cluster off(WithFusion(base, false));
-    Cluster on(WithFusion(base, true));
+    Cluster erased(WithStaticFeeds(WithFusion(base, true), false));
+    Cluster fused(WithStaticFeeds(WithFusion(base, true), true));
     auto run = [](Cluster* c) {
       auto chain = NarrowChain(c);
       auto keys = Keys(NarrowChain(c));
@@ -706,8 +724,11 @@ TEST(FusionDeterminismTest, ActionsForceAndMatch) {
           Reduce(keys, [](int64_t a, int64_t b) { return a + b; }).value_or(0),
           Collect(NarrowChain(c)), TopK(keys, 5, std::less<int64_t>()));
     };
-    EXPECT_EQ(run(&off), run(&on)) << "regime " << regime;
-    ExpectSameMetrics(off.metrics(), on.metrics());
+    const auto expected = run(&off);
+    EXPECT_EQ(expected, run(&erased)) << "regime " << regime;
+    EXPECT_EQ(expected, run(&fused)) << "regime " << regime;
+    ExpectSameMetrics(off.metrics(), erased.metrics());
+    ExpectSameMetrics(off.metrics(), fused.metrics());
   }
 }
 
@@ -716,27 +737,36 @@ TEST(FusionDeterminismTest, ActionsForceAndMatch) {
 
 TEST(FusionDeterminismTest, FusionDoesNotPerturbSuiteResultsOrCostModel) {
   SuiteOutcome eager = RunSuite(WithFusion(Config(true), false));
-  SuiteOutcome fused = RunSuite(WithFusion(Config(true), true));
   ASSERT_TRUE(eager.ok);
   EXPECT_GT(eager.count, 0);
-  ExpectSameOutcome(eager, fused);
+  for (bool static_feeds : {false, true}) {
+    SuiteOutcome fused = RunSuite(
+        WithStaticFeeds(WithFusion(Config(true), true), static_feeds));
+    ExpectSameOutcome(eager, fused);
+  }
 }
 
 TEST(FusionDeterminismTest, FusionDoesNotPerturbFaultInjection) {
   SuiteOutcome eager = RunSuite(WithFaults(WithFusion(Config(true), false)));
-  SuiteOutcome fused = RunSuite(WithFaults(WithFusion(Config(true), true)));
   ASSERT_TRUE(eager.ok);
   EXPECT_GT(eager.metrics.failed_tasks, 0);
-  ExpectSameOutcome(eager, fused);
+  for (bool static_feeds : {false, true}) {
+    SuiteOutcome fused = RunSuite(WithFaults(
+        WithStaticFeeds(WithFusion(Config(true), true), static_feeds)));
+    ExpectSameOutcome(eager, fused);
+  }
 }
 
 TEST(FusionDeterminismTest, FusionDoesNotPerturbRecoveryFeatures) {
   SuiteOutcome eager = RunSuite(WithRecovery(WithFusion(Config(true), false)));
-  SuiteOutcome fused = RunSuite(WithRecovery(WithFusion(Config(true), true)));
   ASSERT_TRUE(eager.ok);
   EXPECT_EQ(eager.metrics.machines_lost, 1);
   EXPECT_GT(eager.metrics.checkpoints_written, 0);
-  ExpectSameOutcome(eager, fused);
+  for (bool static_feeds : {false, true}) {
+    SuiteOutcome fused = RunSuite(WithRecovery(
+        WithStaticFeeds(WithFusion(Config(true), true), static_feeds)));
+    ExpectSameOutcome(eager, fused);
+  }
 }
 
 /// Exported trace of a narrow-chain + wide-op + action program (the obs
@@ -760,8 +790,12 @@ TEST(FusionDeterminismTest, TraceIsByteIdenticalAcrossFusionArms) {
     ClusterConfig base = Config(true);
     if (regime == 1) base = WithFaults(base);
     if (regime == 2) base = WithRecovery(base);
-    EXPECT_EQ(FusionTraceFor(WithFusion(base, false)),
-              FusionTraceFor(WithFusion(base, true)))
+    const std::string eager = FusionTraceFor(WithFusion(base, false));
+    EXPECT_EQ(eager, FusionTraceFor(WithStaticFeeds(WithFusion(base, true),
+                                                    false)))
+        << "regime " << regime;
+    EXPECT_EQ(eager,
+              FusionTraceFor(WithStaticFeeds(WithFusion(base, true), true)))
         << "regime " << regime;
   }
 }

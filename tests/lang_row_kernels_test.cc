@@ -1,0 +1,179 @@
+// Unit coverage for lang/row_kernels.h: shape recognition of the compiled
+// Row kernels, kernel-vs-interpreter value agreement, and the nullopt
+// fallbacks that keep unrecognized lambdas on the tree-walking interpreter.
+// End-to-end equivalence of lowered DiQL programs (which now route pure
+// predicate / projection / combiner lambdas through these kernels) is locked
+// by lang_test.cc; this file pins the compiler's contract directly.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lang/expr.h"
+#include "lang/row_kernels.h"
+#include "lang/value.h"
+
+namespace matryoshka::lang {
+namespace {
+
+using rowkernel::CaptureMap;
+using rowkernel::CompileCombiner;
+using rowkernel::CompileFlatProjection;
+using rowkernel::CompileOperand;
+using rowkernel::CompilePredicate;
+using rowkernel::CompileProjection;
+
+Value Pair(int64_t a, int64_t b) {
+  return Value(Value::Tuple{Value(a), Value(b)});
+}
+
+// --- EvalRowBinOp: the single-sourced scalar semantics ---------------------
+
+TEST(EvalRowBinOpTest, IntPreservingArithmetic) {
+  EXPECT_EQ(EvalRowBinOp(BinOpKind::kAdd, Value(int64_t{2}), Value(int64_t{3})),
+            Value(int64_t{5}));
+  EXPECT_EQ(EvalRowBinOp(BinOpKind::kMul, Value(int64_t{4}), Value(int64_t{6})),
+            Value(int64_t{24}));
+  // Mixed operands promote to double.
+  EXPECT_EQ(EvalRowBinOp(BinOpKind::kAdd, Value(int64_t{2}), Value(0.5)),
+            Value(2.5));
+}
+
+TEST(EvalRowBinOpTest, DivisionByZeroYieldsZero) {
+  EXPECT_EQ(EvalRowBinOp(BinOpKind::kDiv, Value(int64_t{7}), Value(int64_t{0})),
+            Value(0.0));
+  EXPECT_EQ(EvalRowBinOp(BinOpKind::kDiv, Value(int64_t{7}), Value(int64_t{2})),
+            Value(3.5));
+}
+
+TEST(EvalRowBinOpTest, Comparisons) {
+  EXPECT_EQ(EvalRowBinOp(BinOpKind::kLe, Value(int64_t{3}), Value(int64_t{3})),
+            Value(true));
+  EXPECT_EQ(EvalRowBinOp(BinOpKind::kLt, Value(int64_t{3}), Value(int64_t{3})),
+            Value(false));
+  EXPECT_EQ(EvalRowBinOp(BinOpKind::kNe, Value(std::string("a")),
+                         Value(std::string("b"))),
+            Value(true));
+}
+
+// --- Operand compilation ---------------------------------------------------
+
+TEST(RowKernelTest, CompilesParamFieldAndFoldedCaptures) {
+  CaptureMap cap;
+  cap.emplace("limit", Value(int64_t{10}));
+
+  auto param = CompileOperand(*Var("x"), "x", cap);
+  ASSERT_TRUE(param.has_value());
+  EXPECT_EQ(param->Get(Value(int64_t{42})), Value(int64_t{42}));
+
+  auto field = CompileOperand(*Field(Var("x"), 1), "x", cap);
+  ASSERT_TRUE(field.has_value());
+  EXPECT_EQ(field->Get(Pair(3, 9)), Value(int64_t{9}));
+
+  // A captured name folds to its driver-scalar value at compile time.
+  auto folded = CompileOperand(*Var("limit"), "x", cap);
+  ASSERT_TRUE(folded.has_value());
+  EXPECT_EQ(folded->Get(Value(int64_t{0})), Value(int64_t{10}));
+
+  // An unbound name is not compilable.
+  EXPECT_FALSE(CompileOperand(*Var("mystery"), "x", cap).has_value());
+  // A field of anything but the parameter itself is not compilable.
+  EXPECT_FALSE(
+      CompileOperand(*Field(Field(Var("x"), 0), 1), "x", cap).has_value());
+}
+
+// --- Predicate -------------------------------------------------------------
+
+TEST(RowKernelTest, PredicateMatchesInterpreterSemantics) {
+  CaptureMap cap;
+  cap.emplace("cut", Value(int64_t{5}));
+  // x => x._0 < cut
+  auto pred = CompilePredicate(
+      *Lam("x", BinOp(BinOpKind::kLt, Field(Var("x"), 0), Var("cut"))), cap);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_TRUE((*pred)(Pair(4, 0)));
+  EXPECT_FALSE((*pred)(Pair(5, 0)));
+}
+
+TEST(RowKernelTest, PredicateFallbacks) {
+  CaptureMap cap;
+  // Multi-statement body: interpreter only.
+  auto with_body = LamProgram(
+      {"x"}, {Stmt{"t", Lit(Value(int64_t{1}))}},
+      BinOp(BinOpKind::kLt, Var("x"), Var("t")));
+  EXPECT_FALSE(CompilePredicate(*with_body, cap).has_value());
+  // Nested binop (deeper than one atom): interpreter only.
+  auto nested = Lam(
+      "x", BinOp(BinOpKind::kAnd,
+                 BinOp(BinOpKind::kLt, Var("x"), Lit(Value(int64_t{9}))),
+                 BinOp(BinOpKind::kLt, Lit(Value(int64_t{0})), Var("x"))));
+  EXPECT_FALSE(CompilePredicate(*nested, cap).has_value());
+}
+
+// --- Projection ------------------------------------------------------------
+
+TEST(RowKernelTest, TupleProjectionMatchesInterpreterSemantics) {
+  CaptureMap cap;
+  cap.emplace("k", Value(int64_t{100}));
+  // x => (x._1, x._0 + k)
+  auto proj = CompileProjection(
+      *Lam("x", MakeTuple({Field(Var("x"), 1),
+                           BinOp(BinOpKind::kAdd, Field(Var("x"), 0),
+                                 Var("k"))})),
+      cap);
+  ASSERT_TRUE(proj.has_value());
+  EXPECT_EQ((*proj)(Pair(3, 9)), Pair(9, 103));
+}
+
+TEST(RowKernelTest, ScalarProjectionAndFallback) {
+  CaptureMap cap;
+  // x => x._0 * x._0 compiles (one binop over two operands).
+  auto sq = CompileProjection(
+      *Lam("x", BinOp(BinOpKind::kMul, Field(Var("x"), 0), Field(Var("x"), 0))),
+      cap);
+  ASSERT_TRUE(sq.has_value());
+  EXPECT_EQ((*sq)(Pair(7, 0)), Value(int64_t{49}));
+  // A tuple slot that itself nests a tuple stays on the interpreter.
+  auto nested = CompileProjection(
+      *Lam("x", MakeTuple({MakeTuple({Var("x")}), Var("x")})), cap);
+  EXPECT_FALSE(nested.has_value());
+}
+
+// --- Flat projection -------------------------------------------------------
+
+TEST(RowKernelTest, FlatProjectionEmitsOneValuePerSlot) {
+  CaptureMap cap;
+  // x => (x, x + 1): two output elements per input.
+  auto flat = CompileFlatProjection(
+      *Lam("x", MakeTuple({Var("x"), BinOp(BinOpKind::kAdd, Var("x"),
+                                           Lit(Value(int64_t{1})))})),
+      cap);
+  ASSERT_TRUE(flat.has_value());
+  Value::Tuple out = (*flat)(Value(int64_t{5}));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], Value(int64_t{5}));
+  EXPECT_EQ(out[1], Value(int64_t{6}));
+  // A non-tuple result is not a flat projection.
+  EXPECT_FALSE(CompileFlatProjection(*Lam("x", Var("x")), cap).has_value());
+}
+
+// --- Combiner --------------------------------------------------------------
+
+TEST(RowKernelTest, CombinerCompilesExactBinOpShapeOnly) {
+  // (a, b) => a + b
+  auto add = CompileCombiner(*Lam2("a", "b", BinOp(BinOpKind::kAdd, Var("a"),
+                                                   Var("b"))));
+  ASSERT_TRUE(add.has_value());
+  EXPECT_EQ((*add)(Value(int64_t{2}), Value(int64_t{3})), Value(int64_t{5}));
+  // Swapped parameter order is a different function — not this shape.
+  EXPECT_FALSE(CompileCombiner(*Lam2("a", "b", BinOp(BinOpKind::kSub, Var("b"),
+                                                     Var("a"))))
+                   .has_value());
+  // Unary lambda is not a combiner.
+  EXPECT_FALSE(CompileCombiner(*Lam("a", Var("a"))).has_value());
+}
+
+}  // namespace
+}  // namespace matryoshka::lang
